@@ -1,0 +1,119 @@
+// Command dawningbench regenerates the paper's evaluation: every table and
+// figure of Section 4, printed as text and optionally written out as
+// .txt/.svg artifacts.
+//
+// Usage:
+//
+//	dawningbench [-experiment all|table1|fig9|fig10|fig11|table2|table3|table4|fig12|fig13|fig14|tco
+//	              |ext-scale|ext-backfill|ext-provision|extensions]
+//	             [-seed N] [-days N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, fig9..fig14, table2..table4, tco, ext-scale, ext-backfill, ext-provision, extensions)")
+		seed       = flag.Int64("seed", 42, "workload generation seed")
+		days       = flag.Int("days", 14, "trace window in days (the paper uses 14)")
+		outDir     = flag.String("out", "", "directory for .txt/.svg artifacts (optional)")
+	)
+	flag.Parse()
+
+	suite := experiments.NewSuite(*seed)
+	suite.Days = *days
+
+	artifacts, err := collect(suite, *experiment)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dawningbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, a := range artifacts {
+		fmt.Printf("== %s ==\n", a.Title)
+		fmt.Printf("%s\n", a.Text)
+		if a.PaperRef != "" {
+			fmt.Printf("[%s]\n\n", a.PaperRef)
+		}
+		if *outDir != "" {
+			if err := write(*outDir, a); err != nil {
+				fmt.Fprintf(os.Stderr, "dawningbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *outDir != "" {
+		fmt.Printf("artifacts written to %s\n", *outDir)
+	}
+}
+
+func collect(suite *experiments.Suite, which string) ([]experiments.Artifact, error) {
+	if which == "all" {
+		return suite.Artifacts()
+	}
+	if which == "extensions" {
+		var out []experiments.Artifact
+		for _, id := range []string{"ext-scale", "ext-backfill", "ext-provision"} {
+			arts, err := collect(suite, id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, arts...)
+		}
+		return out, nil
+	}
+	steps := map[string]func() (experiments.Artifact, error){
+		"table1": func() (experiments.Artifact, error) { return experiments.Table1(), nil },
+		"fig9":   suite.Figure9,
+		"fig10":  suite.Figure10,
+		"fig11":  suite.Figure11,
+		"table2": suite.Table2,
+		"table3": suite.Table3,
+		"table4": suite.Table4,
+		"fig12":  suite.Figure12,
+		"fig13":  suite.Figure13,
+		"fig14":  suite.Figure14,
+		"tco":    experiments.TCO,
+		"ext-scale": func() (experiments.Artifact, error) {
+			return suite.ScaleArtifact(5)
+		},
+		"ext-backfill": func() (experiments.Artifact, error) {
+			return suite.AblationBackfill(experiments.NASAProvider)
+		},
+		"ext-provision": func() (experiments.Artifact, error) {
+			return suite.AblationProvision(experiments.NASAProvider, 160)
+		},
+	}
+	step, ok := steps[which]
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", which)
+	}
+	a, err := step()
+	if err != nil {
+		return nil, err
+	}
+	return []experiments.Artifact{a}, nil
+}
+
+func write(dir string, a experiments.Artifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	txt := filepath.Join(dir, a.ID+".txt")
+	if err := os.WriteFile(txt, []byte(a.Text+"\n["+a.PaperRef+"]\n"), 0o644); err != nil {
+		return err
+	}
+	if a.SVG != "" {
+		svg := filepath.Join(dir, a.ID+".svg")
+		if err := os.WriteFile(svg, []byte(a.SVG), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

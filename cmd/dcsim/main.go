@@ -1,0 +1,172 @@
+// Command dcsim simulates one system over one workload and prints the
+// provider and resource-provider metrics: the single-experiment view of
+// the comparison harness.
+//
+// Usage:
+//
+//	dcsim -system dawningcloud|ssp|dcs|drp -workload nasa|blue|montage
+//	      [-b 40] [-r 1.2] [-seed 42] [-days 14] [-capacity 0]
+//
+// It can also replay an external trace:
+//
+//	dcsim -swf trace.swf -fixed 128 -b 40 -r 1.2
+//	dcsim -dag workflow.json -fixed 166 -b 10 -r 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dawningcloud "repro"
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/swf"
+	"repro/internal/synth"
+	"repro/internal/workflow"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "dawningcloud", "system: dawningcloud, ssp, dcs or drp")
+		load     = flag.String("workload", "nasa", "builtin workload: nasa, blue or montage")
+		b        = flag.Int("b", 0, "initial nodes B (0 = paper default for the workload)")
+		r        = flag.Float64("r", 0, "threshold ratio R (0 = paper default)")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		days     = flag.Int("days", 14, "trace window in days")
+		capacity = flag.Int("capacity", 0, "cloud pool capacity (0 = unconstrained)")
+		swfPath  = flag.String("swf", "", "replay an SWF trace file instead of a builtin workload")
+		dagPath  = flag.String("dag", "", "run a workflow JSON file instead of a builtin workload")
+		fixed    = flag.Int("fixed", 0, "fixed RE size for DCS/SSP when replaying external files")
+	)
+	flag.Parse()
+
+	wl, horizon, err := buildWorkload(*load, *seed, *days, *swfPath, *dagPath, *fixed)
+	if err != nil {
+		fail(err)
+	}
+	if *b > 0 {
+		wl.Params.InitialNodes = *b
+	}
+	if *r > 0 {
+		wl.Params.ThresholdRatio = *r
+	}
+
+	sys, err := parseSystem(*system)
+	if err != nil {
+		fail(err)
+	}
+	res, err := dawningcloud.Run(sys, []dawningcloud.Workload{wl}, dawningcloud.Options{
+		Horizon:      horizon,
+		PoolCapacity: *capacity,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("system: %s  workload: %s  horizon: %dh\n", res.System, wl.Name, res.Horizon/3600)
+	for _, p := range res.Providers {
+		fmt.Printf("provider %s (%v):\n", p.Name, p.Class)
+		fmt.Printf("  completed jobs:        %d / %d\n", p.Completed, p.Submitted)
+		if p.TasksPerSecond > 0 {
+			fmt.Printf("  tasks per second:      %.2f\n", p.TasksPerSecond)
+		}
+		fmt.Printf("  resource consumption:  %.0f node*hour\n", p.NodeHours)
+		fmt.Printf("  peak nodes:            %d\n", p.PeakNodes)
+		fmt.Printf("  nodes adjusted:        %d\n", p.NodesAdjusted)
+	}
+	fmt.Printf("resource provider: total %.0f node*hour, peak %d nodes/hour, %d adjustments, overhead %.0f s (%.1f s/hour), %d rejections\n",
+		res.TotalNodeHours, res.PeakNodes, res.TotalNodesAdjusted,
+		res.OverheadSeconds, res.OverheadPerHour, res.RejectedRequests)
+}
+
+func buildWorkload(load string, seed int64, days int, swfPath, dagPath string, fixed int) (dawningcloud.Workload, int64, error) {
+	horizon := int64(days) * sim.Day
+	switch {
+	case swfPath != "":
+		f, err := os.Open(swfPath)
+		if err != nil {
+			return dawningcloud.Workload{}, 0, err
+		}
+		defer f.Close()
+		trace, err := swf.Parse(f)
+		if err != nil {
+			return dawningcloud.Workload{}, 0, err
+		}
+		jobs := trace.Jobs()
+		if fixed == 0 {
+			fixed = job.MaxNodes(jobs)
+		}
+		return dawningcloud.Workload{
+			Name: "swf-trace", Class: job.HTC, Jobs: jobs,
+			FixedNodes: fixed, Params: dawningcloud.HTCPolicy(40, 1.2),
+		}, 0, nil
+	case dagPath != "":
+		f, err := os.Open(dagPath)
+		if err != nil {
+			return dawningcloud.Workload{}, 0, err
+		}
+		defer f.Close()
+		dag, err := workflow.Decode(f)
+		if err != nil {
+			return dawningcloud.Workload{}, 0, err
+		}
+		if fixed == 0 {
+			fixed, err = dag.MaxWidth()
+			if err != nil {
+				return dawningcloud.Workload{}, 0, err
+			}
+		}
+		return dawningcloud.Workload{
+			Name: dag.Name, Class: job.MTC, Jobs: dag.Jobs(0),
+			FixedNodes: fixed, Params: dawningcloud.MTCPolicy(10, 8),
+		}, 0, nil
+	case load == "nasa":
+		model := synth.NASAiPSC(seed)
+		model.Days = days
+		jobs, err := model.Generate()
+		if err != nil {
+			return dawningcloud.Workload{}, 0, err
+		}
+		return dawningcloud.Workload{
+			Name: "nasa-htc", Class: job.HTC, Jobs: jobs,
+			FixedNodes: 128, Params: dawningcloud.HTCPolicy(40, 1.2),
+		}, horizon, nil
+	case load == "blue":
+		model := synth.SDSCBlue(seed)
+		model.Days = days
+		jobs, err := model.Generate()
+		if err != nil {
+			return dawningcloud.Workload{}, 0, err
+		}
+		return dawningcloud.Workload{
+			Name: "blue-htc", Class: job.HTC, Jobs: jobs,
+			FixedNodes: 144, Params: dawningcloud.HTCPolicy(80, 1.5),
+		}, horizon, nil
+	case load == "montage":
+		wl, err := dawningcloud.MontageWorkload(seed, 0)
+		return wl, 0, err
+	default:
+		return dawningcloud.Workload{}, 0, fmt.Errorf("unknown workload %q", load)
+	}
+}
+
+func parseSystem(s string) (dawningcloud.System, error) {
+	switch s {
+	case "dawningcloud":
+		return dawningcloud.DawningCloud, nil
+	case "ssp":
+		return dawningcloud.SSP, nil
+	case "dcs":
+		return dawningcloud.DCS, nil
+	case "drp":
+		return dawningcloud.DRP, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q", s)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dcsim: %v\n", err)
+	os.Exit(1)
+}

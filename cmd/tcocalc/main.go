@@ -1,0 +1,62 @@
+// Command tcocalc runs the paper's Section 4.5.5 total-cost-of-ownership
+// analysis: a dedicated cluster's monthly TCO versus an equivalent EC2
+// fleet, with every parameter overridable for what-if studies.
+//
+// Usage (defaults reproduce the paper's real case):
+//
+//	tcocalc [-capex 120000] [-years 8] [-maintenance 30000] [-energy 1600]
+//	        [-instances 30] [-price 0.10] [-inbound-gb 1000] [-inbound-price 0.10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+)
+
+func main() {
+	var (
+		capex        = flag.Float64("capex", 120000, "DCS capital expense ($)")
+		years        = flag.Float64("years", 8, "DCS depreciation cycle (years)")
+		maintenance  = flag.Float64("maintenance", 30000, "DCS total maintenance over the cycle ($)")
+		energy       = flag.Float64("energy", 1600, "DCS energy and space per month ($)")
+		instances    = flag.Int("instances", 30, "EC2 instances matching the DCS configuration")
+		price        = flag.Float64("price", 0.10, "EC2 price per instance-hour ($)")
+		inboundGB    = flag.Float64("inbound-gb", 1000, "inbound transfer per month (GB)")
+		inboundPrice = flag.Float64("inbound-price", 0.10, "inbound transfer price per GB ($)")
+	)
+	flag.Parse()
+
+	dcs := cost.DCSSpec{
+		Nodes:                      15,
+		CapExDollars:               *capex,
+		DepreciationYears:          *years,
+		MaintenanceTotalDollars:    *maintenance,
+		EnergySpacePerMonthDollars: *energy,
+	}
+	ec2 := cost.EC2Spec{
+		Instances:            *instances,
+		PricePerInstanceHour: *price,
+		HoursPerMonth:        30 * 24,
+		InboundGBPerMonth:    *inboundGB,
+		PricePerGBInbound:    *inboundPrice,
+	}
+	cmp, err := cost.Compare(dcs, ec2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcocalc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("DCS (owned cluster), per month:")
+	for _, it := range cmp.DCS.Items {
+		fmt.Printf("  %-20s $%9.2f\n", it.Label, it.Dollars)
+	}
+	fmt.Printf("  %-20s $%9.2f\n", "TOTAL", cmp.DCS.Total())
+	fmt.Println("SSP (EC2 lease), per month:")
+	for _, it := range cmp.SSP.Items {
+		fmt.Printf("  %-20s $%9.2f\n", it.Label, it.Dollars)
+	}
+	fmt.Printf("  %-20s $%9.2f\n", "TOTAL", cmp.SSP.Total())
+	fmt.Printf("SSP is %.1f%% of DCS (paper: 71.5%%)\n", cmp.Ratio*100)
+}

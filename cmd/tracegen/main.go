@@ -1,0 +1,79 @@
+// Command tracegen emits the reproduction's synthetic workloads as files:
+// HTC traces in Standard Workload Format (the Parallel Workloads Archive
+// format, so real archive traces are interchangeable) and Montage workflows
+// as the job emulator's JSON.
+//
+// Usage:
+//
+//	tracegen -kind nasa|blue -seed 42 -days 14 -o trace.swf
+//	tracegen -kind montage|cybershake|epigenomics|ligo -seed 42 -tasks 1000 -o workflow.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/swf"
+	"repro/internal/synth"
+	"repro/internal/workflow"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "nasa", "workload kind: nasa, blue, montage, cybershake, epigenomics or ligo")
+		seed  = flag.Int64("seed", 42, "generation seed")
+		days  = flag.Int("days", 14, "trace window in days (HTC kinds)")
+		out   = flag.String("o", "", "output file (default stdout)")
+		tasks = flag.Int("tasks", 1000, "approximate task count (montage)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "nasa", "blue":
+		model := synth.NASAiPSC(*seed)
+		if *kind == "blue" {
+			model = synth.SDSCBlue(*seed)
+		}
+		model.Days = *days
+		jobs, err := model.Generate()
+		if err != nil {
+			fail(err)
+		}
+		trace := swf.FromJobs(jobs,
+			fmt.Sprintf(" Synthetic %s trace, seed %d, %d days", model.Name, *seed, *days),
+			fmt.Sprintf(" MaxNodes: %d", model.MachineNodes),
+			fmt.Sprintf(" TargetUtilization: %.3f", model.TargetUtil),
+		)
+		if err := swf.Write(w, trace); err != nil {
+			fail(err)
+		}
+	default:
+		gen, ok := workflow.Generators[*kind]
+		if !ok {
+			fail(fmt.Errorf("unknown kind %q", *kind))
+		}
+		dag, err := gen(*seed, *tasks)
+		if err != nil {
+			fail(err)
+		}
+		if err := workflow.Encode(w, dag); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,210 @@
+// Package dawningcloud (import path "repro") is the public API of the
+// DawningCloud reproduction: a simulation study of whether MTC and HTC
+// service providers benefit from the economies of scale when consolidating
+// onto a cloud platform (Wang et al., MTAGS'09).
+//
+// The package exposes:
+//
+//   - workload constructors for the paper's three service providers (the
+//     synthetic NASA iPSC and SDSC BLUE traces and the 1,000-task Montage
+//     workflow), plus custom workload building from SWF files or workflow
+//     JSON;
+//   - runners for the four compared systems — DawningCloud (the paper's
+//     DSP-model enabling system), SSP, DCS and DRP — all reporting the
+//     paper's metrics (completed jobs, tasks/second, node*hour consumption,
+//     peaks and node-adjustment counts);
+//   - the experiment suite regenerating every table and figure of the
+//     paper's evaluation;
+//   - the Section 4.5.5 TCO calculator.
+//
+// Quick start:
+//
+//	wls, _ := dawningcloud.PaperWorkloads(42)
+//	res, _ := dawningcloud.Run(dawningcloud.DawningCloud, wls, dawningcloud.Options{})
+//	fmt.Println(res.TotalNodeHours)
+package dawningcloud
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/systems"
+	"repro/internal/workflow"
+)
+
+// Re-exported core types. Aliases keep the full field surface usable
+// without importing internal packages.
+type (
+	// Workload is one service provider's job stream plus configuration.
+	Workload = systems.Workload
+	// Options configure a system run.
+	Options = systems.Options
+	// Result is a full system run report.
+	Result = systems.Result
+	// ProviderResult is one provider's metrics within a Result.
+	ProviderResult = systems.ProviderResult
+	// Job is the unit of work (an HTC batch job or an MTC task).
+	Job = job.Job
+	// PolicyParams are the DSP resource-management knobs (B, R, scans).
+	PolicyParams = policy.Params
+	// Suite regenerates the paper's tables and figures.
+	Suite = experiments.Suite
+	// Artifact is one rendered table or figure.
+	Artifact = experiments.Artifact
+)
+
+// Workload classes.
+const (
+	HTC = job.HTC
+	MTC = job.MTC
+)
+
+// System identifies one of the four compared systems.
+type System int
+
+// The four usage models the paper evaluates.
+const (
+	// DawningCloud is the paper's DSP-model enabling system.
+	DawningCloud System = iota
+	// SSP is static service provision: a fixed-size leased cluster.
+	SSP
+	// DCS is a dedicated, owned cluster system.
+	DCS
+	// DRP is direct resource provision: per-job end-user VM leases.
+	DRP
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	switch s {
+	case DawningCloud:
+		return "DawningCloud"
+	case SSP:
+		return "SSP"
+	case DCS:
+		return "DCS"
+	case DRP:
+		return "DRP"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Run simulates the chosen system over the workloads.
+func Run(system System, workloads []Workload, opts Options) (Result, error) {
+	switch system {
+	case DawningCloud:
+		return core.Run(workloads, core.Config{Options: opts})
+	case SSP:
+		return systems.RunSSP(workloads, opts)
+	case DCS:
+		return systems.RunDCS(workloads, opts)
+	case DRP:
+		return systems.RunDRP(workloads, opts)
+	default:
+		return Result{}, fmt.Errorf("dawningcloud: unknown system %v", system)
+	}
+}
+
+// RunWithBackfill runs DawningCloud with EASY backfilling in place of the
+// paper's First-Fit HTC dispatch (the scheduler ablation).
+func RunWithBackfill(workloads []Workload, opts Options) (Result, error) {
+	return core.Run(workloads, core.Config{Options: opts, EasyBackfill: true})
+}
+
+// HTCPolicy returns the paper's HTC policy schedule with initial nodes B
+// and threshold ratio R.
+func HTCPolicy(b int, r float64) PolicyParams { return policy.HTCDefaults(b, r) }
+
+// MTCPolicy returns the paper's MTC policy schedule.
+func MTCPolicy(b int, r float64) PolicyParams { return policy.MTCDefaults(b, r) }
+
+// NASATrace builds the NASA-iPSC-like HTC workload (128 nodes, 46.6%
+// utilization, two weeks) with the paper's chosen DawningCloud parameters.
+func NASATrace(seed int64) (Workload, error) {
+	jobs, err := synth.NASAiPSC(seed).Generate()
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:       "nasa-htc",
+		Class:      job.HTC,
+		Jobs:       jobs,
+		FixedNodes: 128,
+		Params:     policy.HTCDefaults(40, 1.2),
+	}, nil
+}
+
+// BlueTrace builds the SDSC-BLUE-like HTC workload (144 nodes, busy second
+// week) with the paper's chosen parameters.
+func BlueTrace(seed int64) (Workload, error) {
+	jobs, err := synth.SDSCBlue(seed).Generate()
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:       "blue-htc",
+		Class:      job.HTC,
+		Jobs:       jobs,
+		FixedNodes: 144,
+		Params:     policy.HTCDefaults(80, 1.5),
+	}, nil
+}
+
+// MontageWorkload builds the paper's 1,000-task Montage MTC workload,
+// submitted at submitAt seconds into the run.
+func MontageWorkload(seed int64, submitAt int64) (Workload, error) {
+	dag, err := workflow.PaperMontage(seed)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:       "montage-mtc",
+		Class:      job.MTC,
+		Jobs:       dag.Jobs(submitAt),
+		FixedNodes: 166,
+		Params:     policy.MTCDefaults(10, 8),
+	}, nil
+}
+
+// PaperWorkloads builds the evaluation's three service providers: two HTC
+// organizations and one MTC organization, with the Montage workflow
+// submitted mid-trace.
+func PaperWorkloads(seed int64) ([]Workload, error) {
+	nasa, err := NASATrace(seed)
+	if err != nil {
+		return nil, err
+	}
+	blue, err := BlueTrace(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	montage, err := MontageWorkload(seed+2, 7*sim.Day+11*sim.Hour)
+	if err != nil {
+		return nil, err
+	}
+	return []Workload{nasa, blue, montage}, nil
+}
+
+// TwoWeeks is the paper's accounting window in seconds.
+const TwoWeeks = 14 * sim.Day
+
+// NewSuite builds the experiment suite over the paper's two-week window.
+func NewSuite(seed int64) *Suite { return experiments.NewSuite(seed) }
+
+// TCOComparison reproduces Section 4.5.5: the monthly TCO of the paper's
+// real DCS deployment versus the matched EC2 fleet, with the SSP/DCS ratio
+// (the paper reports 71.5%).
+func TCOComparison() (dcsPerMonth, sspPerMonth, ratio float64, err error) {
+	cmp, err := cost.Compare(cost.PaperDCS(), cost.PaperEC2())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return cmp.DCS.Total(), cmp.SSP.Total(), cmp.Ratio, nil
+}

@@ -1,0 +1,59 @@
+// Montage walks through the MTC side of the reproduction: generate the
+// paper's 1,000-task Montage sky-mosaic workflow, inspect its DAG
+// structure, and execute it through the elastic MTC runtime environment
+// versus direct per-task leasing (DRP).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dawningcloud "repro"
+	"repro/internal/workflow"
+)
+
+func main() {
+	dag, err := workflow.PaperMontage(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levels, err := dag.Levels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := dag.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow %s: %d tasks, mean runtime %.2f s, critical path %d s\n",
+		dag.Name, len(dag.Tasks), dag.MeanRuntime(), cp)
+	fmt.Println("level structure (the trigger monitor releases tasks wave by wave):")
+	byID := make(map[int]workflow.Task, len(dag.Tasks))
+	for _, task := range dag.Tasks {
+		byID[task.ID] = task
+	}
+	for i, lvl := range levels {
+		fmt.Printf("  level %d: %4d x %-12s\n", i, len(lvl), byID[lvl[0]].Type)
+	}
+
+	wl := dawningcloud.Workload{
+		Name:       "montage",
+		Class:      dawningcloud.MTC,
+		Jobs:       dag.Jobs(0),
+		FixedNodes: 166,
+		Params:     dawningcloud.MTCPolicy(10, 8),
+	}
+	opts := dawningcloud.Options{Horizon: 6 * 3600}
+	fmt.Println("\nexecution:")
+	for _, system := range []dawningcloud.System{dawningcloud.DawningCloud, dawningcloud.DRP} {
+		res, err := dawningcloud.Run(system, []dawningcloud.Workload{wl}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, _ := res.Provider("montage")
+		fmt.Printf("  %-13s %.2f tasks/s at %.0f node*hours (peak %d nodes)\n",
+			system.String()+":", p.TasksPerSecond, p.NodeHours, p.PeakNodes)
+	}
+	fmt.Println("\nDRP buys a node per ready task and peaks at the widest level;")
+	fmt.Println("the DSP policy converges to the steady 166-node working set.")
+}

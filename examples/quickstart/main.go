@@ -1,0 +1,45 @@
+// Quickstart: build a small HTC workload, run it through DawningCloud and
+// the dedicated-cluster baseline, and compare what the service provider
+// pays. This is the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dawningcloud "repro"
+)
+
+func main() {
+	// A morning burst of batch jobs for a 32-node organization: job i
+	// arrives every 5 minutes and runs for 20 minutes.
+	var jobs []dawningcloud.Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, dawningcloud.Job{
+			ID:      i + 1,
+			Submit:  int64(i * 300),
+			Runtime: 1200,
+			Nodes:   (i % 8) + 1,
+		})
+	}
+	wl := dawningcloud.Workload{
+		Name:       "quickstart-htc",
+		Class:      dawningcloud.HTC,
+		Jobs:       jobs,
+		FixedNodes: 32,                             // the DCS/SSP cluster size
+		Params:     dawningcloud.HTCPolicy(8, 1.5), // DSP: start with 8 nodes, grow at ratio 1.5
+	}
+	opts := dawningcloud.Options{Horizon: 24 * 3600}
+
+	for _, system := range []dawningcloud.System{dawningcloud.DCS, dawningcloud.DawningCloud} {
+		res, err := dawningcloud.Run(system, []dawningcloud.Workload{wl}, opts)
+		if err != nil {
+			log.Fatalf("run %v: %v", system, err)
+		}
+		p, _ := res.Provider("quickstart-htc")
+		fmt.Printf("%-13s completed %d/%d jobs, consumed %.0f node*hours (peak %d nodes)\n",
+			system.String()+":", p.Completed, p.Submitted, p.NodeHours, p.PeakNodes)
+	}
+	fmt.Println("\nDawningCloud leases nodes only while the queue needs them;")
+	fmt.Println("the dedicated cluster pays for 32 nodes around the clock.")
+}

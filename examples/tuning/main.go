@@ -1,0 +1,39 @@
+// Tuning reproduces the paper's parameter study (Figures 9-11): sweep the
+// DSP policy's two knobs — initial nodes B and threshold ratio R — for one
+// provider and print the consumption/performance trade-off the paper uses
+// to choose B40_R1.2 (NASA), B80_R1.5 (BLUE) and B10_R8 (Montage).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	suite := experiments.NewSuite(42)
+	suite.Days = 7 // one week keeps this example fast
+
+	fmt.Println("DawningCloud parameter sweep, NASA trace (one-week window):")
+	points, err := suite.Sweep(experiments.NASAProvider,
+		[]int{10, 20, 40, 80}, []float64{1.0, 1.2, 1.5, 2.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-22s %s\n", "params", "consumption (node*h)", "completed jobs")
+	best := points[0]
+	for _, p := range points {
+		marker := ""
+		if p.B == 40 && p.R == 1.2 {
+			marker = "   <- paper's choice"
+		}
+		fmt.Printf("B%-3d R%-4.1f %-22.0f %.0f%s\n", p.B, p.R, p.NodeHours, p.Perf, marker)
+		if p.NodeHours < best.NodeHours {
+			best = p
+		}
+	}
+	fmt.Printf("\ncheapest configuration on this window: B%d R%g at %.0f node*hours\n",
+		best.B, best.R, best.NodeHours)
+	fmt.Println("(the paper balances consumption against throughput, not cost alone)")
+}

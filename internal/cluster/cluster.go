@@ -1,0 +1,78 @@
+// Package cluster models the physical substrate of the cloud platform: a
+// pool of identical single-CPU nodes (the paper scales every trace to
+// one-CPU nodes). The pool enforces capacity and tracks how many nodes each
+// consumer holds; billing and timelines live in internal/metrics.
+package cluster
+
+import "fmt"
+
+// Pool is a fixed-capacity collection of nodes. The zero value is unusable;
+// construct with NewPool.
+type Pool struct {
+	capacity int
+	inUse    int
+	held     map[string]int
+}
+
+// NewPool creates a pool of capacity nodes. Capacity must be positive;
+// use a generously sized pool to model the paper's "large cloud platform".
+func NewPool(capacity int) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cluster: capacity %d must be positive", capacity)
+	}
+	return &Pool{capacity: capacity, held: make(map[string]int)}, nil
+}
+
+// Capacity reports the total node count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// InUse reports the number of allocated nodes.
+func (p *Pool) InUse() int { return p.inUse }
+
+// Free reports the number of unallocated nodes.
+func (p *Pool) Free() int { return p.capacity - p.inUse }
+
+// Held reports how many nodes owner currently holds.
+func (p *Pool) Held(owner string) int { return p.held[owner] }
+
+// ErrInsufficient is returned when an allocation exceeds free capacity.
+type ErrInsufficient struct {
+	Requested, Free int
+}
+
+func (e *ErrInsufficient) Error() string {
+	return fmt.Sprintf("cluster: requested %d nodes, only %d free", e.Requested, e.Free)
+}
+
+// Allocate gives owner n more nodes, or fails with *ErrInsufficient leaving
+// the pool unchanged (the paper's provision policy grants fully or rejects).
+func (p *Pool) Allocate(owner string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("cluster: allocate %d nodes (must be positive)", n)
+	}
+	if n > p.Free() {
+		return &ErrInsufficient{Requested: n, Free: p.Free()}
+	}
+	p.inUse += n
+	p.held[owner] += n
+	return nil
+}
+
+// Release returns n of owner's nodes to the pool.
+func (p *Pool) Release(owner string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("cluster: release %d nodes (must be positive)", n)
+	}
+	if p.held[owner] < n {
+		return fmt.Errorf("cluster: %s releasing %d nodes but holds %d", owner, n, p.held[owner])
+	}
+	p.held[owner] -= n
+	if p.held[owner] == 0 {
+		delete(p.held, owner)
+	}
+	p.inUse -= n
+	return nil
+}
+
+// Owners returns the number of consumers currently holding nodes.
+func (p *Pool) Owners() int { return len(p.held) }

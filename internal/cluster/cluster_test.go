@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoolRejectsNonPositive(t *testing.T) {
+	for _, c := range []int{0, -5} {
+		if _, err := NewPool(c); err == nil {
+			t.Errorf("NewPool(%d) succeeded", c)
+		}
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	p, err := NewPool(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Allocate("a", 30); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := p.Allocate("b", 50); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if p.InUse() != 80 || p.Free() != 20 {
+		t.Errorf("InUse/Free = %d/%d, want 80/20", p.InUse(), p.Free())
+	}
+	if p.Held("a") != 30 || p.Held("b") != 50 {
+		t.Errorf("Held = %d,%d, want 30,50", p.Held("a"), p.Held("b"))
+	}
+	if p.Owners() != 2 {
+		t.Errorf("Owners = %d, want 2", p.Owners())
+	}
+	if err := p.Release("a", 30); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if p.Held("a") != 0 || p.Owners() != 1 {
+		t.Errorf("after release Held(a) = %d, Owners = %d", p.Held("a"), p.Owners())
+	}
+}
+
+func TestAllocateInsufficientLeavesPoolUnchanged(t *testing.T) {
+	p, _ := NewPool(10)
+	if err := p.Allocate("a", 8); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Allocate("b", 5)
+	if err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	var ie *ErrInsufficient
+	if !errors.As(err, &ie) {
+		t.Fatalf("error type = %T, want *ErrInsufficient", err)
+	}
+	if ie.Requested != 5 || ie.Free != 2 {
+		t.Errorf("ErrInsufficient = %+v, want {5 2}", ie)
+	}
+	if p.InUse() != 8 || p.Held("b") != 0 {
+		t.Error("failed allocation mutated the pool")
+	}
+}
+
+func TestAllocateNonPositive(t *testing.T) {
+	p, _ := NewPool(10)
+	if err := p.Allocate("a", 0); err == nil {
+		t.Error("Allocate(0) succeeded")
+	}
+	if err := p.Allocate("a", -1); err == nil {
+		t.Error("Allocate(-1) succeeded")
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	p, _ := NewPool(10)
+	if err := p.Release("ghost", 1); err == nil {
+		t.Error("Release from unknown owner succeeded")
+	}
+	_ = p.Allocate("a", 3)
+	if err := p.Release("a", 4); err == nil {
+		t.Error("over-release succeeded")
+	}
+	if err := p.Release("a", 0); err == nil {
+		t.Error("Release(0) succeeded")
+	}
+}
+
+// Property: any sequence of valid allocate/release operations keeps
+// invariants: 0 <= InUse <= Capacity and InUse equals the sum of holdings.
+func TestPropertyPoolInvariants(t *testing.T) {
+	f := func(ops []struct {
+		Owner   uint8
+		N       uint8
+		Release bool
+	}) bool {
+		p, err := NewPool(256)
+		if err != nil {
+			return false
+		}
+		holdings := map[string]int{}
+		for _, op := range ops {
+			owner := string(rune('a' + op.Owner%5))
+			n := int(op.N%64) + 1
+			if op.Release {
+				err := p.Release(owner, n)
+				if holdings[owner] >= n {
+					if err != nil {
+						return false
+					}
+					holdings[owner] -= n
+				} else if err == nil {
+					return false
+				}
+			} else {
+				err := p.Allocate(owner, n)
+				if p.InUse() > 256 {
+					return false
+				}
+				if err == nil {
+					holdings[owner] += n
+				}
+			}
+		}
+		sum := 0
+		for owner, h := range holdings {
+			if p.Held(owner) != h {
+				return false
+			}
+			sum += h
+		}
+		return p.InUse() == sum && p.Free() == 256-sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package core assembles DawningCloud, the paper's enabling system for the
+// dynamic service provision (DSP) model: a Common Service Framework owned
+// by the resource provider plus one thin runtime environment per service
+// provider, consolidated on a single cloud platform.
+//
+// The runner reproduces the emulated DawningCloud of the paper's Figure 6:
+// the resource provision service, one HTC server and scheduler per HTC
+// provider, one MTC server, scheduler and trigger monitor per MTC provider,
+// and a job emulator feeding traces and workflow files on the virtual
+// clock. MTC runtime environments destroy themselves when their computing
+// service finishes, releasing the initial lease; HTC runtime environments
+// live through the whole accounting window.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/csf"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/systems"
+	"repro/internal/tre"
+)
+
+// defaultPoolCapacity models the paper's "large cloud platform" when the
+// caller does not constrain the pool.
+const defaultPoolCapacity = 1 << 20
+
+// Config extends the shared run options with DawningCloud-specific knobs.
+type Config struct {
+	systems.Options
+	// EasyBackfill swaps the HTC dispatch policy for EASY backfilling,
+	// the scheduler ablation.
+	EasyBackfill bool
+	// DeployDelay and StartDelay emulate TRE creation latency.
+	DeployDelay sim.Time
+	StartDelay  sim.Time
+}
+
+// Run simulates DawningCloud over the given workloads and returns the
+// shared Result type for comparison with the baseline systems.
+func Run(workloads []systems.Workload, cfg Config) (systems.Result, error) {
+	if err := systems.ValidateWorkloads(workloads); err != nil {
+		return systems.Result{}, err
+	}
+	horizon := cfg.HorizonFor(workloads)
+	capacity := cfg.PoolCapacity
+	if capacity == 0 {
+		capacity = defaultPoolCapacity
+	}
+	engine := sim.New()
+	pool, err := cluster.NewPool(capacity)
+	if err != nil {
+		return systems.Result{}, err
+	}
+	acct := metrics.NewAccountant(engine.Now)
+	setup := cfg.SetupCost
+	if setup == 0 {
+		setup = csf.DefaultNodeSetupSeconds
+	}
+	prov := csf.NewProvisionService(pool, acct, cfg.Provision, setup)
+	framework := csf.NewFramework(engine, prov)
+	framework.DeployDelay = cfg.DeployDelay
+	framework.StartDelay = cfg.StartDelay
+
+	type slot struct {
+		wl     *systems.Workload
+		server interface {
+			Submitted() int
+			CompletedBy(sim.Time) int
+			TasksPerSecond() float64
+		}
+	}
+	slots := make([]slot, 0, len(workloads))
+
+	for i := range workloads {
+		wl := &workloads[i]
+		switch wl.Class {
+		case job.HTC:
+			srv, err := tre.NewHTCServer(engine, prov, tre.Config{
+				Name:         wl.Name,
+				Params:       wl.Params,
+				EasyBackfill: cfg.EasyBackfill,
+			})
+			if err != nil {
+				return systems.Result{}, err
+			}
+			if err := createAndFeedHTC(engine, framework, srv, wl); err != nil {
+				return systems.Result{}, err
+			}
+			slots = append(slots, slot{wl: wl, server: srv})
+		case job.MTC:
+			srv, err := tre.NewMTCServer(engine, prov, tre.Config{
+				Name:                wl.Name,
+				Params:              wl.Params,
+				DestroyOnCompletion: true,
+			})
+			if err != nil {
+				return systems.Result{}, err
+			}
+			if err := createAndFeedMTC(engine, framework, srv, wl); err != nil {
+				return systems.Result{}, err
+			}
+			slots = append(slots, slot{wl: wl, server: srv})
+		default:
+			return systems.Result{}, fmt.Errorf("core: workload %s: unknown class %v", wl.Name, wl.Class)
+		}
+	}
+
+	engine.Run(horizon)
+	acct.CloseAll(horizon, true)
+
+	aggs := make([]systems.ProviderAgg, 0, len(slots))
+	for _, s := range slots {
+		a := systems.ProviderAgg{
+			Name:      s.wl.Name,
+			Class:     s.wl.Class,
+			Owners:    []string{s.wl.Name},
+			Submitted: s.server.Submitted(),
+			Completed: s.server.CompletedBy(horizon),
+			Adjusted:  -1,
+		}
+		if s.wl.Class == job.MTC {
+			a.TPS = s.server.TasksPerSecond()
+		}
+		aggs = append(aggs, a)
+	}
+	return systems.BuildResult("DawningCloud", horizon, acct, setup, prov.RejectedRequests(), aggs), nil
+}
+
+// createAndFeedHTC walks the TRE through the CSF lifecycle at the
+// workload's first submission and schedules job arrivals.
+func createAndFeedHTC(engine *sim.Engine, fw *csf.Framework, srv *tre.Server, wl *systems.Workload) error {
+	start := wl.FirstSubmit()
+	engine.At(start, func() {
+		_, err := fw.CreateTRE(wl.Name, "HTC", func() {
+			if err := srv.Start(); err != nil {
+				panic(fmt.Sprintf("core: start TRE %s: %v", wl.Name, err))
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: create TRE %s: %v", wl.Name, err))
+		}
+	})
+	for i := range wl.Jobs {
+		j := &wl.Jobs[i]
+		engine.At(j.Submit, func() { srv.Submit(j) })
+	}
+	return nil
+}
+
+// createAndFeedMTC does the same for an MTC provider, submitting whole
+// workflows at their first task's submission time.
+func createAndFeedMTC(engine *sim.Engine, fw *csf.Framework, srv *tre.MTCServer, wl *systems.Workload) error {
+	byWorkflow := make(map[string][]*job.Job)
+	var order []string
+	first := wl.FirstSubmit()
+	for i := range wl.Jobs {
+		j := &wl.Jobs[i]
+		if _, seen := byWorkflow[j.Workflow]; !seen {
+			order = append(order, j.Workflow)
+		}
+		byWorkflow[j.Workflow] = append(byWorkflow[j.Workflow], j)
+	}
+	engine.At(first, func() {
+		_, err := fw.CreateTRE(wl.Name, "MTC", func() {
+			if err := srv.Start(); err != nil {
+				panic(fmt.Sprintf("core: start TRE %s: %v", wl.Name, err))
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: create TRE %s: %v", wl.Name, err))
+		}
+	})
+	for _, key := range order {
+		tasks := byWorkflow[key]
+		at := tasks[0].Submit
+		for _, t := range tasks {
+			if t.Submit < at {
+				at = t.Submit
+			}
+		}
+		engine.At(at, func() {
+			if err := srv.SubmitWorkflow(tasks); err != nil {
+				panic(fmt.Sprintf("core: submit workflow %s/%s: %v", wl.Name, key, err))
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package cost implements the paper's total-cost-of-ownership analysis
+// (Section 4.5.5): a dedicated cluster's monthly TCO from capital expenses,
+// depreciation and operating expenses, versus leasing equivalent capacity
+// from EC2 at 2009 prices.
+package cost
+
+import "fmt"
+
+// DCSSpec describes a dedicated cluster system purchase. The paper's real
+// case is the 2006 grid lab of Beijing University of Technology.
+type DCSSpec struct {
+	// Nodes is the cluster size (informational).
+	Nodes int
+	// CapExDollars is the total capital expense.
+	CapExDollars float64
+	// DepreciationYears is the depreciation cycle.
+	DepreciationYears float64
+	// MaintenanceTotalDollars is the total maintenance cost over the
+	// depreciation cycle.
+	MaintenanceTotalDollars float64
+	// EnergySpacePerMonthDollars is the recurring energy and space cost.
+	EnergySpacePerMonthDollars float64
+}
+
+// Validate reports the first bad field, or nil.
+func (d DCSSpec) Validate() error {
+	if d.CapExDollars < 0 || d.MaintenanceTotalDollars < 0 || d.EnergySpacePerMonthDollars < 0 {
+		return fmt.Errorf("cost: negative dollars in DCS spec %+v", d)
+	}
+	if d.DepreciationYears <= 0 {
+		return fmt.Errorf("cost: depreciation years %g <= 0", d.DepreciationYears)
+	}
+	return nil
+}
+
+// Breakdown itemizes a monthly TCO.
+type Breakdown struct {
+	Items []Item
+}
+
+// Item is one cost line.
+type Item struct {
+	Label   string
+	Dollars float64
+}
+
+// Total sums the breakdown.
+func (b Breakdown) Total() float64 {
+	var t float64
+	for _, it := range b.Items {
+		t += it.Dollars
+	}
+	return t
+}
+
+// TCOPerMonth computes the paper's formula (1):
+// TCO_dcs = CapEx depreciation + OpEx, per month.
+func (d DCSSpec) TCOPerMonth() (Breakdown, error) {
+	if err := d.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	months := d.DepreciationYears * 12
+	return Breakdown{Items: []Item{
+		{Label: "CapEx depreciation", Dollars: d.CapExDollars / months},
+		{Label: "maintenance", Dollars: d.MaintenanceTotalDollars / months},
+		{Label: "energy and space", Dollars: d.EnergySpacePerMonthDollars},
+	}}, nil
+}
+
+// EC2Spec describes leasing a fixed fleet of EC2 instances, the paper's SSP
+// pricing meter.
+type EC2Spec struct {
+	// Instances is the fleet size matched to the DCS configuration.
+	Instances int
+	// PricePerInstanceHour is the on-demand rate (2009: $0.10).
+	PricePerInstanceHour float64
+	// HoursPerMonth is the billing month (the paper uses 30*24).
+	HoursPerMonth float64
+	// InboundGBPerMonth is the data transferred in per month.
+	InboundGBPerMonth float64
+	// PricePerGBInbound is the inbound transfer rate (2009: $0.10).
+	PricePerGBInbound float64
+}
+
+// Validate reports the first bad field, or nil.
+func (e EC2Spec) Validate() error {
+	if e.Instances < 0 || e.PricePerInstanceHour < 0 || e.HoursPerMonth < 0 ||
+		e.InboundGBPerMonth < 0 || e.PricePerGBInbound < 0 {
+		return fmt.Errorf("cost: negative field in EC2 spec %+v", e)
+	}
+	return nil
+}
+
+// TCOPerMonth computes the paper's formula (2):
+// TCO_ssp = total instance cost + inbound transfer cost, per month.
+func (e EC2Spec) TCOPerMonth() (Breakdown, error) {
+	if err := e.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	return Breakdown{Items: []Item{
+		{Label: "instances", Dollars: float64(e.Instances) * e.HoursPerMonth * e.PricePerInstanceHour},
+		{Label: "inbound transfer", Dollars: e.InboundGBPerMonth * e.PricePerGBInbound},
+	}}, nil
+}
+
+// PaperDCS returns the paper's real DCS case: 15 nodes (2x2 GHz CPU, 4 GB
+// memory, 160 GB disk each), $120,000 CapEx over an 8-year depreciation
+// cycle, $30,000 total maintenance, $1,600/month energy and space.
+func PaperDCS() DCSSpec {
+	return DCSSpec{
+		Nodes:                      15,
+		CapExDollars:               120000,
+		DepreciationYears:          8,
+		MaintenanceTotalDollars:    30000,
+		EnergySpacePerMonthDollars: 1600,
+	}
+}
+
+// PaperEC2 returns the paper's matched EC2 fleet: 30 instances (one DCS
+// node maps to two 2 GHz/1.7 GB instances) at $0.10 per instance-hour, with
+// under 1,000 GB/month inbound at $0.10/GB.
+func PaperEC2() EC2Spec {
+	return EC2Spec{
+		Instances:            30,
+		PricePerInstanceHour: 0.10,
+		HoursPerMonth:        30 * 24,
+		InboundGBPerMonth:    1000,
+		PricePerGBInbound:    0.10,
+	}
+}
+
+// Comparison is the paper's bottom line: SSP monthly TCO as a fraction of
+// DCS monthly TCO (the paper reports 71.5%).
+type Comparison struct {
+	DCS   Breakdown
+	SSP   Breakdown
+	Ratio float64
+}
+
+// Compare computes both TCOs and their ratio.
+func Compare(d DCSSpec, e EC2Spec) (Comparison, error) {
+	db, err := d.TCOPerMonth()
+	if err != nil {
+		return Comparison{}, err
+	}
+	eb, err := e.TCOPerMonth()
+	if err != nil {
+		return Comparison{}, err
+	}
+	c := Comparison{DCS: db, SSP: eb}
+	if t := db.Total(); t > 0 {
+		c.Ratio = eb.Total() / t
+	}
+	return c, nil
+}

@@ -1,0 +1,138 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperDCSTCO(t *testing.T) {
+	b, err := PaperDCS().TCOPerMonth()
+	if err != nil {
+		t.Fatalf("TCOPerMonth: %v", err)
+	}
+	// 120000/96 + 30000/96 + 1600 = 1250 + 312.5 + 1600 = 3162.5,
+	// the paper rounds to $3,160.
+	if got := b.Total(); math.Abs(got-3162.5) > 0.01 {
+		t.Errorf("DCS TCO = %.2f, want 3162.50 (paper: ~3160)", got)
+	}
+	if len(b.Items) != 3 {
+		t.Errorf("items = %d, want 3", len(b.Items))
+	}
+	if b.Items[0].Label != "CapEx depreciation" || math.Abs(b.Items[0].Dollars-1250) > 0.01 {
+		t.Errorf("depreciation item = %+v, want 1250", b.Items[0])
+	}
+}
+
+func TestPaperEC2TCO(t *testing.T) {
+	b, err := PaperEC2().TCOPerMonth()
+	if err != nil {
+		t.Fatalf("TCOPerMonth: %v", err)
+	}
+	// 30 instances * 720 h * $0.10 = 2160; 1000 GB * $0.10 = 100.
+	if got := b.Total(); got != 2260 {
+		t.Errorf("SSP TCO = %.2f, want 2260", got)
+	}
+	if b.Items[0].Dollars != 2160 || b.Items[1].Dollars != 100 {
+		t.Errorf("items = %+v, want 2160/100", b.Items)
+	}
+}
+
+func TestPaperComparisonRatio(t *testing.T) {
+	cmp, err := Compare(PaperDCS(), PaperEC2())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	// The paper reports 71.5%.
+	if math.Abs(cmp.Ratio-0.7146) > 0.001 {
+		t.Errorf("ratio = %.4f, want ~0.7146", cmp.Ratio)
+	}
+}
+
+func TestDCSValidation(t *testing.T) {
+	bad := PaperDCS()
+	bad.DepreciationYears = 0
+	if _, err := bad.TCOPerMonth(); err == nil {
+		t.Error("zero depreciation accepted")
+	}
+	neg := PaperDCS()
+	neg.CapExDollars = -1
+	if _, err := neg.TCOPerMonth(); err == nil {
+		t.Error("negative CapEx accepted")
+	}
+}
+
+func TestEC2Validation(t *testing.T) {
+	bad := PaperEC2()
+	bad.Instances = -1
+	if _, err := bad.TCOPerMonth(); err == nil {
+		t.Error("negative instances accepted")
+	}
+}
+
+func TestCompareePropagatesErrors(t *testing.T) {
+	bad := PaperDCS()
+	bad.DepreciationYears = -1
+	if _, err := Compare(bad, PaperEC2()); err == nil {
+		t.Error("Compare accepted invalid DCS spec")
+	}
+	badE := PaperEC2()
+	badE.HoursPerMonth = -1
+	if _, err := Compare(PaperDCS(), badE); err == nil {
+		t.Error("Compare accepted invalid EC2 spec")
+	}
+}
+
+func TestBreakdownTotalEmpty(t *testing.T) {
+	var b Breakdown
+	if b.Total() != 0 {
+		t.Error("empty breakdown total != 0")
+	}
+}
+
+func TestCompareZeroDCS(t *testing.T) {
+	zero := DCSSpec{DepreciationYears: 1}
+	cmp, err := Compare(zero, EC2Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ratio != 0 {
+		t.Errorf("ratio with zero DCS = %g, want 0", cmp.Ratio)
+	}
+}
+
+// Property: EC2 TCO scales linearly in instances and DCS TCO decreases
+// monotonically with a longer depreciation cycle.
+func TestPropertyTCOMonotonicity(t *testing.T) {
+	f := func(inst uint8, years uint8) bool {
+		e := PaperEC2()
+		e.Instances = int(inst)
+		b1, err := e.TCOPerMonth()
+		if err != nil {
+			return false
+		}
+		e.Instances = int(inst) + 1
+		b2, err := e.TCOPerMonth()
+		if err != nil {
+			return false
+		}
+		if b2.Total() < b1.Total() {
+			return false
+		}
+		d := PaperDCS()
+		d.DepreciationYears = float64(years%30) + 1
+		t1, err := d.TCOPerMonth()
+		if err != nil {
+			return false
+		}
+		d.DepreciationYears += 5
+		t2, err := d.TCOPerMonth()
+		if err != nil {
+			return false
+		}
+		return t2.Total() <= t1.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package emulation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/policy"
+)
+
+// tinyTrace builds a deterministic workload spanning two virtual hours.
+func tinyTrace() []job.Job {
+	var jobs []job.Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, job.Job{
+			ID:      i + 1,
+			Submit:  int64(i * 300),
+			Runtime: 600,
+			Nodes:   (i % 4) + 1,
+		})
+	}
+	return jobs
+}
+
+func TestClockValidation(t *testing.T) {
+	if _, err := NewClock(0); err == nil {
+		t.Error("zero speedup accepted")
+	}
+	if _, err := NewClock(-5); err == nil {
+		t.Error("negative speedup accepted")
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	c, err := NewClock(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := c.Now(); got < 500 {
+		t.Errorf("clock advanced only %d virtual seconds", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Speedup: 1000, Jobs: tinyTrace(), Params: policy.HTCDefaults(4, 1.5)}
+	bad := good
+	bad.Jobs = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("empty workload accepted")
+	}
+	bad = good
+	bad.Params.InitialNodes = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	bad = good
+	bad.Speedup = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero speedup accepted")
+	}
+	bad = good
+	bad.Jobs = []job.Job{{ID: 1, Nodes: 0}}
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestEmulationCompletesWorkload(t *testing.T) {
+	rep, err := Run(Config{
+		Speedup: 30000, // two virtual hours in ~0.3 wall seconds
+		Jobs:    tinyTrace(),
+		Params:  policy.HTCDefaults(4, 1.5),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed != 20 || rep.Submitted != 20 {
+		t.Errorf("completed %d/%d, want 20/20", rep.Completed, rep.Submitted)
+	}
+	if rep.NodeHours <= 0 {
+		t.Error("no consumption recorded")
+	}
+	if rep.PeakNodes < 4 {
+		t.Errorf("peak = %d, want >= initial 4", rep.PeakNodes)
+	}
+	if rep.WallTime <= 0 {
+		t.Error("wall time missing")
+	}
+}
+
+func TestEmulationHorizonCutsRun(t *testing.T) {
+	rep, err := Run(Config{
+		Speedup: 30000,
+		Jobs:    tinyTrace(),
+		Params:  policy.HTCDefaults(4, 1.5),
+		Horizon: 600, // only the first couple of jobs can finish
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed >= 20 {
+		t.Errorf("completed %d, want < 20 under a 600 s horizon", rep.Completed)
+	}
+}
+
+// TestEmulationAgainstGroundTruth bounds the emulator's accounting by the
+// workload's raw demand. (The emulator-vs-simulator cross-validation lives
+// in internal/core, which may import this package without a cycle.)
+func TestEmulationAgainstGroundTruth(t *testing.T) {
+	jobs := tinyTrace()
+	params := policy.HTCDefaults(4, 1.5)
+
+	rep, err := Run(Config{Speedup: 30000, Jobs: jobs, Params: params, Horizon: 4 * 3600})
+	if err != nil {
+		t.Fatalf("emulation: %v", err)
+	}
+	if rep.Completed != len(jobs) {
+		t.Fatalf("emulation completed %d, want %d", rep.Completed, len(jobs))
+	}
+	// The trace needs 20 jobs x 600 s x mean 2.5 nodes = 30000
+	// node-seconds raw; with B=4 held for the window plus hourly rounding
+	// the billed figure must land in [0.9x raw, 4x raw].
+	raw := float64(job.TotalNodeSeconds(jobs)) / 3600
+	if rep.NodeHours < raw*0.9 || rep.NodeHours > raw*4 {
+		t.Errorf("billed %.1f node-hours outside [%.1f, %.1f]", rep.NodeHours, raw*0.9, raw*4)
+	}
+	if math.Abs(float64(rep.PeakNodes)) > 40 {
+		t.Errorf("peak %d implausible for this trace", rep.PeakNodes)
+	}
+}

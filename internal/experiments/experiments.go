@@ -1,0 +1,217 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4). A Suite fixes the workload construction — the
+// synthetic NASA iPSC and SDSC BLUE traces, the 1,000-task Montage
+// workflow, and the paper's chosen policy parameters — and produces each
+// artifact as structured data plus a rendered text form. The paper's
+// reported values are embedded so EXPERIMENTS.md and the bench harness can
+// print paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/plot"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/systems"
+	"repro/internal/workflow"
+)
+
+// Provider names used throughout the suite.
+const (
+	NASAProvider    = "org-nasa-htc"
+	BLUEProvider    = "org-blue-htc"
+	MontageProvider = "org-montage-mtc"
+)
+
+// Paper-chosen policy parameters (Section 4.5.1).
+const (
+	NASAInitial    = 40
+	NASARatio      = 1.2
+	BLUEInitial    = 80
+	BLUERatio      = 1.5
+	MontageInitial = 10
+	MontageRatio   = 8
+)
+
+// Fixed runtime environment sizes for DCS/SSP (Section 4.4).
+const (
+	NASAFixed    = 128
+	BLUEFixed    = 144
+	MontageFixed = 166
+)
+
+// Suite fixes workloads and options for one reproduction run.
+type Suite struct {
+	// Seed drives all synthetic generation.
+	Seed int64
+	// Days shortens the trace window (default 14, the paper's two
+	// weeks). Tests use smaller windows.
+	Days int
+
+	mu        sync.Mutex
+	workloads []systems.Workload
+	results   map[string]systems.Result
+}
+
+// NewSuite builds a suite with the paper's two-week window.
+func NewSuite(seed int64) *Suite {
+	return &Suite{Seed: seed, Days: 14, results: make(map[string]systems.Result)}
+}
+
+// NewQuickSuite builds a reduced suite for fast tests: a shorter trace
+// window with the same calibration targets.
+func NewQuickSuite(seed int64) *Suite {
+	return &Suite{Seed: seed, Days: 4, results: make(map[string]systems.Result)}
+}
+
+// Horizon is the accounting window.
+func (s *Suite) Horizon() sim.Time { return sim.Time(s.Days) * sim.Day }
+
+// Options returns the shared run options.
+func (s *Suite) Options() systems.Options {
+	return systems.Options{Horizon: s.Horizon(), Provision: policy.GrantOrReject}
+}
+
+// Workloads builds (once) the three service providers' workloads: two HTC
+// organizations replaying the NASA-like and BLUE-like traces, and one MTC
+// organization running the Montage workflow mid-trace.
+func (s *Suite) Workloads() ([]systems.Workload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workloadsLocked()
+}
+
+func (s *Suite) workloadsLocked() ([]systems.Workload, error) {
+	if s.workloads != nil {
+		return s.workloads, nil
+	}
+	nasaModel := synth.NASAiPSC(s.Seed)
+	nasaModel.Days = s.Days
+	nasa, err := nasaModel.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: NASA trace: %w", err)
+	}
+	blueModel := synth.SDSCBlue(s.Seed + 1)
+	blueModel.Days = s.Days
+	if s.Days < 14 {
+		// Keep the quiet-then-busy shape on shortened windows.
+		blueModel.WeekFactors = []float64{0.55, 1.45, 1.45}
+	}
+	blue, err := blueModel.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: BLUE trace: %w", err)
+	}
+	dag, err := workflow.PaperMontage(s.Seed + 2)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Montage: %w", err)
+	}
+	// Submit the workflow mid-trace during a busy morning hour so the
+	// consolidated peak reflects coexisting workloads.
+	montageAt := sim.Time(s.Days/2)*sim.Day + 11*sim.Hour
+	s.workloads = []systems.Workload{
+		{
+			Name:       NASAProvider,
+			Class:      job.HTC,
+			Jobs:       nasa,
+			FixedNodes: NASAFixed,
+			Params:     policy.HTCDefaults(NASAInitial, NASARatio),
+		},
+		{
+			Name:       BLUEProvider,
+			Class:      job.HTC,
+			Jobs:       blue,
+			FixedNodes: BLUEFixed,
+			Params:     policy.HTCDefaults(BLUEInitial, BLUERatio),
+		},
+		{
+			Name:       MontageProvider,
+			Class:      job.MTC,
+			Jobs:       dag.Jobs(montageAt),
+			FixedNodes: MontageFixed,
+			Params:     policy.MTCDefaults(MontageInitial, MontageRatio),
+		},
+	}
+	return s.workloads, nil
+}
+
+// SystemNames lists the four compared systems in presentation order.
+var SystemNames = []string{"DCS", "SSP", "DRP", "DawningCloud"}
+
+// Run simulates one system over the consolidated three-provider workload,
+// caching the result.
+func (s *Suite) Run(system string) (systems.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.results[system]; ok {
+		return r, nil
+	}
+	workloads, err := s.workloadsLocked()
+	if err != nil {
+		return systems.Result{}, err
+	}
+	opts := systems.Options{Horizon: s.Horizon(), Provision: policy.GrantOrReject}
+	var r systems.Result
+	switch system {
+	case "DCS":
+		r, err = systems.RunDCS(workloads, opts)
+	case "SSP":
+		r, err = systems.RunSSP(workloads, opts)
+	case "DRP":
+		r, err = systems.RunDRP(workloads, opts)
+	case "DawningCloud":
+		r, err = core.Run(workloads, core.Config{Options: opts})
+	default:
+		return systems.Result{}, fmt.Errorf("experiments: unknown system %q", system)
+	}
+	if err != nil {
+		return systems.Result{}, fmt.Errorf("experiments: run %s: %w", system, err)
+	}
+	s.results[system] = r
+	return r, nil
+}
+
+// RunAll simulates all four systems.
+func (s *Suite) RunAll() (map[string]systems.Result, error) {
+	out := make(map[string]systems.Result, len(SystemNames))
+	for _, name := range SystemNames {
+		r, err := s.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+// Artifact is a rendered experiment output.
+type Artifact struct {
+	ID       string // "table2", "fig12", ...
+	Title    string
+	Text     string             // rendered text form
+	SVG      string             // optional standalone SVG ("" when not a chart)
+	PaperRef string             // the paper's reported numbers, for comparison
+	Values   map[string]float64 // key measured values for assertions
+}
+
+// Table1 renders the qualitative usage-model comparison (paper Table 1).
+func Table1() Artifact {
+	columns := []string{"", "DCS", "SSP", "DRP", "DSP"}
+	rows := [][]string{
+		{"resource property", "local", "leased", "leased", "leased"},
+		{"runtime environment", "stereotyped", "stereotyped", "no offering", "created on demand"},
+		{"resource provision for RE", "fixed", "fixed", "manual", "flexible"},
+	}
+	text := plot.Table("Table 1: comparison of usage models", columns, rows, "")
+	return Artifact{
+		ID:    "table1",
+		Title: "Comparison of different usage models",
+		Text:  text,
+		PaperRef: "identical by construction: the table is the paper's " +
+			"definition of the four usage models",
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Extensions run on the quick suite: a 4-day window keeps the scale study
+// fast while preserving the consolidation dynamics.
+var extSuite = NewQuickSuite(42)
+
+func TestScaleStudySavingsPersist(t *testing.T) {
+	points, err := extSuite.ScaleStudy(3)
+	if err != nil {
+		t.Fatalf("ScaleStudy: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	for _, p := range points {
+		if p.DSPNodeHours >= p.DCSNodeHours {
+			t.Errorf("n=%d: DSP %.0f not below DCS %.0f", p.Providers, p.DSPNodeHours, p.DCSNodeHours)
+		}
+		if p.SavedFraction <= 0 {
+			t.Errorf("n=%d: no savings (%.3f)", p.Providers, p.SavedFraction)
+		}
+	}
+	// Totals grow with consolidation size.
+	if points[2].DCSNodeHours <= points[0].DCSNodeHours {
+		t.Error("DCS total did not grow with more providers")
+	}
+}
+
+func TestScaleStudyValidation(t *testing.T) {
+	if _, err := extSuite.ScaleStudy(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestScaleArtifactRenders(t *testing.T) {
+	a, err := extSuite.ScaleArtifact(2)
+	if err != nil {
+		t.Fatalf("ScaleArtifact: %v", err)
+	}
+	if a.ID != "ext-scale" || !strings.Contains(a.Text, "providers") {
+		t.Errorf("artifact = %+v", a)
+	}
+	if !strings.Contains(a.SVG, "<svg") {
+		t.Error("missing SVG")
+	}
+	if _, ok := a.Values["saved_pct_n1"]; !ok {
+		t.Error("missing n=1 value")
+	}
+}
+
+func TestAblationBackfill(t *testing.T) {
+	a, err := extSuite.AblationBackfill(NASAProvider)
+	if err != nil {
+		t.Fatalf("AblationBackfill: %v", err)
+	}
+	ffDone := a.Values["firstfit_completed"]
+	easyDone := a.Values["easy_completed"]
+	if ffDone == 0 || easyDone == 0 {
+		t.Fatalf("no completions: ff=%.0f easy=%.0f", ffDone, easyDone)
+	}
+	// Both schedulers must process essentially the whole trace.
+	if ratio := easyDone / ffDone; ratio < 0.98 || ratio > 1.02 {
+		t.Errorf("completion ratio = %.3f, want ~1", ratio)
+	}
+	if !strings.Contains(a.Text, "EASY") {
+		t.Errorf("text missing EASY row:\n%s", a.Text)
+	}
+}
+
+func TestAblationBackfillUnknownProvider(t *testing.T) {
+	if _, err := extSuite.AblationBackfill("ghost"); err == nil {
+		t.Error("unknown provider accepted")
+	}
+}
+
+func TestAblationProvisionConstrainedPool(t *testing.T) {
+	// 160 nodes: B=40 fits but large DR requests are rejected outright
+	// under grant-or-reject while best-effort takes partial grants.
+	a, err := extSuite.AblationProvision(NASAProvider, 160)
+	if err != nil {
+		t.Fatalf("AblationProvision: %v", err)
+	}
+	if a.Values["strict_rejected"] == 0 {
+		t.Error("strict policy recorded no rejections on a 160-node pool")
+	}
+	// Best-effort never rejects while nodes remain; it may still reject
+	// when the pool is fully allocated, but must reject no more often.
+	if a.Values["effort_rejected"] > a.Values["strict_rejected"] {
+		t.Errorf("best-effort rejected more (%v) than strict (%v)",
+			a.Values["effort_rejected"], a.Values["strict_rejected"])
+	}
+	if a.Values["effort_completed"] < a.Values["strict_completed"]*0.95 {
+		t.Errorf("best-effort completed %v << strict %v",
+			a.Values["effort_completed"], a.Values["strict_completed"])
+	}
+}

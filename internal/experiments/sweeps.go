@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/systems"
+)
+
+// Paper sweep grids (Section 4.5.1): B from 10 to 80; R from 1.0 to 2.0
+// for HTC and from 2 to 16 for MTC.
+var (
+	SweepInitials  = []int{10, 20, 40, 80}
+	SweepRatiosHTC = []float64{1.0, 1.2, 1.5, 2.0}
+	SweepRatiosMTC = []float64{2, 4, 8, 16}
+)
+
+// SweepPoint is one parameter combination's outcome.
+type SweepPoint struct {
+	B         int
+	R         float64
+	NodeHours float64
+	// Perf is completed jobs for HTC, tasks/second for MTC.
+	Perf float64
+}
+
+// Sweep runs DawningCloud over the B x R grid for one provider's workload
+// in isolation, the paper's parameter-tuning methodology.
+func (s *Suite) Sweep(provider string, bs []int, rs []float64) ([]SweepPoint, error) {
+	workloads, err := s.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	var base *systems.Workload
+	for i := range workloads {
+		if workloads[i].Name == provider {
+			base = &workloads[i]
+			break
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("experiments: unknown provider %q", provider)
+	}
+	opts := s.Options()
+	var points []SweepPoint
+	for _, b := range bs {
+		for _, r := range rs {
+			wl := *base
+			wl.Params.InitialNodes = b
+			wl.Params.ThresholdRatio = r
+			res, err := core.Run([]systems.Workload{wl}, core.Config{Options: opts})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep %s B%d R%g: %w", provider, b, r, err)
+			}
+			p, ok := res.Provider(provider)
+			if !ok {
+				return nil, fmt.Errorf("experiments: sweep %s B%d R%g: provider missing", provider, b, r)
+			}
+			perf := float64(p.Completed)
+			if p.TasksPerSecond > 0 {
+				perf = p.TasksPerSecond
+			}
+			points = append(points, SweepPoint{B: b, R: r, NodeHours: p.NodeHours, Perf: perf})
+		}
+	}
+	return points, nil
+}
+
+// sweepArtifact renders a sweep as the paper's paired consumption/
+// performance view.
+func sweepArtifact(id, title, perfLabel, paperRef string, points []SweepPoint) Artifact {
+	xs := make([]string, len(points))
+	consumption := make([]float64, len(points))
+	perf := make([]float64, len(points))
+	values := make(map[string]float64, 2*len(points))
+	for i, p := range points {
+		key := fmt.Sprintf("B%d_R%g", p.B, p.R)
+		xs[i] = key
+		consumption[i] = p.NodeHours
+		perf[i] = p.Perf
+		values["nodehours_"+key] = p.NodeHours
+		values["perf_"+key] = p.Perf
+	}
+	series := []plot.Series{
+		{Label: "resource consumption (node*hour)", Y: consumption},
+		{Label: perfLabel, Y: perf},
+	}
+	return Artifact{
+		ID:    id,
+		Title: title,
+		Text: plot.LineTable(title, "parameters", xs, series,
+			"DawningCloud only; each row is one (B, R) configuration"),
+		SVG:      plot.LineChartSVG(title, "parameters (B, R)", "value", xs, series),
+		PaperRef: paperRef,
+		Values:   values,
+	}
+}
+
+// Figure9 sweeps B and R for the BLUE trace.
+func (s *Suite) Figure9() (Artifact, error) {
+	points, err := s.Sweep(BLUEProvider, SweepInitials, SweepRatiosHTC)
+	if err != nil {
+		return Artifact{}, err
+	}
+	return sweepArtifact("fig9",
+		"Figure 9: resource consumption and completed jobs vs parameters, BLUE trace",
+		"completed jobs",
+		"paper: chooses B80_R1.5 to save consumption while preserving throughput",
+		points), nil
+}
+
+// Figure10 sweeps B and R for the NASA trace.
+func (s *Suite) Figure10() (Artifact, error) {
+	points, err := s.Sweep(NASAProvider, SweepInitials, SweepRatiosHTC)
+	if err != nil {
+		return Artifact{}, err
+	}
+	return sweepArtifact("fig10",
+		"Figure 10: resource consumption and completed jobs vs parameters, NASA trace",
+		"completed jobs",
+		"paper: chooses B40_R1.2",
+		points), nil
+}
+
+// Figure11 sweeps B and R for the Montage workload.
+func (s *Suite) Figure11() (Artifact, error) {
+	points, err := s.Sweep(MontageProvider, SweepInitials, SweepRatiosMTC)
+	if err != nil {
+		return Artifact{}, err
+	}
+	return sweepArtifact("fig11",
+		"Figure 11: resource consumption and tasks/second vs parameters, Montage",
+		"tasks/second",
+		"paper: chooses B10_R8",
+		points), nil
+}
+
+// Artifacts runs every experiment in paper order.
+func (s *Suite) Artifacts() ([]Artifact, error) {
+	out := []Artifact{Table1()}
+	steps := []func() (Artifact, error){
+		s.Figure9, s.Figure10, s.Figure11,
+		s.Table2, s.Table3, s.Table4,
+		s.Figure12, s.Figure13, s.Figure14,
+		TCO,
+	}
+	for _, step := range steps {
+		a, err := step()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

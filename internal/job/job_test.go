@@ -1,0 +1,242 @@
+package job
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{HTC, "HTC"},
+		{MTC, "MTC"},
+		{Class(7), "Class(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		j       Job
+		wantErr bool
+	}{
+		{"valid", Job{ID: 1, Nodes: 4, Runtime: 100}, false},
+		{"zero nodes", Job{ID: 1, Nodes: 0, Runtime: 100}, true},
+		{"negative nodes", Job{ID: 1, Nodes: -2, Runtime: 100}, true},
+		{"negative runtime", Job{ID: 1, Nodes: 1, Runtime: -1}, true},
+		{"negative submit", Job{ID: 1, Nodes: 1, Submit: -5}, true},
+		{"self dependency", Job{ID: 1, Nodes: 1, Deps: []int{1}}, true},
+		{"zero runtime ok", Job{ID: 1, Nodes: 1, Runtime: 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.j.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	good := []Job{
+		{ID: 1, Nodes: 1, Runtime: 10},
+		{ID: 2, Nodes: 2, Runtime: 20, Deps: []int{1}},
+	}
+	if err := ValidateAll(good); err != nil {
+		t.Errorf("ValidateAll(good) = %v, want nil", err)
+	}
+	dup := []Job{{ID: 1, Nodes: 1}, {ID: 1, Nodes: 1}}
+	if err := ValidateAll(dup); err == nil {
+		t.Error("ValidateAll with duplicate IDs succeeded")
+	}
+	dangling := []Job{{ID: 1, Nodes: 1, Deps: []int{99}}}
+	if err := ValidateAll(dangling); err == nil {
+		t.Error("ValidateAll with dangling dependency succeeded")
+	}
+}
+
+func TestNodeSeconds(t *testing.T) {
+	j := Job{Nodes: 8, Runtime: 3600}
+	if got := j.NodeSeconds(); got != 28800 {
+		t.Errorf("NodeSeconds() = %d, want 28800", got)
+	}
+}
+
+func TestSortBySubmit(t *testing.T) {
+	jobs := []Job{
+		{ID: 3, Submit: 100, Nodes: 1},
+		{ID: 1, Submit: 50, Nodes: 1},
+		{ID: 2, Submit: 100, Nodes: 1},
+	}
+	SortBySubmit(jobs)
+	wantIDs := []int{1, 2, 3}
+	for i, want := range wantIDs {
+		if jobs[i].ID != want {
+			t.Errorf("jobs[%d].ID = %d, want %d", i, jobs[i].ID, want)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 100, Runtime: 50, Nodes: 1},
+		{ID: 2, Submit: 20, Runtime: 10, Nodes: 1},
+		{ID: 3, Submit: 80, Runtime: 500, Nodes: 1},
+	}
+	start, end := Span(jobs)
+	if start != 20 {
+		t.Errorf("start = %d, want 20", start)
+	}
+	if end != 580 {
+		t.Errorf("end = %d, want 580", end)
+	}
+	if s, e := Span(nil); s != 0 || e != 0 {
+		t.Errorf("Span(nil) = %d,%d, want 0,0", s, e)
+	}
+}
+
+func TestTotalNodeSecondsAndMaxNodes(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Nodes: 2, Runtime: 10},
+		{ID: 2, Nodes: 5, Runtime: 4},
+	}
+	if got := TotalNodeSeconds(jobs); got != 40 {
+		t.Errorf("TotalNodeSeconds = %d, want 40", got)
+	}
+	if got := MaxNodes(jobs); got != 5 {
+		t.Errorf("MaxNodes = %d, want 5", got)
+	}
+	if got := MaxNodes(nil); got != 0 {
+		t.Errorf("MaxNodes(nil) = %d, want 0", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	a := &Job{ID: 1, Nodes: 2}
+	b := &Job{ID: 2, Nodes: 3}
+	c := &Job{ID: 3, Nodes: 4}
+	q.Push(a)
+	q.Push(b)
+	q.Push(c)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if q.At(0) != a || q.At(1) != b || q.At(2) != c {
+		t.Error("queue order does not match push order")
+	}
+	got := q.Remove(1)
+	if got != b {
+		t.Errorf("Remove(1) = job %d, want job 2", got.ID)
+	}
+	if q.Len() != 2 || q.At(0) != a || q.At(1) != c {
+		t.Error("order broken after Remove")
+	}
+}
+
+func TestQueueDemands(t *testing.T) {
+	var q Queue
+	q.Push(&Job{ID: 1, Nodes: 2})
+	q.Push(&Job{ID: 2, Nodes: 7})
+	q.Push(&Job{ID: 3, Nodes: 3})
+	if got := q.AccumulatedDemand(); got != 12 {
+		t.Errorf("AccumulatedDemand = %d, want 12", got)
+	}
+	if got := q.LargestDemand(); got != 7 {
+		t.Errorf("LargestDemand = %d, want 7", got)
+	}
+}
+
+func TestQueueEmptyDemands(t *testing.T) {
+	var q Queue
+	if q.AccumulatedDemand() != 0 || q.LargestDemand() != 0 {
+		t.Error("empty queue demands should be 0")
+	}
+}
+
+func TestQueueRemoveAll(t *testing.T) {
+	var q Queue
+	for i := 1; i <= 5; i++ {
+		q.Push(&Job{ID: i, Nodes: 1})
+	}
+	q.RemoveAll([]int{0, 2, 4})
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if q.At(0).ID != 2 || q.At(1).ID != 4 {
+		t.Errorf("remaining = %d,%d, want 2,4", q.At(0).ID, q.At(1).ID)
+	}
+	q.RemoveAll(nil)
+	if q.Len() != 2 {
+		t.Error("RemoveAll(nil) changed the queue")
+	}
+}
+
+func TestQueueSnapshotIsCopy(t *testing.T) {
+	var q Queue
+	q.Push(&Job{ID: 1, Nodes: 1})
+	snap := q.Snapshot()
+	q.Push(&Job{ID: 2, Nodes: 1})
+	if len(snap) != 1 {
+		t.Error("snapshot mutated by later Push")
+	}
+}
+
+// Property: accumulated demand equals the sum of individual demands for any
+// sequence of pushes and removals from the front.
+func TestPropertyQueueDemandConsistency(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		var q Queue
+		sum := 0
+		for i, s := range sizes {
+			n := int(s%32) + 1
+			q.Push(&Job{ID: i, Nodes: n})
+			sum += n
+		}
+		for q.Len() > 3 {
+			sum -= q.At(0).Nodes
+			q.Remove(0)
+		}
+		return q.AccumulatedDemand() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortBySubmit yields non-decreasing submit times and preserves
+// the multiset of IDs.
+func TestPropertySortBySubmit(t *testing.T) {
+	f := func(submits []uint16) bool {
+		jobs := make([]Job, len(submits))
+		idSet := make(map[int]bool, len(submits))
+		for i, s := range submits {
+			jobs[i] = Job{ID: i, Submit: int64(s), Nodes: 1}
+			idSet[i] = true
+		}
+		SortBySubmit(jobs)
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i-1].Submit > jobs[i].Submit {
+				return false
+			}
+		}
+		for i := range jobs {
+			if !idSet[jobs[i].ID] {
+				return false
+			}
+			delete(idSet, jobs[i].ID)
+		}
+		return len(idSet) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

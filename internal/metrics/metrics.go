@@ -1,0 +1,262 @@
+// Package metrics implements the paper's cost accounting: per-provider
+// resource consumption in node*hours with the cloud's one-hour leasing
+// granularity, the resource provider's total and peak consumption, and the
+// node-adjustment counts behind the management-overhead analysis.
+//
+// The central type is Accountant. Runtime environments call Acquire and
+// Release as they negotiate resources; at the end of a run CloseAll settles
+// open leases and the experiment harness reads the aggregates.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// HourSeconds is the cloud leasing time unit the paper fixes: resources are
+// charged in whole hours, like EC2.
+const HourSeconds int64 = 3600
+
+// leaseSeg is a block of count nodes held over [start, end).
+type leaseSeg struct {
+	start, end int64
+	count      int
+}
+
+// ownerAccount accumulates one consumer's lease history.
+type ownerAccount struct {
+	open          []leaseSeg // end undefined while open; LIFO close order
+	closed        []leaseSeg
+	held          int
+	nodesAdjusted int // sum of node counts over acquire+release operations
+	adjustOps     int
+}
+
+// Accountant records lease activity against a virtual clock.
+type Accountant struct {
+	now    func() int64
+	owners map[string]*ownerAccount
+	order  []string // deterministic iteration
+}
+
+// NewAccountant builds an accountant reading time from now (typically
+// sim.Engine.Now).
+func NewAccountant(now func() int64) *Accountant {
+	return &Accountant{now: now, owners: make(map[string]*ownerAccount)}
+}
+
+func (a *Accountant) owner(name string) *ownerAccount {
+	oa, ok := a.owners[name]
+	if !ok {
+		oa = &ownerAccount{}
+		a.owners[name] = oa
+		a.order = append(a.order, name)
+	}
+	return oa
+}
+
+// Acquire records owner obtaining n nodes now. Adjustment counters grow by
+// n: the paper counts every node assignment as setup work.
+func (a *Accountant) Acquire(owner string, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("metrics: acquire %d nodes", n))
+	}
+	oa := a.owner(owner)
+	oa.open = append(oa.open, leaseSeg{start: a.now(), count: n})
+	oa.held += n
+	oa.nodesAdjusted += n
+	oa.adjustOps++
+}
+
+// Release records owner returning n nodes now. Open leases close most
+// recent first, matching the policy's behaviour of releasing dynamically
+// acquired blocks while keeping initial resources.
+func (a *Accountant) Release(owner string, n int) error {
+	oa := a.owner(owner)
+	if n <= 0 {
+		return fmt.Errorf("metrics: release %d nodes", n)
+	}
+	if n > oa.held {
+		return fmt.Errorf("metrics: %s releasing %d nodes but holds %d", owner, n, oa.held)
+	}
+	now := a.now()
+	oa.held -= n
+	oa.nodesAdjusted += n
+	oa.adjustOps++
+	remaining := n
+	for remaining > 0 {
+		last := &oa.open[len(oa.open)-1]
+		take := last.count
+		if take > remaining {
+			take = remaining
+		}
+		oa.closed = append(oa.closed, leaseSeg{start: last.start, end: now, count: take})
+		last.count -= take
+		remaining -= take
+		if last.count == 0 {
+			oa.open = oa.open[:len(oa.open)-1]
+		}
+	}
+	return nil
+}
+
+// CloseAll settles every open lease at time end, which must be at or after
+// the clock. Call once when a simulation finishes. Closing counts as
+// reclaiming for adjustment purposes only when countAdjust is true (a DCS
+// owner keeps its machines; a cloud tear-down wipes nodes).
+func (a *Accountant) CloseAll(end int64, countAdjust bool) {
+	for _, name := range a.order {
+		oa := a.owners[name]
+		for _, seg := range oa.open {
+			if seg.count == 0 {
+				continue
+			}
+			oa.closed = append(oa.closed, leaseSeg{start: seg.start, end: end, count: seg.count})
+			if countAdjust {
+				oa.nodesAdjusted += seg.count
+				oa.adjustOps++
+			}
+		}
+		oa.open = nil
+		oa.held = 0
+	}
+}
+
+// Held reports the nodes owner currently holds.
+func (a *Accountant) Held(owner string) int {
+	if oa, ok := a.owners[owner]; ok {
+		return oa.held
+	}
+	return 0
+}
+
+// billed returns the hour-rounded node-seconds of a segment.
+func billed(seg leaseSeg) int64 {
+	dur := seg.end - seg.start
+	if dur <= 0 {
+		// Zero-length leases still pay one unit: acquiring a node and
+		// dropping it instantly is a whole billing hour, as on EC2.
+		dur = 1
+	}
+	hours := (dur + HourSeconds - 1) / HourSeconds
+	return hours * HourSeconds * int64(seg.count)
+}
+
+// BilledNodeHours reports owner's consumption in node*hours with hourly
+// rounding per lease segment. Open leases are not counted; CloseAll first.
+func (a *Accountant) BilledNodeHours(owner string) float64 {
+	oa, ok := a.owners[owner]
+	if !ok {
+		return 0
+	}
+	var total int64
+	for _, seg := range oa.closed {
+		total += billed(seg)
+	}
+	return float64(total) / float64(HourSeconds)
+}
+
+// ExactNodeHours reports owner's consumption without hourly rounding.
+func (a *Accountant) ExactNodeHours(owner string) float64 {
+	oa, ok := a.owners[owner]
+	if !ok {
+		return 0
+	}
+	var total int64
+	for _, seg := range oa.closed {
+		if seg.end > seg.start {
+			total += (seg.end - seg.start) * int64(seg.count)
+		}
+	}
+	return float64(total) / float64(HourSeconds)
+}
+
+// TotalBilledNodeHours sums billed consumption over all owners: the
+// resource provider's total resource consumption (Figure 12).
+func (a *Accountant) TotalBilledNodeHours() float64 {
+	var total float64
+	for _, name := range a.order {
+		total += a.BilledNodeHours(name)
+	}
+	return total
+}
+
+// NodesAdjusted reports the accumulated node count over owner's acquire and
+// release operations (Figure 14).
+func (a *Accountant) NodesAdjusted(owner string) int {
+	if oa, ok := a.owners[owner]; ok {
+		return oa.nodesAdjusted
+	}
+	return 0
+}
+
+// TotalNodesAdjusted sums NodesAdjusted over all owners.
+func (a *Accountant) TotalNodesAdjusted() int {
+	total := 0
+	for _, name := range a.order {
+		total += a.owners[name].nodesAdjusted
+	}
+	return total
+}
+
+// AdjustOps reports the number of acquire/release operations by owner.
+func (a *Accountant) AdjustOps(owner string) int {
+	if oa, ok := a.owners[owner]; ok {
+		return oa.adjustOps
+	}
+	return 0
+}
+
+// Owners lists owner names in first-seen order.
+func (a *Accountant) Owners() []string {
+	out := make([]string, len(a.order))
+	copy(out, a.order)
+	return out
+}
+
+// Intervals returns every closed lease as a stats.Interval, across all
+// owners, sorted by start. CloseAll first for a complete picture.
+func (a *Accountant) Intervals() []stats.Interval {
+	var out []stats.Interval
+	for _, name := range a.order {
+		for _, seg := range a.owners[name].closed {
+			if seg.end > seg.start {
+				out = append(out, stats.Interval{Start: seg.start, End: seg.end, Level: seg.count})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// OwnerIntervals returns owner's closed leases sorted by start.
+func (a *Accountant) OwnerIntervals(owner string) []stats.Interval {
+	oa, ok := a.owners[owner]
+	if !ok {
+		return nil
+	}
+	var out []stats.Interval
+	for _, seg := range oa.closed {
+		if seg.end > seg.start {
+			out = append(out, stats.Interval{Start: seg.start, End: seg.end, Level: seg.count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// PeakNodes reports the maximum of per-hour peak held nodes across all
+// owners over [0, horizon): the paper's "peak resource consumption" in
+// nodes per hour (Figure 13).
+func (a *Accountant) PeakNodes(horizon int64) int {
+	buckets := stats.BucketMax(a.Intervals(), horizon, HourSeconds)
+	return stats.MaxInt(buckets)
+}
+
+// HourlyNodes returns the per-hour peak held nodes series across all
+// owners, for plotting capacity-planning profiles.
+func (a *Accountant) HourlyNodes(horizon int64) []int {
+	return stats.BucketMax(a.Intervals(), horizon, HourSeconds)
+}

@@ -1,0 +1,253 @@
+// Package plot renders the experiment harness's tables and figures as
+// aligned text, ASCII charts and standalone SVG files, using only the
+// standard library. It is intentionally thin: the paper's figures are bar
+// charts and small parameter-sweep line series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows of cells with aligned columns, a header rule, and an
+// optional caption line.
+func Table(title string, columns []string, rows [][]string, note string) string {
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(columns)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(columns)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	if note != "" {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// Bar is one bar of a chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal ASCII bar chart scaled to width characters.
+func BarChart(title, unit string, bars []Bar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var max float64
+	labelW := 0
+	for _, bar := range bars {
+		if bar.Value > max {
+			max = bar.Value
+		}
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, bar := range bars {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(bar.Value / max * float64(width)))
+		}
+		if bar.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s%s\n", labelW, bar.Label,
+			strings.Repeat("#", n), formatValue(bar.Value), unitSuffix(unit))
+	}
+	return b.String()
+}
+
+func unitSuffix(unit string) string {
+	if unit == "" {
+		return ""
+	}
+	return " " + unit
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Series is one line of a multi-series chart.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// LineTable renders multi-series sweep data as an aligned table: one row
+// per X tick, one column per series. Sweeps read better as numbers than as
+// low-resolution ASCII lines.
+func LineTable(title string, xLabel string, xs []string, series []Series, note string) string {
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, xLabel)
+	for _, s := range series {
+		cols = append(cols, s.Label)
+	}
+	rows := make([][]string, len(xs))
+	for i, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, x)
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, formatValue(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows[i] = row
+	}
+	return Table(title, cols, rows, note)
+}
+
+// svgEscape escapes text for SVG attribute/content use.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+var svgPalette = []string{"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948"}
+
+// BarChartSVG renders a vertical bar chart as a standalone SVG document.
+func BarChartSVG(title, unit string, bars []Bar) string {
+	const (
+		w, h             = 640, 400
+		marginL, marginB = 60, 60
+		marginT, marginR = 40, 20
+		plotW            = w - marginL - marginR
+		plotH            = h - marginT - marginB
+	)
+	var max float64
+	for _, bar := range bars {
+		if bar.Value > max {
+			max = bar.Value
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">%s</text>`, w/2, svgEscape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="11" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 %d)">%s</text>`, marginT+plotH/2, marginT+plotH/2, svgEscape(unit))
+	if n := len(bars); n > 0 {
+		slot := float64(plotW) / float64(n)
+		barW := slot * 0.6
+		for i, bar := range bars {
+			bh := bar.Value / max * float64(plotH)
+			x := float64(marginL) + slot*float64(i) + (slot-barW)/2
+			y := float64(marginT+plotH) - bh
+			color := svgPalette[i%len(svgPalette)]
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x, y, barW, bh, color)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" font-family="sans-serif">%s</text>`,
+				x+barW/2, marginT+plotH+16, svgEscape(bar.Label))
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" font-family="sans-serif">%s</text>`,
+				x+barW/2, y-4, formatValue(bar.Value))
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// LineChartSVG renders a multi-series line chart as a standalone SVG
+// document. The x axis uses the tick labels verbatim.
+func LineChartSVG(title, xLabel, yLabel string, xs []string, series []Series) string {
+	const (
+		w, h             = 720, 420
+		marginL, marginB = 70, 70
+		marginT, marginR = 40, 140
+		plotW            = w - marginL - marginR
+		plotH            = h - marginT - marginB
+	)
+	var max float64
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > max {
+				max = y
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">%s</text>`, w/2, svgEscape(title))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`, marginL+plotW/2, h-16, svgEscape(xLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 %d)">%s</text>`, marginT+plotH/2, marginT+plotH/2, svgEscape(yLabel))
+	n := len(xs)
+	xAt := func(i int) float64 {
+		if n <= 1 {
+			return float64(marginL)
+		}
+		return float64(marginL) + float64(plotW)*float64(i)/float64(n-1)
+	}
+	for i, x := range xs {
+		if n > 12 && i%2 == 1 {
+			continue // thin dense tick labels
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="9" text-anchor="middle" font-family="sans-serif">%s</text>`,
+			xAt(i), marginT+plotH+14, svgEscape(x))
+	}
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i, y := range s.Y {
+			if i >= n {
+				break
+			}
+			py := float64(marginT+plotH) - y/max*float64(plotH)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), py))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(pts, " "), color)
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, w-marginR+10, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`, w-marginR+24, ly+9, svgEscape(s.Label))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table("title", []string{"a", "bbbb"}, [][]string{
+		{"xx", "1"},
+		{"y", "22"},
+	}, "a note")
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title, header, rule, 2 rows, note = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want 6:\n%s", len(lines), out)
+	}
+	if len(lines[1]) == 0 || !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("header/rule malformed:\n%s", out)
+	}
+}
+
+func TestTableWithoutTitleOrNote(t *testing.T) {
+	out := Table("", []string{"c"}, [][]string{{"v"}}, "")
+	if strings.Contains(out, "note:") {
+		t.Error("unexpected note line")
+	}
+	if strings.HasPrefix(out, "\n") {
+		t.Error("leading blank line without title")
+	}
+}
+
+func TestBarChartScalesBars(t *testing.T) {
+	out := BarChart("chart", "units", []Bar{
+		{Label: "big", Value: 100},
+		{Label: "small", Value: 50},
+		{Label: "zero", Value: 0},
+	}, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	big := strings.Count(lines[1], "#")
+	small := strings.Count(lines[2], "#")
+	zero := strings.Count(lines[3], "#")
+	if big != 20 {
+		t.Errorf("big bar = %d hashes, want 20", big)
+	}
+	if small != 10 {
+		t.Errorf("small bar = %d hashes, want 10", small)
+	}
+	if zero != 0 {
+		t.Errorf("zero bar = %d hashes, want 0", zero)
+	}
+	if !strings.Contains(lines[1], "100 units") {
+		t.Errorf("missing value+unit: %q", lines[1])
+	}
+}
+
+func TestBarChartTinyPositiveGetsOneHash(t *testing.T) {
+	out := BarChart("", "", []Bar{{Label: "a", Value: 1000}, {Label: "b", Value: 1}}, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") != 1 {
+		t.Errorf("tiny positive bar should render one hash: %q", lines[1])
+	}
+}
+
+func TestLineTable(t *testing.T) {
+	out := LineTable("sweep", "x", []string{"p1", "p2"}, []Series{
+		{Label: "cons", Y: []float64{10, 20}},
+		{Label: "perf", Y: []float64{1.5}},
+	}, "")
+	if !strings.Contains(out, "p1") || !strings.Contains(out, "p2") {
+		t.Errorf("missing ticks:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Errorf("missing formatted value:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing filler for short series:\n%s", out)
+	}
+}
+
+func TestBarChartSVGWellFormed(t *testing.T) {
+	svg := BarChartSVG("total <consumption>", "node*hour", []Bar{
+		{Label: "DCS", Value: 91558},
+		{Label: "DawningCloud", Value: 81419},
+	})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Error("SVG not well delimited")
+	}
+	if strings.Contains(svg, "<consumption>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;consumption&gt;") {
+		t.Error("escaped title missing")
+	}
+	if strings.Count(svg, "<rect") < 3 { // background + 2 bars
+		t.Errorf("expected >= 3 rects:\n%s", svg)
+	}
+	if !strings.Contains(svg, "DawningCloud") {
+		t.Error("bar label missing")
+	}
+}
+
+func TestBarChartSVGEmptyAndZero(t *testing.T) {
+	svg := BarChartSVG("t", "u", nil)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("empty chart not rendered")
+	}
+	svg = BarChartSVG("t", "u", []Bar{{Label: "z", Value: 0}})
+	if !strings.Contains(svg, `height="0.0"`) {
+		t.Error("zero bar should have zero height")
+	}
+}
+
+func TestLineChartSVGSeries(t *testing.T) {
+	svg := LineChartSVG("sweep", "params", "value", []string{"a", "b", "c"}, []Series{
+		{Label: "s1", Y: []float64{1, 2, 3}},
+		{Label: "s2", Y: []float64{3, 2, 1}},
+	})
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+	if !strings.Contains(svg, "s1") || !strings.Contains(svg, "s2") {
+		t.Error("legend entries missing")
+	}
+}
+
+func TestLineChartSVGSingleTick(t *testing.T) {
+	svg := LineChartSVG("one", "x", "y", []string{"only"}, []Series{{Label: "s", Y: []float64{5}}})
+	if !strings.Contains(svg, "only") {
+		t.Error("single tick missing")
+	}
+}
+
+// Property: tables never lose cells — every cell string appears in the
+// rendered output.
+func TestPropertyTableContainsAllCells(t *testing.T) {
+	f := func(raw [][2]uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rows := make([][]string, len(raw))
+		for i, r := range raw {
+			rows[i] = []string{formatValue(float64(r[0])), formatValue(float64(r[1]))}
+		}
+		out := Table("t", []string{"c1", "c2"}, rows, "")
+		for _, row := range rows {
+			for _, cell := range row {
+				if !strings.Contains(out, cell) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bar width is monotone in value.
+func TestPropertyBarMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		out := BarChart("", "", []Bar{
+			{Label: "a", Value: float64(a)},
+			{Label: "b", Value: float64(b)},
+		}, 30)
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		ha := strings.Count(lines[0], "#")
+		hb := strings.Count(lines[1], "#")
+		if a >= b && ha < hb {
+			return false
+		}
+		if b >= a && hb < ha {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

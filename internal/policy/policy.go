@@ -1,0 +1,193 @@
+// Package policy implements the DSP model's resource management policies
+// (paper Section 3.2.2) as pure decision functions, so the negotiation
+// logic is unit-testable independent of the simulation loop.
+//
+// An HTC server scans its queue every minute; an MTC server every three
+// seconds (MTC tasks often complete in seconds). Two request kinds exist:
+//
+//   - DR1: the ratio of obtaining resources (accumulated queued demand over
+//     owned nodes) exceeded the threshold ratio R; request enough to cover
+//     the whole queue.
+//   - DR2: the largest queued job does not fit in the owned nodes (and the
+//     ratio condition did not fire); request enough to fit it.
+//
+// After a grant, an hourly timer releases the granted block back once that
+// many nodes sit idle. Initial resources (B) are never released until the
+// runtime environment is destroyed.
+package policy
+
+import "fmt"
+
+// RequestKind labels why a dynamic resource request was made.
+type RequestKind int
+
+const (
+	// NoRequest means the policy decided to stand pat.
+	NoRequest RequestKind = iota
+	// DR1 covers the accumulated demand of the whole queue.
+	DR1
+	// DR2 covers the largest single queued job.
+	DR2
+)
+
+// String implements fmt.Stringer.
+func (k RequestKind) String() string {
+	switch k {
+	case NoRequest:
+		return "none"
+	case DR1:
+		return "DR1"
+	case DR2:
+		return "DR2"
+	default:
+		return fmt.Sprintf("RequestKind(%d)", int(k))
+	}
+}
+
+// Params are the two tuning knobs the paper sweeps in Figures 9-11.
+type Params struct {
+	// InitialNodes (B) is the never-reclaimed startup lease.
+	InitialNodes int
+	// ThresholdRatio (R) triggers DR1 requests when the accumulated
+	// queued demand exceeds R times the owned nodes.
+	ThresholdRatio float64
+	// ScanInterval is the queue scan period in seconds: 60 for HTC,
+	// 3 for MTC.
+	ScanInterval int64
+	// IdleCheckInterval is the release timer period in seconds (one
+	// hour in the paper).
+	IdleCheckInterval int64
+}
+
+// Validate reports the first bad parameter, or nil.
+func (p Params) Validate() error {
+	if p.InitialNodes < 1 {
+		return fmt.Errorf("policy: initial nodes %d < 1", p.InitialNodes)
+	}
+	if p.ThresholdRatio <= 0 {
+		return fmt.Errorf("policy: threshold ratio %g <= 0", p.ThresholdRatio)
+	}
+	if p.ScanInterval <= 0 {
+		return fmt.Errorf("policy: scan interval %d <= 0", p.ScanInterval)
+	}
+	if p.IdleCheckInterval <= 0 {
+		return fmt.Errorf("policy: idle check interval %d <= 0", p.IdleCheckInterval)
+	}
+	return nil
+}
+
+// HTCDefaults returns the paper's HTC policy schedule with the given B and
+// R: scan every minute, check idle resources hourly.
+func HTCDefaults(initialNodes int, thresholdRatio float64) Params {
+	return Params{
+		InitialNodes:      initialNodes,
+		ThresholdRatio:    thresholdRatio,
+		ScanInterval:      60,
+		IdleCheckInterval: 3600,
+	}
+}
+
+// MTCDefaults returns the paper's MTC policy schedule with the given B and
+// R: scan every three seconds, check idle resources hourly.
+func MTCDefaults(initialNodes int, thresholdRatio float64) Params {
+	return Params{
+		InitialNodes:      initialNodes,
+		ThresholdRatio:    thresholdRatio,
+		ScanInterval:      3,
+		IdleCheckInterval: 3600,
+	}
+}
+
+// QueueState is the scan-time snapshot the decision consumes.
+type QueueState struct {
+	// AccumulatedDemand sums node demands of all queued jobs. For MTC,
+	// every task of a submitted workflow still in queue is counted.
+	AccumulatedDemand int
+	// LargestDemand is the biggest single queued job's node demand.
+	LargestDemand int
+	// OwnedNodes is the TRE's current lease (initial + dynamic).
+	OwnedNodes int
+}
+
+// Ratio computes the paper's "ratio of obtaining resources". It is +Inf
+// only in the degenerate case of demand against zero owned nodes, which
+// the policy treats as exceeding any threshold.
+func (s QueueState) Ratio() float64 {
+	if s.OwnedNodes <= 0 {
+		if s.AccumulatedDemand > 0 {
+			return 1e18
+		}
+		return 0
+	}
+	return float64(s.AccumulatedDemand) / float64(s.OwnedNodes)
+}
+
+// Decide implements Section 3.2.2's request rules: DR1 when the ratio of
+// obtaining resources exceeds the threshold; otherwise DR2 when the largest
+// queued job cannot fit the owned nodes. The returned size is how many
+// nodes to request (always positive when kind != NoRequest).
+func Decide(s QueueState, p Params) (kind RequestKind, size int) {
+	if s.Ratio() > p.ThresholdRatio {
+		size = s.AccumulatedDemand - s.OwnedNodes
+		if size > 0 {
+			return DR1, size
+		}
+		// Ratio can exceed R while demand <= owned only when R < 1;
+		// there is nothing to request then.
+		return NoRequest, 0
+	}
+	if s.LargestDemand > s.OwnedNodes {
+		return DR2, s.LargestDemand - s.OwnedNodes
+	}
+	return NoRequest, 0
+}
+
+// ReleaseDecision implements the hourly idle check: a dynamic block of
+// grantSize nodes is released only when at least grantSize nodes sit idle.
+func ReleaseDecision(idleNodes, grantSize int) bool {
+	return grantSize > 0 && idleNodes >= grantSize
+}
+
+// ProvisionPolicy is the resource provider's side of the negotiation
+// (Section 3.2.2.3): grant fully when capacity allows, otherwise reject.
+type ProvisionPolicy int
+
+const (
+	// GrantOrReject is the paper's policy: assign the full request or
+	// refuse it outright.
+	GrantOrReject ProvisionPolicy = iota
+	// BestEffort grants as many nodes as remain, a non-paper ablation.
+	BestEffort
+)
+
+// String implements fmt.Stringer.
+func (p ProvisionPolicy) String() string {
+	switch p {
+	case GrantOrReject:
+		return "grant-or-reject"
+	case BestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("ProvisionPolicy(%d)", int(p))
+	}
+}
+
+// Grant resolves a request for n nodes against free capacity under the
+// policy, returning how many nodes to assign (0 = rejected).
+func (p ProvisionPolicy) Grant(n, free int) int {
+	if n <= 0 || free <= 0 {
+		return 0
+	}
+	switch p {
+	case BestEffort:
+		if n > free {
+			return free
+		}
+		return n
+	default: // GrantOrReject
+		if n > free {
+			return 0
+		}
+		return n
+	}
+}

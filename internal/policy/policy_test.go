@@ -1,0 +1,237 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestKindString(t *testing.T) {
+	tests := []struct {
+		k    RequestKind
+		want string
+	}{
+		{NoRequest, "none"},
+		{DR1, "DR1"},
+		{DR2, "DR2"},
+		{RequestKind(9), "RequestKind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := HTCDefaults(40, 1.2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{InitialNodes: 0, ThresholdRatio: 1, ScanInterval: 60, IdleCheckInterval: 3600},
+		{InitialNodes: 1, ThresholdRatio: 0, ScanInterval: 60, IdleCheckInterval: 3600},
+		{InitialNodes: 1, ThresholdRatio: 1, ScanInterval: 0, IdleCheckInterval: 3600},
+		{InitialNodes: 1, ThresholdRatio: 1, ScanInterval: 60, IdleCheckInterval: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultsMatchPaperSchedules(t *testing.T) {
+	htc := HTCDefaults(80, 1.5)
+	if htc.ScanInterval != 60 {
+		t.Errorf("HTC scan interval = %d, want 60 (per minute)", htc.ScanInterval)
+	}
+	if htc.IdleCheckInterval != 3600 {
+		t.Errorf("HTC idle check = %d, want 3600 (hourly)", htc.IdleCheckInterval)
+	}
+	mtc := MTCDefaults(10, 8)
+	if mtc.ScanInterval != 3 {
+		t.Errorf("MTC scan interval = %d, want 3 (per 3 seconds)", mtc.ScanInterval)
+	}
+	if htc.InitialNodes != 80 || htc.ThresholdRatio != 1.5 {
+		t.Error("HTCDefaults did not carry B/R")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	tests := []struct {
+		s    QueueState
+		want float64
+	}{
+		{QueueState{AccumulatedDemand: 30, OwnedNodes: 20}, 1.5},
+		{QueueState{AccumulatedDemand: 0, OwnedNodes: 20}, 0},
+		{QueueState{AccumulatedDemand: 5, OwnedNodes: 0}, 1e18},
+		{QueueState{AccumulatedDemand: 0, OwnedNodes: 0}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Ratio(); got != tt.want {
+			t.Errorf("Ratio(%+v) = %g, want %g", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestDecideDR1(t *testing.T) {
+	// Paper: ratio exceeds threshold -> DR1 = accumulated - owned.
+	s := QueueState{AccumulatedDemand: 100, LargestDemand: 30, OwnedNodes: 40}
+	kind, size := Decide(s, HTCDefaults(40, 1.5))
+	if kind != DR1 {
+		t.Fatalf("kind = %v, want DR1", kind)
+	}
+	if size != 60 {
+		t.Errorf("size = %d, want 60 (100-40)", size)
+	}
+}
+
+func TestDecideDR2(t *testing.T) {
+	// Ratio below threshold but the biggest job does not fit.
+	s := QueueState{AccumulatedDemand: 50, LargestDemand: 48, OwnedNodes: 40}
+	kind, size := Decide(s, HTCDefaults(40, 1.5))
+	if kind != DR2 {
+		t.Fatalf("kind = %v, want DR2 (ratio 1.25 <= 1.5, largest 48 > 40)", kind)
+	}
+	if size != 8 {
+		t.Errorf("size = %d, want 8 (48-40)", size)
+	}
+}
+
+func TestDecideNoRequest(t *testing.T) {
+	s := QueueState{AccumulatedDemand: 30, LargestDemand: 20, OwnedNodes: 40}
+	kind, size := Decide(s, HTCDefaults(40, 1.5))
+	if kind != NoRequest || size != 0 {
+		t.Errorf("Decide = %v,%d, want none,0", kind, size)
+	}
+}
+
+func TestDecideRatioExactlyAtThresholdDoesNotFire(t *testing.T) {
+	// The paper says "exceeds the threshold ratio": equality stands pat.
+	s := QueueState{AccumulatedDemand: 60, LargestDemand: 10, OwnedNodes: 40}
+	kind, _ := Decide(s, HTCDefaults(40, 1.5))
+	if kind != NoRequest {
+		t.Errorf("kind = %v at ratio == R, want none", kind)
+	}
+}
+
+func TestDecideSubUnityThresholdCannotRequestNegative(t *testing.T) {
+	// R < 1 can make the ratio fire while demand <= owned; no request.
+	s := QueueState{AccumulatedDemand: 30, LargestDemand: 10, OwnedNodes: 40}
+	kind, size := Decide(s, Params{InitialNodes: 1, ThresholdRatio: 0.5, ScanInterval: 60, IdleCheckInterval: 3600})
+	if kind != NoRequest || size != 0 {
+		t.Errorf("Decide = %v,%d, want none,0", kind, size)
+	}
+}
+
+func TestDecideZeroOwnedRequestsFullDemand(t *testing.T) {
+	s := QueueState{AccumulatedDemand: 25, LargestDemand: 25, OwnedNodes: 0}
+	kind, size := Decide(s, HTCDefaults(1, 2))
+	if kind != DR1 || size != 25 {
+		t.Errorf("Decide = %v,%d, want DR1,25", kind, size)
+	}
+}
+
+func TestReleaseDecision(t *testing.T) {
+	tests := []struct {
+		idle, grant int
+		want        bool
+	}{
+		{10, 5, true},
+		{5, 5, true},
+		{4, 5, false},
+		{10, 0, false},
+		{0, 0, false},
+	}
+	for _, tt := range tests {
+		if got := ReleaseDecision(tt.idle, tt.grant); got != tt.want {
+			t.Errorf("ReleaseDecision(%d,%d) = %v, want %v", tt.idle, tt.grant, got, tt.want)
+		}
+	}
+}
+
+func TestProvisionPolicyString(t *testing.T) {
+	if GrantOrReject.String() != "grant-or-reject" {
+		t.Error("GrantOrReject name wrong")
+	}
+	if BestEffort.String() != "best-effort" {
+		t.Error("BestEffort name wrong")
+	}
+	if ProvisionPolicy(9).String() != "ProvisionPolicy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+func TestGrantOrReject(t *testing.T) {
+	tests := []struct {
+		n, free, want int
+	}{
+		{10, 20, 10},
+		{10, 10, 10},
+		{10, 9, 0}, // rejected outright
+		{0, 10, 0},
+		{10, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := GrantOrReject.Grant(tt.n, tt.free); got != tt.want {
+			t.Errorf("GrantOrReject.Grant(%d,%d) = %d, want %d", tt.n, tt.free, got, tt.want)
+		}
+	}
+}
+
+func TestBestEffort(t *testing.T) {
+	if got := BestEffort.Grant(10, 6); got != 6 {
+		t.Errorf("BestEffort.Grant(10,6) = %d, want 6", got)
+	}
+	if got := BestEffort.Grant(4, 6); got != 4 {
+		t.Errorf("BestEffort.Grant(4,6) = %d, want 4", got)
+	}
+}
+
+// Property: Decide never requests a non-positive size, and granting the
+// request always covers either the whole queue (DR1) or the largest job
+// (DR2).
+func TestPropertyDecideCoversNeed(t *testing.T) {
+	f := func(acc, largest, owned uint8, rTenths uint8) bool {
+		s := QueueState{
+			AccumulatedDemand: int(acc),
+			LargestDemand:     int(largest) % (int(acc) + 1), // largest <= accumulated
+			OwnedNodes:        int(owned),
+		}
+		p := Params{
+			InitialNodes:      1,
+			ThresholdRatio:    float64(rTenths%40)/10 + 0.1,
+			ScanInterval:      60,
+			IdleCheckInterval: 3600,
+		}
+		kind, size := Decide(s, p)
+		switch kind {
+		case NoRequest:
+			return size == 0
+		case DR1:
+			return size > 0 && s.OwnedNodes+size == s.AccumulatedDemand
+		case DR2:
+			return size > 0 && s.OwnedNodes+size == s.LargestDemand
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: grants never exceed free capacity under either provision
+// policy, and GrantOrReject is all-or-nothing.
+func TestPropertyGrantBounds(t *testing.T) {
+	f := func(n, free uint8) bool {
+		g1 := GrantOrReject.Grant(int(n), int(free))
+		g2 := BestEffort.Grant(int(n), int(free))
+		if g1 != 0 && g1 != int(n) {
+			return false
+		}
+		return g1 <= int(free) && g2 <= int(free) && g2 <= int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package sched implements the scheduling policies the paper configures:
+// First-Fit for HTC runtime environments (scan queued jobs in arrival order
+// and start every job whose demand fits the free nodes) and FCFS for MTC
+// task streams (strict arrival order; the head blocks the queue). An EASY
+// backfilling variant is included as an ablation extension.
+//
+// Schedulers are pure selection functions over a queue snapshot: they
+// return the indices of jobs to start now, letting the runtime environment
+// own queue mutation and resource bookkeeping.
+package sched
+
+import "repro/internal/job"
+
+// Policy selects queued jobs to start given free node capacity.
+type Policy interface {
+	// Select returns indices into queue (ascending) of jobs to start
+	// now. The total demand of selected jobs never exceeds free.
+	Select(queue []*job.Job, free int) []int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// FirstFit scans all queued jobs in arrival order and chooses every job
+// whose resource requirement can be met, the paper's HTC policy.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Select implements Policy.
+func (FirstFit) Select(queue []*job.Job, free int) []int {
+	var picked []int
+	for i, j := range queue {
+		if j.Nodes <= free {
+			picked = append(picked, i)
+			free -= j.Nodes
+		}
+	}
+	return picked
+}
+
+// FCFS starts jobs strictly in arrival order, stopping at the first job
+// that does not fit, the paper's MTC policy (tasks are released to the
+// queue only when their dependencies are met).
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Select implements Policy.
+func (FCFS) Select(queue []*job.Job, free int) []int {
+	var picked []int
+	for i, j := range queue {
+		if j.Nodes > free {
+			break
+		}
+		picked = append(picked, i)
+		free -= j.Nodes
+	}
+	return picked
+}
+
+// EasyBackfill runs FCFS but lets later jobs jump ahead when they cannot
+// delay the head job's earliest possible start. This is the classic EASY
+// algorithm, included as an ablation against the paper's plain First-Fit:
+// it needs runtime estimates, which the paper's policy avoids.
+type EasyBackfill struct {
+	// Now reports the current time; used to compute the head job's
+	// shadow window from running-job end times.
+	Now func() int64
+	// RunningEnds lists (endTime, nodes) for currently running jobs.
+	RunningEnds func() []RunningJob
+}
+
+// RunningJob describes a running job for backfill window computation.
+type RunningJob struct {
+	End   int64
+	Nodes int
+}
+
+// Name implements Policy.
+func (e EasyBackfill) Name() string { return "easy-backfill" }
+
+// Select implements Policy.
+func (e EasyBackfill) Select(queue []*job.Job, free int) []int {
+	var picked []int
+	i := 0
+	// Start jobs in order while they fit.
+	for i < len(queue) && queue[i].Nodes <= free {
+		picked = append(picked, i)
+		free -= queue[i].Nodes
+		i++
+	}
+	if i >= len(queue) {
+		return picked
+	}
+	head := queue[i]
+	// Compute the shadow time: when enough nodes free up for the head.
+	shadow, extra := e.shadow(head.Nodes - free)
+	if shadow < 0 {
+		return picked // cannot place the head at all; no safe backfill
+	}
+	now := int64(0)
+	if e.Now != nil {
+		now = e.Now()
+	}
+	for k := i + 1; k < len(queue); k++ {
+		cand := queue[k]
+		if cand.Nodes > free {
+			continue
+		}
+		// Safe if it finishes before the shadow time, or fits in the
+		// nodes left over once the head starts.
+		if now+cand.Runtime <= shadow || cand.Nodes <= extra {
+			picked = append(picked, k)
+			free -= cand.Nodes
+			if cand.Nodes <= extra {
+				extra -= cand.Nodes
+			}
+		}
+	}
+	return picked
+}
+
+// shadow returns the time when `need` more nodes will be free given the
+// running jobs, plus the extra nodes available at that time. It returns
+// (-1, 0) when the need can never be met.
+func (e EasyBackfill) shadow(need int) (int64, int) {
+	if need <= 0 {
+		if e.Now != nil {
+			return e.Now(), 0
+		}
+		return 0, 0
+	}
+	if e.RunningEnds == nil {
+		return -1, 0
+	}
+	running := e.RunningEnds()
+	// Sort by end time ascending (insertion sort: lists are small).
+	for i := 1; i < len(running); i++ {
+		for j := i; j > 0 && running[j].End < running[j-1].End; j-- {
+			running[j], running[j-1] = running[j-1], running[j]
+		}
+	}
+	freed := 0
+	for _, r := range running {
+		freed += r.Nodes
+		if freed >= need {
+			return r.End, freed - need
+		}
+	}
+	return -1, 0
+}
+
+// TotalDemand sums the node demand of the selected queue indices.
+func TotalDemand(queue []*job.Job, picked []int) int {
+	total := 0
+	for _, i := range picked {
+		total += queue[i].Nodes
+	}
+	return total
+}

@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+)
+
+func mkQueue(sizes ...int) []*job.Job {
+	q := make([]*job.Job, len(sizes))
+	for i, s := range sizes {
+		q[i] = &job.Job{ID: i + 1, Nodes: s, Runtime: 100}
+	}
+	return q
+}
+
+func TestFirstFitSkipsBigJobs(t *testing.T) {
+	q := mkQueue(8, 2, 4, 1)
+	picked := FirstFit{}.Select(q, 7)
+	// 8 does not fit; 2, 4, 1 all fit (total 7).
+	want := []int{1, 2, 3}
+	if len(picked) != len(want) {
+		t.Fatalf("picked = %v, want %v", picked, want)
+	}
+	for i := range want {
+		if picked[i] != want[i] {
+			t.Errorf("picked[%d] = %d, want %d", i, picked[i], want[i])
+		}
+	}
+}
+
+func TestFirstFitRespectsCapacity(t *testing.T) {
+	q := mkQueue(4, 4, 4)
+	picked := FirstFit{}.Select(q, 8)
+	if len(picked) != 2 {
+		t.Fatalf("picked %d jobs, want 2", len(picked))
+	}
+	if TotalDemand(q, picked) != 8 {
+		t.Errorf("demand = %d, want 8", TotalDemand(q, picked))
+	}
+}
+
+func TestFirstFitEmptyQueueAndNoCapacity(t *testing.T) {
+	if got := (FirstFit{}).Select(nil, 10); got != nil {
+		t.Errorf("Select(nil) = %v, want nil", got)
+	}
+	if got := (FirstFit{}).Select(mkQueue(1), 0); got != nil {
+		t.Errorf("Select with 0 free = %v, want nil", got)
+	}
+}
+
+func TestFCFSBlocksAtHead(t *testing.T) {
+	q := mkQueue(8, 2, 1)
+	picked := FCFS{}.Select(q, 7)
+	// Head needs 8 > 7: nothing starts even though 2 and 1 would fit.
+	if len(picked) != 0 {
+		t.Fatalf("picked = %v, want empty (head blocks)", picked)
+	}
+}
+
+func TestFCFSRunsPrefix(t *testing.T) {
+	q := mkQueue(2, 3, 4)
+	picked := FCFS{}.Select(q, 5)
+	want := []int{0, 1}
+	if len(picked) != len(want) {
+		t.Fatalf("picked = %v, want %v", picked, want)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FirstFit{}).Name() != "first-fit" {
+		t.Error("FirstFit name wrong")
+	}
+	if (FCFS{}).Name() != "fcfs" {
+		t.Error("FCFS name wrong")
+	}
+	if (EasyBackfill{}).Name() != "easy-backfill" {
+		t.Error("EasyBackfill name wrong")
+	}
+}
+
+func TestEasyBackfillFillsShadowWindow(t *testing.T) {
+	// 10 nodes total, 6 busy until t=100. Head needs 8 (waits for 100).
+	// A 30s 2-node job can backfill; a 200s 4-node job cannot (it would
+	// push the head past its shadow start but exceeds the 2 extra nodes).
+	q := []*job.Job{
+		{ID: 1, Nodes: 8, Runtime: 50},
+		{ID: 2, Nodes: 4, Runtime: 200},
+		{ID: 3, Nodes: 2, Runtime: 30},
+	}
+	e := EasyBackfill{
+		Now: func() int64 { return 0 },
+		RunningEnds: func() []RunningJob {
+			return []RunningJob{{End: 100, Nodes: 6}}
+		},
+	}
+	picked := e.Select(q, 4)
+	if len(picked) != 1 || picked[0] != 2 {
+		t.Fatalf("picked = %v, want [2] (only the short job backfills)", picked)
+	}
+}
+
+func TestEasyBackfillExtraNodesPath(t *testing.T) {
+	// Head needs 5 with 4 free; one running job of 3 ends at t=100, so
+	// at t=100 there are 4+3=7 nodes, extra=2. A long 2-node job fits in
+	// the extra and may backfill despite running past the shadow.
+	q := []*job.Job{
+		{ID: 1, Nodes: 5, Runtime: 50},
+		{ID: 2, Nodes: 2, Runtime: 10000},
+	}
+	e := EasyBackfill{
+		Now: func() int64 { return 0 },
+		RunningEnds: func() []RunningJob {
+			return []RunningJob{{End: 100, Nodes: 3}}
+		},
+	}
+	picked := e.Select(q, 4)
+	if len(picked) != 1 || picked[0] != 1 {
+		t.Fatalf("picked = %v, want [1]", picked)
+	}
+}
+
+func TestEasyBackfillStartsPrefixLikeFCFS(t *testing.T) {
+	q := mkQueue(2, 3, 9)
+	e := EasyBackfill{Now: func() int64 { return 0 }}
+	picked := e.Select(q, 6)
+	// 2 and 3 start; 9 blocks with nothing running -> no shadow -> stop.
+	if len(picked) != 2 {
+		t.Fatalf("picked = %v, want 2 prefix jobs", picked)
+	}
+}
+
+func TestTotalDemand(t *testing.T) {
+	q := mkQueue(3, 5, 7)
+	if got := TotalDemand(q, []int{0, 2}); got != 10 {
+		t.Errorf("TotalDemand = %d, want 10", got)
+	}
+	if got := TotalDemand(q, nil); got != 0 {
+		t.Errorf("TotalDemand(nil) = %d, want 0", got)
+	}
+}
+
+// Property: no policy ever selects more total demand than free capacity,
+// and indices are strictly ascending and valid.
+func TestPropertySelectionsRespectCapacity(t *testing.T) {
+	policies := []Policy{FirstFit{}, FCFS{}}
+	f := func(sizes []uint8, freeRaw uint8) bool {
+		q := make([]*job.Job, len(sizes))
+		for i, s := range sizes {
+			q[i] = &job.Job{ID: i, Nodes: int(s%32) + 1, Runtime: 10}
+		}
+		free := int(freeRaw)
+		for _, p := range policies {
+			picked := p.Select(q, free)
+			if TotalDemand(q, picked) > free {
+				return false
+			}
+			for i := 1; i < len(picked); i++ {
+				if picked[i] <= picked[i-1] {
+					return false
+				}
+			}
+			for _, idx := range picked {
+				if idx < 0 || idx >= len(q) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FCFS selections are always a prefix-closed subset of FirstFit
+// selections (FirstFit starts at least as many jobs).
+func TestPropertyFirstFitDominatesFCFS(t *testing.T) {
+	f := func(sizes []uint8, freeRaw uint8) bool {
+		q := make([]*job.Job, len(sizes))
+		for i, s := range sizes {
+			q[i] = &job.Job{ID: i, Nodes: int(s%32) + 1, Runtime: 10}
+		}
+		free := int(freeRaw)
+		ff := FirstFit{}.Select(q, free)
+		fc := FCFS{}.Select(q, free)
+		if len(fc) > len(ff) {
+			return false
+		}
+		// FCFS picks exactly the indices 0..len(fc)-1.
+		for i, idx := range fc {
+			if idx != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps a virtual clock measured in integer seconds and a
+// priority queue of events. Events scheduled for the same instant fire in
+// the order they were scheduled, which makes runs fully reproducible: the
+// same sequence of Schedule calls always yields the same execution order.
+//
+// All management logic in this repository (TRE servers, the resource
+// provision service, the job emulator) is written against this engine, so
+// a two-week workload trace simulates in milliseconds while exercising the
+// exact decision code the paper's emulated system runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in seconds since the simulation epoch.
+type Time = int64
+
+// Common durations, in seconds.
+const (
+	Second Time = 1
+	Minute Time = 60
+	Hour   Time = 3600
+	Day    Time = 24 * Hour
+	Week   Time = 7 * Day
+)
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued.
+type EventID int64
+
+// event is a single pending callback.
+type event struct {
+	time Time
+	seq  EventID // issue order; breaks ties deterministically
+	fn   func()
+	idx  int // heap index, -1 once popped or cancelled
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with New.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	pending map[EventID]*event
+	nextSeq EventID
+	stopped bool
+}
+
+// New returns an engine whose clock starts at time zero.
+func New() *Engine {
+	return &Engine{pending: make(map[EventID]*event)}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len reports the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule runs fn after delay seconds of virtual time. A negative delay is
+// an error in the caller; Schedule panics to surface the bug immediately.
+func (e *Engine) Schedule(delay Time, fn func()) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.nextSeq++
+	ev := &event{time: t, seq: e.nextSeq, fn: fn}
+	heap.Push(&e.queue, ev)
+	e.pending[ev.seq] = ev
+	return ev.seq
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending; cancelling an already-fired or unknown event is a harmless no-op.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.pending[id]
+	if !ok {
+		return false
+	}
+	delete(e.pending, id)
+	if ev.idx >= 0 {
+		heap.Remove(&e.queue, ev.idx)
+	}
+	return true
+}
+
+// Every schedules fn to run now+interval, now+2*interval, ... until the
+// returned stop function is called or the engine run window ends. The
+// callback may call stop from within itself.
+func (e *Engine) Every(interval Time, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
+	}
+	stopped := false
+	var id EventID
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if stopped {
+			return
+		}
+		id = e.Schedule(interval, tick)
+	}
+	id = e.Schedule(interval, tick)
+	return func() {
+		stopped = true
+		e.Cancel(id)
+	}
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue is empty or the next
+// event is later than until. The clock ends at the last executed event time
+// (or until, whichever the caller observes via Now after a Drain). Events
+// scheduled exactly at until are executed.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		delete(e.pending, next.seq)
+		e.now = next.time
+		next.fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+}
+
+// RunAll executes every pending event, including ones scheduled by events
+// that fire during the call, until the queue drains.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*event)
+		delete(e.pending, next.seq)
+		e.now = next.time
+		next.fn()
+	}
+}
+
+// Advance moves the clock forward by d without executing anything. It
+// panics if an event is pending before the target time; use Run for that.
+func (e *Engine) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %d", d))
+	}
+	target := e.now + d
+	if len(e.queue) > 0 && e.queue[0].time <= target {
+		panic("sim: Advance would skip pending events")
+	}
+	e.now = target
+}

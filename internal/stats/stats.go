@@ -1,0 +1,213 @@
+// Package stats provides the thin numeric helpers the experiment harness
+// needs: summary statistics, percentiles, histograms and time-series
+// bucketing. It exists so the rest of the repository stays free of ad-hoc
+// numeric code (the paper's evaluation is mostly arithmetic over series).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the total of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than two
+// samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMax returns the extremes of xs; it returns (0, 0) for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Histogram counts values into uniform-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins.
+// Values outside [min, max] clamp to the edge bins.
+func NewHistogram(xs []float64, bins int, min, max float64) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	width := (max - min) / float64(bins)
+	for _, x := range xs {
+		var idx int
+		if width > 0 {
+			idx = int((x - min) / width)
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// Total returns the number of samples in the histogram.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Interval is a [Start, End) span with an integer level, used to bucket
+// resource-usage timelines.
+type Interval struct {
+	Start, End int64
+	Level      int
+}
+
+// BucketMax splits [0, horizon) into fixed-width buckets and reports the
+// maximum level observed inside each bucket given step-function intervals.
+// Intervals may overlap; overlapping levels add.
+func BucketMax(intervals []Interval, horizon, width int64) []int {
+	if width <= 0 || horizon <= 0 {
+		return nil
+	}
+	n := int((horizon + width - 1) / width)
+	out := make([]int, n)
+	// Build change points: +level at start, -level at end.
+	type change struct {
+		t     int64
+		delta int
+	}
+	changes := make([]change, 0, 2*len(intervals))
+	for _, iv := range intervals {
+		if iv.End <= iv.Start {
+			continue
+		}
+		changes = append(changes, change{iv.Start, iv.Level}, change{iv.End, -iv.Level})
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].t != changes[j].t {
+			return changes[i].t < changes[j].t
+		}
+		// Process releases before acquires at the same instant so an
+		// instantaneous swap does not double-count.
+		return changes[i].delta < changes[j].delta
+	})
+	level := 0
+	ci := 0
+	for b := 0; b < n; b++ {
+		bStart := int64(b) * width
+		bEnd := bStart + width
+		// Apply changes before the bucket starts.
+		for ci < len(changes) && changes[ci].t <= bStart {
+			level += changes[ci].delta
+			ci++
+		}
+		maxLevel := level
+		for cj := ci; cj < len(changes) && changes[cj].t < bEnd; cj++ {
+			level += changes[cj].delta
+			if level > maxLevel {
+				maxLevel = level
+			}
+			ci = cj + 1
+		}
+		out[b] = maxLevel
+	}
+	return out
+}
+
+// MaxInt returns the maximum of an int slice, 0 for empty input.
+func MaxInt(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// FormatFloat renders a float compactly for table output: integers print
+// without a decimal point, other values with two decimals.
+func FormatFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.2f", x)
+}

@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := Mean(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", tt.xs, got, tt.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3.5}); got != 6.5 {
+		t.Errorf("Sum = %g, want 6.5", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %g, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev(const) = %g, want 0", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("StdDev(single) = %g, want 0", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g,%g, want -1,7", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = %g,%g, want 0,0", min, max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 1},
+		{50, 3},
+		{100, 5},
+		{25, 2},
+		{-10, 1}, // clamps
+		{110, 5}, // clamps
+		{62.5, 3.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g, want 0", got)
+	}
+	if got := Percentile([]float64{9}, 75); got != 9 {
+		t.Errorf("Percentile(single) = %g, want 9", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{1, 100, 2}); got != 2 {
+		t.Errorf("Median = %g, want 2", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 9.9, 10, 11, -5}
+	h := NewHistogram(xs, 5, 0, 10)
+	if h.Total() != len(xs) {
+		t.Errorf("Total = %d, want %d", h.Total(), len(xs))
+	}
+	// Bin width 2: [0,2): {0,1,-5 clamped}, [2,4): {2,3}, [4,6): {4,5},
+	// [6,8): {}, [8,10): {9.9, 10 clamped, 11 clamped}.
+	want := []int{3, 2, 2, 0, 3}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("Counts[%d] = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 1}, 0, 1, 1)
+	if len(h.Counts) != 1 || h.Counts[0] != 3 {
+		t.Errorf("degenerate histogram = %+v", h)
+	}
+}
+
+func TestBucketMax(t *testing.T) {
+	intervals := []Interval{
+		{Start: 0, End: 100, Level: 10},
+		{Start: 50, End: 150, Level: 5},
+		{Start: 200, End: 210, Level: 100},
+	}
+	got := BucketMax(intervals, 300, 100)
+	// Bucket [0,100): level reaches 15. [100,200): 5 then 0. [200,300): 100.
+	want := []int{15, 5, 100}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBucketMaxInstantSwapDoesNotDoubleCount(t *testing.T) {
+	intervals := []Interval{
+		{Start: 0, End: 100, Level: 10},
+		{Start: 100, End: 200, Level: 10},
+	}
+	got := BucketMax(intervals, 200, 50)
+	for i, v := range got {
+		if v != 10 {
+			t.Errorf("bucket %d = %d, want 10 (no double count at swap)", i, v)
+		}
+	}
+}
+
+func TestBucketMaxEmptyAndInvalid(t *testing.T) {
+	if got := BucketMax(nil, 0, 100); got != nil {
+		t.Errorf("BucketMax(horizon 0) = %v, want nil", got)
+	}
+	if got := BucketMax(nil, 100, 0); got != nil {
+		t.Errorf("BucketMax(width 0) = %v, want nil", got)
+	}
+	got := BucketMax(nil, 100, 50)
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Errorf("BucketMax(no intervals) = %v, want [0 0]", got)
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	if got := MaxInt([]int{3, 9, 1}); got != 9 {
+		t.Errorf("MaxInt = %d, want 9", got)
+	}
+	if got := MaxInt(nil); got != 0 {
+		t.Errorf("MaxInt(nil) = %d, want 0", got)
+	}
+	if got := MaxInt([]int{-5, -2}); got != -2 {
+		t.Errorf("MaxInt(negatives) = %d, want -2", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want string
+	}{
+		{42, "42"},
+		{42.5, "42.50"},
+		{0, "0"},
+		{-3.14159, "-3.14"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.x); got != tt.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", tt.x, got, tt.want)
+		}
+	}
+}
+
+// Property: mean lies between min and max for non-empty input.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		min, max := MinMax(clean)
+		return m >= min-1e-6 && m <= max+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(pa) / 255 * 100
+		b := float64(pb) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram total equals sample count regardless of range.
+func TestPropertyHistogramTotal(t *testing.T) {
+	f := func(raw []int16, bins uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		h := NewHistogram(xs, int(bins%20)+1, -100, 100)
+		return h.Total() == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package swf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file provides the trace-analysis helpers used to characterize
+// workloads the way Section 4.2 of the paper does: arrival-rate series,
+// load profiles, size mixes and runtime distributions. They work on any
+// parsed SWF trace, including real Parallel Workloads Archive files.
+
+// ArrivalSeries counts job arrivals per fixed-width bucket over [0, span).
+// Span 0 derives the window from the trace.
+func (t *Trace) ArrivalSeries(bucket, span int64) ([]int, error) {
+	if bucket <= 0 {
+		return nil, fmt.Errorf("swf: bucket %d must be positive", bucket)
+	}
+	if span == 0 {
+		for i := range t.Records {
+			if s := t.Records[i].Submit + 1; s > span {
+				span = s
+			}
+		}
+	}
+	if span <= 0 {
+		return nil, nil
+	}
+	n := int((span + bucket - 1) / bucket)
+	out := make([]int, n)
+	for i := range t.Records {
+		s := t.Records[i].Submit
+		if s < 0 || s >= span {
+			continue
+		}
+		out[s/bucket]++
+	}
+	return out, nil
+}
+
+// LoadSeries integrates demanded node-seconds per bucket: the offered-load
+// profile a capacity planner reads.
+func (t *Trace) LoadSeries(bucket, span int64) ([]float64, error) {
+	if bucket <= 0 {
+		return nil, fmt.Errorf("swf: bucket %d must be positive", bucket)
+	}
+	if span == 0 {
+		for i := range t.Records {
+			r := &t.Records[i]
+			if e := r.Submit + maxI64(r.Run, 0); e > span {
+				span = e
+			}
+		}
+	}
+	if span <= 0 {
+		return nil, nil
+	}
+	n := int((span + bucket - 1) / bucket)
+	out := make([]float64, n)
+	for i := range t.Records {
+		r := &t.Records[i]
+		p := r.procs()
+		if p <= 0 || r.Run <= 0 {
+			continue
+		}
+		start, end := r.Submit, r.Submit+r.Run
+		if start < 0 {
+			start = 0
+		}
+		if end > span {
+			end = span
+		}
+		for b := start / bucket; b*bucket < end && int(b) < n; b++ {
+			lo := maxI64(start, b*bucket)
+			hi := minI64(end, (b+1)*bucket)
+			if hi > lo {
+				out[b] += float64(p) * float64(hi-lo)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SizeHistogram counts jobs by processor demand.
+func (t *Trace) SizeHistogram() map[int]int {
+	out := make(map[int]int)
+	for i := range t.Records {
+		if p := t.Records[i].procs(); p > 0 {
+			out[p]++
+		}
+	}
+	return out
+}
+
+// RuntimePercentiles reports the given runtime percentiles (0-100) over
+// valid records, in seconds.
+func (t *Trace) RuntimePercentiles(ps ...float64) []float64 {
+	var runs []float64
+	for i := range t.Records {
+		if r := t.Records[i].Run; r >= 0 {
+			runs = append(runs, float64(r))
+		}
+	}
+	sort.Float64s(runs)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(runs, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Scale returns a copy with processor demands multiplied by factor and
+// clamped to [1, maxProcs], the paper's normalization of traces recorded
+// on machines with multi-CPU nodes onto the one-CPU-per-node platform.
+func (t *Trace) Scale(factor float64, maxProcs int) (*Trace, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("swf: scale factor %g must be positive", factor)
+	}
+	if maxProcs < 1 {
+		return nil, fmt.Errorf("swf: max procs %d must be >= 1", maxProcs)
+	}
+	out := &Trace{Header: t.Header, Records: make([]Record, len(t.Records))}
+	copy(out.Records, t.Records)
+	for i := range out.Records {
+		r := &out.Records[i]
+		scaleField := func(v int) int {
+			if v <= 0 {
+				return v
+			}
+			s := int(float64(v) * factor)
+			if s < 1 {
+				s = 1
+			}
+			if s > maxProcs {
+				s = maxProcs
+			}
+			return s
+		}
+		r.UsedProcs = scaleField(r.UsedProcs)
+		r.ReqProcs = scaleField(r.ReqProcs)
+	}
+	return out, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

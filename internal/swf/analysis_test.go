@@ -1,0 +1,192 @@
+package swf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func analysisTrace() *Trace {
+	return &Trace{Records: []Record{
+		{JobNumber: 1, Submit: 0, Run: 100, UsedProcs: 2},
+		{JobNumber: 2, Submit: 50, Run: 100, UsedProcs: 4},
+		{JobNumber: 3, Submit: 150, Run: 60, UsedProcs: 2},
+		{JobNumber: 4, Submit: 250, Run: 10, UsedProcs: 8},
+	}}
+}
+
+func TestArrivalSeries(t *testing.T) {
+	tr := analysisTrace()
+	got, err := tr.ArrivalSeries(100, 300)
+	if err != nil {
+		t.Fatalf("ArrivalSeries: %v", err)
+	}
+	want := []int{2, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestArrivalSeriesDerivesSpan(t *testing.T) {
+	tr := analysisTrace()
+	got, err := tr.ArrivalSeries(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last submit 250 -> span 251 -> 3 buckets.
+	if len(got) != 3 {
+		t.Errorf("buckets = %d, want 3", len(got))
+	}
+}
+
+func TestArrivalSeriesErrors(t *testing.T) {
+	tr := analysisTrace()
+	if _, err := tr.ArrivalSeries(0, 100); err == nil {
+		t.Error("zero bucket accepted")
+	}
+	empty := &Trace{}
+	got, err := empty.ArrivalSeries(10, 0)
+	if err != nil || got != nil {
+		t.Errorf("empty trace: %v %v", got, err)
+	}
+}
+
+func TestLoadSeriesIntegratesNodeSeconds(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, Submit: 0, Run: 150, UsedProcs: 2},
+	}}
+	got, err := tr.LoadSeries(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,100): 2 procs x 100 s = 200; [100,200): 2 x 50 = 100.
+	if len(got) != 2 || got[0] != 200 || got[1] != 100 {
+		t.Errorf("load = %v, want [200 100]", got)
+	}
+}
+
+func TestLoadSeriesTotalMatchesNodeSeconds(t *testing.T) {
+	tr := analysisTrace()
+	got, err := tr.LoadSeries(50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range got {
+		total += v
+	}
+	var want float64
+	for _, r := range tr.Records {
+		want += float64(r.UsedProcs) * float64(r.Run)
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("load total = %g, want %g", total, want)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	h := analysisTrace().SizeHistogram()
+	if h[2] != 2 || h[4] != 1 || h[8] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestRuntimePercentiles(t *testing.T) {
+	ps := analysisTrace().RuntimePercentiles(0, 50, 100)
+	if ps[0] != 10 || ps[2] != 100 {
+		t.Errorf("percentiles = %v, want min 10 and max 100", ps)
+	}
+	if ps[1] < 10 || ps[1] > 100 {
+		t.Errorf("median = %g out of range", ps[1])
+	}
+	empty := &Trace{}
+	if got := empty.RuntimePercentiles(50); got[0] != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestScaleClampsAndCopies(t *testing.T) {
+	tr := analysisTrace()
+	scaled, err := tr.Scale(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2->1, 4->2, 2->1, 8->4 clamped to 3.
+	want := []int{1, 2, 1, 3}
+	for i, w := range want {
+		if scaled.Records[i].UsedProcs != w {
+			t.Errorf("record %d procs = %d, want %d", i, scaled.Records[i].UsedProcs, w)
+		}
+	}
+	// Original untouched.
+	if tr.Records[0].UsedProcs != 2 {
+		t.Error("Scale mutated the input trace")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	tr := analysisTrace()
+	if _, err := tr.Scale(0, 10); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := tr.Scale(1, 0); err == nil {
+		t.Error("zero max procs accepted")
+	}
+}
+
+// Property: arrival series entries sum to the number of in-window records
+// for any bucket width.
+func TestPropertyArrivalSeriesConserves(t *testing.T) {
+	f := func(submits []uint16, bucketRaw uint8) bool {
+		bucket := int64(bucketRaw%200) + 1
+		tr := &Trace{}
+		for i, s := range submits {
+			tr.Records = append(tr.Records, Record{JobNumber: i, Submit: int64(s), Run: 1, UsedProcs: 1})
+		}
+		series, err := tr.ArrivalSeries(bucket, 70000)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range series {
+			total += c
+		}
+		return total == len(submits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling preserves record count and never exceeds the clamp.
+func TestPropertyScaleBounds(t *testing.T) {
+	f := func(procs []uint8, factorRaw uint8, clampRaw uint8) bool {
+		factor := float64(factorRaw%40)/10 + 0.1
+		clamp := int(clampRaw%64) + 1
+		tr := &Trace{}
+		for i, p := range procs {
+			tr.Records = append(tr.Records, Record{JobNumber: i, UsedProcs: int(p)})
+		}
+		scaled, err := tr.Scale(factor, clamp)
+		if err != nil {
+			return false
+		}
+		if len(scaled.Records) != len(tr.Records) {
+			return false
+		}
+		for _, r := range scaled.Records {
+			if r.UsedProcs > clamp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package swf reads and writes the Standard Workload Format used by the
+// Parallel Workloads Archive, the source of the paper's NASA iPSC and SDSC
+// BLUE traces.
+//
+// An SWF file contains header comment lines beginning with ';' followed by
+// one record per job with 18 whitespace-separated fields. This package
+// parses the fields the simulation consumes (submit time, run time,
+// processors) while preserving the rest, so real archive files can replace
+// the synthetic traces without code changes.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// Record is one SWF job line. Field meanings follow the archive definition
+// (Feitelson's swf format, version 2). Times are seconds; -1 means unknown.
+type Record struct {
+	JobNumber    int
+	Submit       int64 // seconds since trace start
+	Wait         int64
+	Run          int64
+	UsedProcs    int
+	AvgCPU       float64
+	UsedMem      int64
+	ReqProcs     int
+	ReqTime      int64
+	ReqMem       int64
+	Status       int
+	UserID       int
+	GroupID      int
+	Executable   int
+	QueueNumber  int
+	PartitionNum int
+	PrecedingJob int
+	ThinkTime    int64
+}
+
+// Header carries the comment lines of an SWF file, without the leading ';'.
+type Header struct {
+	Comments []string
+}
+
+// Field returns the value of a "; Key: value" header line, or "" if absent.
+func (h *Header) Field(key string) string {
+	prefix := key + ":"
+	for _, c := range h.Comments {
+		trimmed := strings.TrimSpace(c)
+		if strings.HasPrefix(trimmed, prefix) {
+			return strings.TrimSpace(trimmed[len(prefix):])
+		}
+	}
+	return ""
+}
+
+// Trace is a parsed SWF file.
+type Trace struct {
+	Header  Header
+	Records []Record
+}
+
+// Parse reads an SWF stream. Malformed lines produce an error naming the
+// line number; blank lines are skipped.
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			t.Header.Comments = append(t.Header.Comments, strings.TrimPrefix(line, ";"))
+			continue
+		}
+		rec, err := parseRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("swf: line %d: %w", lineNo, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("swf: read: %w", err)
+	}
+	return t, nil
+}
+
+func parseRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 18 {
+		return Record{}, fmt.Errorf("expected 18 fields, got %d", len(fields))
+	}
+	ints := make([]int64, 18)
+	var avgCPU float64
+	for i, f := range fields {
+		if i == 5 { // average CPU time is fractional
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("field %d %q: %w", i+1, f, err)
+			}
+			avgCPU = v
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("field %d %q: %w", i+1, f, err)
+		}
+		ints[i] = v
+	}
+	return Record{
+		JobNumber:    int(ints[0]),
+		Submit:       ints[1],
+		Wait:         ints[2],
+		Run:          ints[3],
+		UsedProcs:    int(ints[4]),
+		AvgCPU:       avgCPU,
+		UsedMem:      ints[6],
+		ReqProcs:     int(ints[7]),
+		ReqTime:      ints[8],
+		ReqMem:       ints[9],
+		Status:       int(ints[10]),
+		UserID:       int(ints[11]),
+		GroupID:      int(ints[12]),
+		Executable:   int(ints[13]),
+		QueueNumber:  int(ints[14]),
+		PartitionNum: int(ints[15]),
+		PrecedingJob: int(ints[16]),
+		ThinkTime:    ints[17],
+	}, nil
+}
+
+// Write emits the trace in SWF text form.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range t.Header.Comments {
+		if _, err := fmt.Fprintf(bw, ";%s\n", c); err != nil {
+			return err
+		}
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		_, err := fmt.Fprintf(bw, "%d %d %d %d %d %g %d %d %d %d %d %d %d %d %d %d %d %d\n",
+			r.JobNumber, r.Submit, r.Wait, r.Run, r.UsedProcs, r.AvgCPU,
+			r.UsedMem, r.ReqProcs, r.ReqTime, r.ReqMem, r.Status,
+			r.UserID, r.GroupID, r.Executable, r.QueueNumber,
+			r.PartitionNum, r.PrecedingJob, r.ThinkTime)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// procs picks the effective processor demand of a record: used processors
+// when recorded, otherwise the requested count.
+func (r *Record) procs() int {
+	if r.UsedProcs > 0 {
+		return r.UsedProcs
+	}
+	return r.ReqProcs
+}
+
+// Jobs converts SWF records to simulation jobs, dropping records with
+// unknown runtime or processor counts (as the archive recommends for
+// cleaned traces). Job IDs are the SWF job numbers.
+func (t *Trace) Jobs() []job.Job {
+	jobs := make([]job.Job, 0, len(t.Records))
+	for i := range t.Records {
+		r := &t.Records[i]
+		p := r.procs()
+		if p <= 0 || r.Run < 0 || r.Submit < 0 {
+			continue
+		}
+		jobs = append(jobs, job.Job{
+			ID:      r.JobNumber,
+			Name:    fmt.Sprintf("swf-%d", r.JobNumber),
+			Class:   job.HTC,
+			Submit:  r.Submit,
+			Runtime: r.Run,
+			Nodes:   p,
+		})
+	}
+	return jobs
+}
+
+// FromJobs builds a minimal SWF trace from simulation jobs, for export.
+func FromJobs(jobs []job.Job, headerComments ...string) *Trace {
+	t := &Trace{Header: Header{Comments: headerComments}}
+	t.Records = make([]Record, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		t.Records[i] = Record{
+			JobNumber: j.ID,
+			Submit:    j.Submit,
+			Wait:      -1,
+			Run:       j.Runtime,
+			UsedProcs: j.Nodes,
+			AvgCPU:    -1,
+			UsedMem:   -1,
+			ReqProcs:  j.Nodes,
+			ReqTime:   j.Runtime,
+			ReqMem:    -1,
+			Status:    1,
+			UserID:    -1, GroupID: -1, Executable: -1,
+			QueueNumber: -1, PartitionNum: -1, PrecedingJob: -1, ThinkTime: -1,
+		}
+	}
+	return t
+}
+
+// Window returns a copy of the trace restricted to jobs submitted in
+// [from, to), with submit times rebased so the window starts at zero.
+func (t *Trace) Window(from, to int64) *Trace {
+	out := &Trace{Header: t.Header}
+	for i := range t.Records {
+		r := t.Records[i]
+		if r.Submit < from || r.Submit >= to {
+			continue
+		}
+		r.Submit -= from
+		out.Records = append(out.Records, r)
+	}
+	return out
+}
+
+// Stats summarizes a trace against a machine size.
+type Stats struct {
+	Jobs        int
+	Span        int64 // seconds from first submit to last completion
+	NodeSeconds int64
+	MaxProcs    int
+	Utilization float64 // NodeSeconds / (machineNodes * span)
+	MeanRuntime float64
+	MeanProcs   float64
+}
+
+// Summarize computes Stats relative to a machine of machineNodes nodes over
+// the given period (seconds). If period is 0, the trace span is used.
+func (t *Trace) Summarize(machineNodes int, period int64) Stats {
+	var s Stats
+	var runSum, procSum float64
+	for i := range t.Records {
+		r := &t.Records[i]
+		p := r.procs()
+		if p <= 0 || r.Run < 0 {
+			continue
+		}
+		s.Jobs++
+		s.NodeSeconds += int64(p) * r.Run
+		if p > s.MaxProcs {
+			s.MaxProcs = p
+		}
+		if end := r.Submit + r.Run; end > s.Span {
+			s.Span = end
+		}
+		runSum += float64(r.Run)
+		procSum += float64(p)
+	}
+	if period == 0 {
+		period = s.Span
+	}
+	if machineNodes > 0 && period > 0 {
+		s.Utilization = float64(s.NodeSeconds) / (float64(machineNodes) * float64(period))
+	}
+	if s.Jobs > 0 {
+		s.MeanRuntime = runSum / float64(s.Jobs)
+		s.MeanProcs = procSum / float64(s.Jobs)
+	}
+	return s
+}

@@ -1,0 +1,250 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+)
+
+const sample = `; Version: 2
+; Computer: iPSC/860
+; MaxNodes: 128
+1 0 10 300 8 -1 -1 8 600 -1 1 1 1 -1 1 -1 -1 -1
+2 60 0 120 16 -1 -1 16 120 -1 1 2 1 -1 1 -1 -1 -1
+
+3 7200 5 3600 128 -1 -1 128 4000 -1 1 3 2 -1 2 -1 -1 -1
+`
+
+func TestParseSample(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(tr.Header.Comments) != 3 {
+		t.Errorf("header comments = %d, want 3", len(tr.Header.Comments))
+	}
+	if got := tr.Header.Field("Computer"); got != "iPSC/860" {
+		t.Errorf("Field(Computer) = %q, want iPSC/860", got)
+	}
+	if got := tr.Header.Field("Missing"); got != "" {
+		t.Errorf("Field(Missing) = %q, want empty", got)
+	}
+	if len(tr.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(tr.Records))
+	}
+	r := tr.Records[0]
+	if r.JobNumber != 1 || r.Submit != 0 || r.Wait != 10 || r.Run != 300 || r.UsedProcs != 8 {
+		t.Errorf("record 0 parsed wrong: %+v", r)
+	}
+	if tr.Records[2].UsedProcs != 128 {
+		t.Errorf("record 2 procs = %d, want 128", tr.Records[2].UsedProcs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"too few fields", "1 2 3\n"},
+		{"too many fields", strings.Repeat("1 ", 19) + "\n"},
+		{"non-numeric", "1 0 10 x 8 -1 -1 8 600 -1 1 1 1 -1 1 -1 -1 -1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.input)); err == nil {
+				t.Error("Parse succeeded on malformed input")
+			}
+		})
+	}
+}
+
+func TestParseFloatAvgCPU(t *testing.T) {
+	line := "1 0 10 300 8 2.5 -1 8 600 -1 1 1 1 -1 1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tr.Records[0].AvgCPU != 2.5 {
+		t.Errorf("AvgCPU = %g, want 2.5", tr.Records[0].AvgCPU)
+	}
+}
+
+func TestWriteParseRoundtrip(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	tr2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(tr2.Records) != len(tr.Records) {
+		t.Fatalf("roundtrip records = %d, want %d", len(tr2.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if tr.Records[i] != tr2.Records[i] {
+			t.Errorf("record %d changed: %+v vs %+v", i, tr.Records[i], tr2.Records[i])
+		}
+	}
+}
+
+func TestJobsConversion(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	jobs := tr.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(jobs))
+	}
+	if jobs[0].Nodes != 8 || jobs[0].Runtime != 300 || jobs[0].Class != job.HTC {
+		t.Errorf("job 0 = %+v", jobs[0])
+	}
+}
+
+func TestJobsSkipsInvalidRecords(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, Submit: 0, Run: 100, UsedProcs: 0, ReqProcs: 0},
+		{JobNumber: 2, Submit: 0, Run: -1, UsedProcs: 4},
+		{JobNumber: 3, Submit: 0, Run: 100, UsedProcs: 4},
+	}}
+	jobs := tr.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != 3 {
+		t.Errorf("jobs = %+v, want only job 3", jobs)
+	}
+}
+
+func TestJobsUsesReqProcsWhenUsedUnknown(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, Submit: 0, Run: 100, UsedProcs: -1, ReqProcs: 32},
+	}}
+	jobs := tr.Jobs()
+	if len(jobs) != 1 || jobs[0].Nodes != 32 {
+		t.Errorf("jobs = %+v, want one job with 32 nodes", jobs)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, Submit: 100, Run: 10, UsedProcs: 1},
+		{JobNumber: 2, Submit: 200, Run: 10, UsedProcs: 1},
+		{JobNumber: 3, Submit: 300, Run: 10, UsedProcs: 1},
+	}}
+	w := tr.Window(150, 300)
+	if len(w.Records) != 1 {
+		t.Fatalf("window records = %d, want 1", len(w.Records))
+	}
+	if w.Records[0].JobNumber != 2 || w.Records[0].Submit != 50 {
+		t.Errorf("windowed record = %+v, want job 2 rebased to 50", w.Records[0])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, Submit: 0, Run: 100, UsedProcs: 10},
+		{JobNumber: 2, Submit: 50, Run: 200, UsedProcs: 5},
+	}}
+	s := tr.Summarize(20, 0)
+	if s.Jobs != 2 {
+		t.Errorf("Jobs = %d, want 2", s.Jobs)
+	}
+	if s.NodeSeconds != 2000 {
+		t.Errorf("NodeSeconds = %d, want 2000", s.NodeSeconds)
+	}
+	if s.Span != 250 {
+		t.Errorf("Span = %d, want 250", s.Span)
+	}
+	wantUtil := 2000.0 / (20.0 * 250.0)
+	if s.Utilization != wantUtil {
+		t.Errorf("Utilization = %g, want %g", s.Utilization, wantUtil)
+	}
+	if s.MaxProcs != 10 {
+		t.Errorf("MaxProcs = %d, want 10", s.MaxProcs)
+	}
+	if s.MeanRuntime != 150 {
+		t.Errorf("MeanRuntime = %g, want 150", s.MeanRuntime)
+	}
+}
+
+func TestSummarizeEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	s := tr.Summarize(128, 0)
+	if s.Jobs != 0 || s.Utilization != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestFromJobsRoundtrip(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 1, Submit: 0, Runtime: 60, Nodes: 4},
+		{ID: 2, Submit: 30, Runtime: 90, Nodes: 8},
+	}
+	tr := FromJobs(jobs, " synthetic test trace")
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	tr2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	back := tr2.Jobs()
+	if len(back) != 2 {
+		t.Fatalf("jobs back = %d, want 2", len(back))
+	}
+	for i := range jobs {
+		if back[i].ID != jobs[i].ID || back[i].Submit != jobs[i].Submit ||
+			back[i].Runtime != jobs[i].Runtime || back[i].Nodes != jobs[i].Nodes {
+			t.Errorf("job %d changed: %+v vs %+v", i, back[i], jobs[i])
+		}
+	}
+}
+
+// Property: FromJobs -> Write -> Parse -> Jobs preserves every scheduling
+// field for arbitrary job sets.
+func TestPropertyExportImportRoundtrip(t *testing.T) {
+	f := func(specs []struct {
+		Submit  uint16
+		Runtime uint16
+		Nodes   uint8
+	}) bool {
+		jobs := make([]job.Job, 0, len(specs))
+		for i, s := range specs {
+			jobs = append(jobs, job.Job{
+				ID:      i + 1,
+				Submit:  int64(s.Submit),
+				Runtime: int64(s.Runtime),
+				Nodes:   int(s.Nodes%64) + 1,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, FromJobs(jobs)); err != nil {
+			return false
+		}
+		tr, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		back := tr.Jobs()
+		if len(back) != len(jobs) {
+			return false
+		}
+		for i := range jobs {
+			if back[i].Submit != jobs[i].Submit || back[i].Runtime != jobs[i].Runtime || back[i].Nodes != jobs[i].Nodes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package systems
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/csf"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// defaultDRPPoolCapacity stands in for the paper's "large cloud platform"
+// when no capacity is given: DRP's uncoordinated leasing must never be
+// capacity-bound in the reference experiments.
+const defaultDRPPoolCapacity = 1 << 20
+
+// RunDRP simulates the direct resource provision model (Deelman et al.):
+// every end user leases virtual machines straight from the resource
+// provider for exactly one job, with no runtime environment, no queuing and
+// hourly billing. MTC workflows execute with unbounded parallelism, reusing
+// a leased node for sequential tasks and releasing everything at the end.
+func RunDRP(workloads []Workload, opts Options) (Result, error) {
+	if err := ValidateWorkloads(workloads); err != nil {
+		return Result{}, err
+	}
+	horizon := opts.HorizonFor(workloads)
+	capacity := opts.PoolCapacity
+	if capacity == 0 {
+		capacity = defaultDRPPoolCapacity
+	}
+	engine := sim.New()
+	pool, err := cluster.NewPool(capacity)
+	if err != nil {
+		return Result{}, err
+	}
+	acct := metrics.NewAccountant(engine.Now)
+	setup := setupCostOr(opts, csf.DefaultNodeSetupSeconds)
+	prov := csf.NewProvisionService(pool, acct, opts.Provision, setup)
+
+	aggs := make([]ProviderAgg, 0, len(workloads))
+	runners := make([]func() ProviderAgg, 0, len(workloads))
+	for i := range workloads {
+		wl := &workloads[i]
+		switch wl.Class {
+		case job.HTC:
+			runners = append(runners, runDRPHTC(engine, prov, wl, horizon))
+		case job.MTC:
+			runners = append(runners, runDRPMTC(engine, prov, wl))
+		default:
+			return Result{}, fmt.Errorf("systems: workload %s: unknown class %v", wl.Name, wl.Class)
+		}
+	}
+
+	engine.Run(horizon)
+	acct.CloseAll(horizon, true)
+	for _, collect := range runners {
+		aggs = append(aggs, collect())
+	}
+	return BuildResult("DRP", horizon, acct, setup, prov.RejectedRequests(), aggs), nil
+}
+
+// runDRPHTC schedules every independent job as its own end-user lease:
+// acquire at submit, run immediately, release at completion. It returns a
+// collector producing the provider aggregate after the run.
+func runDRPHTC(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload, horizon sim.Time) func() ProviderAgg {
+	owners := make([]string, 0, len(wl.Jobs))
+	completed := 0
+	for i := range wl.Jobs {
+		j := &wl.Jobs[i]
+		owner := fmt.Sprintf("%s/u%d", wl.Name, j.ID)
+		owners = append(owners, owner)
+		engine.At(j.Submit, func() {
+			granted := prov.RequestDynamic(owner, j.Nodes)
+			if granted < j.Nodes {
+				// Capacity-bound cloud: the end user walks away (the
+				// DRP model has no queue to wait in). Return any
+				// partial best-effort grant.
+				if granted > 0 {
+					if err := prov.Release(owner, granted); err != nil {
+						panic(fmt.Sprintf("systems: drp partial release: %v", err))
+					}
+				}
+				return
+			}
+			engine.Schedule(j.Runtime, func() {
+				if err := prov.Release(owner, j.Nodes); err != nil {
+					panic(fmt.Sprintf("systems: drp release %s: %v", owner, err))
+				}
+				completed++
+			})
+		})
+	}
+	return func() ProviderAgg {
+		return ProviderAgg{
+			Name:      wl.Name,
+			Class:     job.HTC,
+			Owners:    owners,
+			Submitted: len(wl.Jobs),
+			Completed: completed,
+			Adjusted:  -1,
+		}
+	}
+}
+
+// drpWorkflowRun executes one workflow with unbounded leasing and node
+// reuse: ready tasks start immediately, completed tasks return their nodes
+// to an idle pool consumed before new leases, and the whole lease releases
+// when the workflow drains.
+type drpWorkflowRun struct {
+	engine *sim.Engine
+	prov   *csf.ProvisionService
+	owner  string
+
+	idle      int
+	leased    int
+	remaining int
+	unmet     map[int]int
+	deps      map[int][]*job.Job
+	completed int
+	first     sim.Time
+	last      sim.Time
+}
+
+func (r *drpWorkflowRun) start(t *job.Job) {
+	take := t.Nodes
+	if r.idle >= take {
+		r.idle -= take
+	} else {
+		usedIdle := r.idle
+		need := take - usedIdle
+		r.idle = 0
+		granted := r.prov.RequestDynamic(r.owner, need)
+		if granted < need {
+			// Capacity-bound cloud: the task cannot run; the workflow
+			// stalls here (counted as incomplete). Keep whatever nodes
+			// we hold for later tasks.
+			r.idle = usedIdle + granted
+			if granted > 0 {
+				r.leased += granted
+			}
+			return
+		}
+		r.leased += need
+	}
+	r.engine.Schedule(t.Runtime, func() { r.complete(t) })
+}
+
+func (r *drpWorkflowRun) complete(t *job.Job) {
+	r.idle += t.Nodes
+	r.completed++
+	r.remaining--
+	r.last = r.engine.Now()
+	for _, dep := range r.deps[t.ID] {
+		r.unmet[dep.ID]--
+		if r.unmet[dep.ID] == 0 {
+			delete(r.unmet, dep.ID)
+			r.start(dep)
+		}
+	}
+	delete(r.deps, t.ID)
+	if r.remaining == 0 && r.leased > 0 {
+		if err := r.prov.Release(r.owner, r.leased); err != nil {
+			panic(fmt.Sprintf("systems: drp workflow release: %v", err))
+		}
+		r.leased = 0
+		r.idle = 0
+	}
+}
+
+// runDRPMTC schedules a provider's workflows, one lease scope per provider.
+func runDRPMTC(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload) func() ProviderAgg {
+	owner := wl.Name + "/mtc"
+	byWorkflow := make(map[string][]*job.Job)
+	var order []string
+	for i := range wl.Jobs {
+		j := &wl.Jobs[i]
+		if _, seen := byWorkflow[j.Workflow]; !seen {
+			order = append(order, j.Workflow)
+		}
+		byWorkflow[j.Workflow] = append(byWorkflow[j.Workflow], j)
+	}
+	runs := make([]*drpWorkflowRun, 0, len(order))
+	for _, key := range order {
+		tasks := byWorkflow[key]
+		at := tasks[0].Submit
+		for _, t := range tasks {
+			if t.Submit < at {
+				at = t.Submit
+			}
+		}
+		run := &drpWorkflowRun{
+			engine:    engine,
+			prov:      prov,
+			owner:     owner,
+			remaining: len(tasks),
+			unmet:     make(map[int]int),
+			deps:      make(map[int][]*job.Job),
+			first:     at,
+		}
+		runs = append(runs, run)
+		engine.At(at, func() {
+			for _, t := range tasks {
+				if len(t.Deps) == 0 {
+					continue
+				}
+				run.unmet[t.ID] = len(t.Deps)
+				for _, d := range t.Deps {
+					run.deps[d] = append(run.deps[d], t)
+				}
+			}
+			for _, t := range tasks {
+				if len(t.Deps) == 0 {
+					run.start(t)
+				}
+			}
+		})
+	}
+	return func() ProviderAgg {
+		agg := ProviderAgg{
+			Name:     wl.Name,
+			Class:    job.MTC,
+			Owners:   []string{owner},
+			Adjusted: -1,
+		}
+		var span sim.Time
+		var firstSet bool
+		var first, last sim.Time
+		for _, run := range runs {
+			agg.Submitted += run.remaining + run.completed
+			agg.Completed += run.completed
+			if !firstSet || run.first < first {
+				first = run.first
+				firstSet = true
+			}
+			if run.last > last {
+				last = run.last
+			}
+		}
+		span = last - first
+		if span > 0 {
+			agg.TPS = float64(agg.Completed) / float64(span)
+		}
+		return agg
+	}
+}

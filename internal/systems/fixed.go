@@ -1,0 +1,201 @@
+package systems
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/csf"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/tre"
+)
+
+// neverRatio is a threshold ratio no finite queue exceeds, disabling DR1
+// for fixed-size runtime environments.
+const neverRatio = 1e18
+
+// RunDCS simulates the dedicated cluster system model: every service
+// provider owns a fixed-size cluster sized by FixedNodes, with the same
+// queueing behaviour as SSP. Consumption is size x period; no adjustments
+// are counted because the provider owns the machines.
+func RunDCS(workloads []Workload, opts Options) (Result, error) {
+	return runFixed("DCS", true, workloads, opts)
+}
+
+// RunSSP simulates the static service provision model (Evangelinos et al.):
+// each provider leases a fixed-size virtual cluster from the cloud for the
+// whole period and runs a queuing system on it. Performance matches DCS by
+// construction; only ownership (TCO, adjustments) differs.
+func RunSSP(workloads []Workload, opts Options) (Result, error) {
+	return runFixed("SSP", false, workloads, opts)
+}
+
+// runFixed drives the DCS/SSP emulated system of Figure 8: per-provider
+// servers and schedulers with fixed resources and no resource provision
+// service interaction after startup.
+func runFixed(system string, owned bool, workloads []Workload, opts Options) (Result, error) {
+	if err := ValidateWorkloads(workloads); err != nil {
+		return Result{}, err
+	}
+	horizon := opts.HorizonFor(workloads)
+	capacity := opts.PoolCapacity
+	if capacity == 0 {
+		for i := range workloads {
+			capacity += workloads[i].FixedNodes
+		}
+	}
+	engine := sim.New()
+	pool, err := cluster.NewPool(capacity)
+	if err != nil {
+		return Result{}, err
+	}
+	acct := metrics.NewAccountant(engine.Now)
+	setup := setupCostOr(opts, csf.DefaultNodeSetupSeconds)
+	prov := csf.NewProvisionService(pool, acct, opts.Provision, setup)
+
+	type slot struct {
+		wl     *Workload
+		server completedCounter
+	}
+	slots := make([]slot, 0, len(workloads))
+	for i := range workloads {
+		wl := &workloads[i]
+		params := policy.Params{
+			InitialNodes:      wl.FixedNodes,
+			ThresholdRatio:    neverRatio,
+			ScanInterval:      wl.Params.ScanInterval,
+			IdleCheckInterval: wl.Params.IdleCheckInterval,
+		}
+		if params.ScanInterval <= 0 {
+			params.ScanInterval = 60
+		}
+		if params.IdleCheckInterval <= 0 {
+			params.IdleCheckInterval = 3600
+		}
+		switch wl.Class {
+		case job.HTC:
+			srv, err := tre.NewHTCServer(engine, prov, tre.Config{Name: wl.Name, Params: params})
+			if err != nil {
+				return Result{}, err
+			}
+			if err := startAndFeedHTC(engine, srv, wl); err != nil {
+				return Result{}, err
+			}
+			slots = append(slots, slot{wl: wl, server: srv})
+		case job.MTC:
+			srv, err := tre.NewMTCServer(engine, prov, tre.Config{
+				Name:                wl.Name,
+				Params:              params,
+				DestroyOnCompletion: true,
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			if err := startAndFeedMTC(engine, srv, wl); err != nil {
+				return Result{}, err
+			}
+			slots = append(slots, slot{wl: wl, server: srv})
+		default:
+			return Result{}, fmt.Errorf("systems: workload %s: unknown class %v", wl.Name, wl.Class)
+		}
+	}
+
+	engine.Run(horizon)
+	acct.CloseAll(horizon, !owned)
+
+	aggs := make([]ProviderAgg, 0, len(slots))
+	for _, s := range slots {
+		a := ProviderAgg{
+			Name:      s.wl.Name,
+			Class:     s.wl.Class,
+			Owners:    []string{s.wl.Name},
+			Submitted: s.server.Submitted(),
+			Completed: s.server.CompletedBy(horizon),
+			Adjusted:  -1,
+		}
+		if owned {
+			a.Adjusted = 0 // DCS providers own their machines
+		}
+		if s.wl.Class == job.MTC {
+			a.TPS = s.server.TasksPerSecond()
+		}
+		aggs = append(aggs, a)
+	}
+	res := BuildResult(system, horizon, acct, setup, prov.RejectedRequests(), aggs)
+	if owned {
+		// Owned machines incur no cloud setup work.
+		res.OverheadSeconds = 0
+		res.OverheadPerHour = 0
+	}
+	return res, nil
+}
+
+// completedCounter is the server surface the result assembly needs.
+type completedCounter interface {
+	Submitted() int
+	CompletedBy(sim.Time) int
+	TasksPerSecond() float64
+}
+
+// startAndFeedHTC starts the server at the workload's first submission and
+// schedules every job submission on the virtual clock.
+func startAndFeedHTC(engine *sim.Engine, srv *tre.Server, wl *Workload) error {
+	if err := startAt(engine, wl.FirstSubmit(), srv.Start); err != nil {
+		return err
+	}
+	for i := range wl.Jobs {
+		j := &wl.Jobs[i]
+		engine.At(j.Submit, func() { srv.Submit(j) })
+	}
+	return nil
+}
+
+// startAndFeedMTC starts the MTC server and submits whole workflows at
+// their first task's submission time (the service provider submits the
+// workflow description; the trigger monitor stages the tasks).
+func startAndFeedMTC(engine *sim.Engine, srv *tre.MTCServer, wl *Workload) error {
+	first := wl.FirstSubmit()
+	if err := startAt(engine, first, srv.Start); err != nil {
+		return err
+	}
+	byWorkflow := make(map[string][]*job.Job)
+	var order []string
+	for i := range wl.Jobs {
+		j := &wl.Jobs[i]
+		key := j.Workflow
+		if _, seen := byWorkflow[key]; !seen {
+			order = append(order, key)
+		}
+		byWorkflow[key] = append(byWorkflow[key], j)
+	}
+	for _, key := range order {
+		tasks := byWorkflow[key]
+		at := tasks[0].Submit
+		for _, t := range tasks {
+			if t.Submit < at {
+				at = t.Submit
+			}
+		}
+		engine.At(at, func() {
+			if err := srv.SubmitWorkflow(tasks); err != nil {
+				panic(fmt.Sprintf("systems: submit workflow %s/%s: %v", wl.Name, key, err))
+			}
+		})
+	}
+	return nil
+}
+
+// startAt runs start on the virtual clock at time t (immediately when the
+// clock is already there), converting start errors into panics carrying
+// context: server startup failure is a configuration error, and the paper's
+// provision policy guarantees initial grants on an adequately sized pool.
+func startAt(engine *sim.Engine, t sim.Time, start func() error) error {
+	engine.At(t, func() {
+		if err := start(); err != nil {
+			panic(fmt.Sprintf("systems: server start at t=%d: %v", t, err))
+		}
+	})
+	return nil
+}

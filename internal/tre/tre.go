@@ -1,0 +1,306 @@
+// Package tre implements DawningCloud's thin runtime environments (paper
+// Section 3.1.2): the workload-specific servers that schedule jobs and
+// negotiate resources with the CSF's provision service.
+//
+// The HTC TRE bundles the HTC server and scheduler: it scans its queue
+// every minute, dispatches with First-Fit, and applies the DR1/DR2 dynamic
+// resource policy. The MTC TRE adds the trigger monitor: workflow tasks
+// enter the scheduling queue only when their dependencies complete, the
+// queue is scanned every three seconds and dispatched FCFS, and the TRE can
+// destroy itself once its workflows finish (the service provider ends the
+// computing service). Web portals are the emulation's job source and are
+// not modelled.
+package tre
+
+import (
+	"fmt"
+
+	"repro/internal/csf"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config configures a server.
+type Config struct {
+	// Name is the TRE's identity with the provision service.
+	Name string
+	// Params is the resource-management policy (B, R, scan intervals).
+	Params policy.Params
+	// Scheduler dispatches queued jobs; defaults to First-Fit for HTC
+	// and FCFS for MTC when nil.
+	Scheduler sched.Policy
+	// EasyBackfill replaces the HTC dispatch policy with EASY
+	// backfilling wired to the server's running-job state (an ablation
+	// extension; the paper's policy avoids runtime estimates).
+	EasyBackfill bool
+	// DestroyOnCompletion tears the TRE down (releasing all nodes, the
+	// initial lease included) once every submitted job completed. The
+	// paper's MTC provider ends its service after the workflow runs.
+	DestroyOnCompletion bool
+}
+
+// Server is the common machinery of both TRE flavours.
+type Server struct {
+	cfg    Config
+	engine *sim.Engine
+	prov   *csf.ProvisionService
+
+	queue job.Queue
+	owned int // nodes currently leased (initial + dynamic)
+	busy  int // nodes running jobs
+
+	submitted   int
+	total       int // jobs expected (for DestroyOnCompletion)
+	completions []sim.Time
+	firstSubmit sim.Time
+	lastDone    sim.Time
+
+	running   map[*job.Job]sim.Time // job -> end time (for backfill)
+	stopScan  func()
+	destroyed bool
+	started   bool
+
+	// completeHook lets the MTC trigger monitor observe completions to
+	// release dependent tasks. Nil for plain HTC servers.
+	completeHook func(*job.Job)
+}
+
+// newServer builds the shared core.
+func newServer(engine *sim.Engine, prov *csf.ProvisionService, cfg Config) (*Server, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("tre: empty server name")
+	}
+	return &Server{
+		cfg:         cfg,
+		engine:      engine,
+		prov:        prov,
+		firstSubmit: -1,
+		running:     make(map[*job.Job]sim.Time),
+	}, nil
+}
+
+// NewHTCServer builds an HTC TRE server (First-Fit, minute scans unless
+// overridden by cfg.Params).
+func NewHTCServer(engine *sim.Engine, prov *csf.ProvisionService, cfg Config) (*Server, error) {
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.FirstFit{}
+	}
+	s, err := newServer(engine, prov, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EasyBackfill {
+		s.cfg.Scheduler = sched.EasyBackfill{Now: engine.Now, RunningEnds: s.RunningEnds}
+	}
+	return s, nil
+}
+
+// Start acquires the initial resources and begins the scan loop. The
+// initial lease must be grantable or the TRE cannot come up.
+func (s *Server) Start() error {
+	if s.started {
+		return fmt.Errorf("tre: %s already started", s.cfg.Name)
+	}
+	if err := s.prov.RequestInitial(s.cfg.Name, s.cfg.Params.InitialNodes); err != nil {
+		return err
+	}
+	s.owned = s.cfg.Params.InitialNodes
+	s.started = true
+	s.stopScan = s.engine.Every(s.cfg.Params.ScanInterval, s.scan)
+	return nil
+}
+
+// Submit enqueues one independent job (HTC path) and loads it right away
+// when the current lease has room; the scan loop only drives the resource
+// negotiation policy.
+func (s *Server) Submit(j *job.Job) {
+	if s.destroyed {
+		return
+	}
+	s.noteSubmit()
+	s.total++
+	s.queue.Push(j)
+	if s.started {
+		s.dispatch()
+	}
+}
+
+func (s *Server) noteSubmit() {
+	s.submitted++
+	if s.firstSubmit < 0 {
+		s.firstSubmit = s.engine.Now()
+	}
+}
+
+// scan is the periodic server loop: load whatever jobs fit the owned
+// nodes, then negotiate resources against the demand still waiting in the
+// queue (paper Section 3.2.2: the ratio of obtaining resources counts jobs
+// *in the queue*, i.e. the backlog the current lease cannot serve), and
+// dispatch again once a grant arrives.
+func (s *Server) scan() {
+	if s.destroyed {
+		return
+	}
+	s.dispatch()
+	state := policy.QueueState{
+		AccumulatedDemand: s.queue.AccumulatedDemand(),
+		LargestDemand:     s.queue.LargestDemand(),
+		OwnedNodes:        s.owned,
+	}
+	kind, size := policy.Decide(state, s.cfg.Params)
+	if kind != policy.NoRequest {
+		if granted := s.prov.RequestDynamic(s.cfg.Name, size); granted > 0 {
+			s.owned += granted
+			s.armIdleCheck(granted)
+			s.dispatch()
+		}
+	}
+}
+
+// dispatch starts every queued job the scheduler selects for the free
+// nodes.
+func (s *Server) dispatch() {
+	free := s.owned - s.busy
+	if free <= 0 || s.queue.Len() == 0 {
+		return
+	}
+	snapshot := s.queue.Snapshot()
+	picked := s.cfg.Scheduler.Select(snapshot, free)
+	if len(picked) == 0 {
+		return
+	}
+	s.queue.RemoveAll(picked)
+	for _, idx := range picked {
+		j := snapshot[idx]
+		s.busy += j.Nodes
+		end := s.engine.Now() + j.Runtime
+		s.running[j] = end
+		s.engine.Schedule(j.Runtime, func() { s.complete(j) })
+	}
+}
+
+// complete finishes a job, freeing its nodes at the server level.
+func (s *Server) complete(j *job.Job) {
+	if s.destroyed {
+		return
+	}
+	s.busy -= j.Nodes
+	delete(s.running, j)
+	now := s.engine.Now()
+	s.completions = append(s.completions, now)
+	s.lastDone = now
+	if s.completeHook != nil {
+		s.completeHook(j)
+	}
+	// Load queued work onto the freed nodes immediately; waiting for the
+	// next scan would idle them for up to a full scan interval.
+	s.dispatch()
+	if s.cfg.DestroyOnCompletion && len(s.completions) == s.total && s.queue.Len() == 0 && s.busy == 0 {
+		if err := s.Destroy(); err != nil {
+			panic(fmt.Sprintf("tre: self-destroy of %s: %v", s.cfg.Name, err))
+		}
+	}
+}
+
+// armIdleCheck registers the paper's hourly release timer for one dynamic
+// grant: once the block's worth of nodes sit idle, release exactly that
+// block; otherwise check again next hour.
+func (s *Server) armIdleCheck(size int) {
+	var check func()
+	check = func() {
+		if s.destroyed {
+			return
+		}
+		idle := s.owned - s.busy
+		if policy.ReleaseDecision(idle, size) {
+			if err := s.prov.Release(s.cfg.Name, size); err != nil {
+				panic(fmt.Sprintf("tre: release %d from %s: %v", size, s.cfg.Name, err))
+			}
+			s.owned -= size
+			return
+		}
+		s.engine.Schedule(s.cfg.Params.IdleCheckInterval, check)
+	}
+	s.engine.Schedule(s.cfg.Params.IdleCheckInterval, check)
+}
+
+// Destroy stops the scan loop and releases every node the TRE holds,
+// including the initial lease (paper lifecycle step 8).
+func (s *Server) Destroy() error {
+	if s.destroyed {
+		return fmt.Errorf("tre: %s already destroyed", s.cfg.Name)
+	}
+	s.destroyed = true
+	if s.stopScan != nil {
+		s.stopScan()
+	}
+	if s.owned > 0 {
+		if err := s.prov.Release(s.cfg.Name, s.owned); err != nil {
+			return err
+		}
+		s.owned = 0
+	}
+	return nil
+}
+
+// Destroyed reports whether the TRE tore itself down.
+func (s *Server) Destroyed() bool { return s.destroyed }
+
+// Owned reports the current lease size.
+func (s *Server) Owned() int { return s.owned }
+
+// Busy reports nodes running jobs.
+func (s *Server) Busy() int { return s.busy }
+
+// QueueLen reports the number of queued (ready, undispatched) jobs.
+func (s *Server) QueueLen() int { return s.queue.Len() }
+
+// Submitted reports how many jobs were submitted.
+func (s *Server) Submitted() int { return s.submitted }
+
+// Completed reports how many jobs finished so far.
+func (s *Server) Completed() int { return len(s.completions) }
+
+// CompletedBy reports how many jobs finished at or before t.
+func (s *Server) CompletedBy(t sim.Time) int {
+	n := 0
+	for _, c := range s.completions {
+		if c <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// Makespan reports the time from first submission to last completion, or 0
+// before anything completed.
+func (s *Server) Makespan() sim.Time {
+	if s.firstSubmit < 0 || s.lastDone <= s.firstSubmit {
+		return 0
+	}
+	return s.lastDone - s.firstSubmit
+}
+
+// TasksPerSecond is the MTC throughput metric: completed tasks over the
+// makespan.
+func (s *Server) TasksPerSecond() float64 {
+	ms := s.Makespan()
+	if ms <= 0 {
+		return 0
+	}
+	return float64(len(s.completions)) / float64(ms)
+}
+
+// RunningEnds snapshots running jobs for backfilling schedulers.
+func (s *Server) RunningEnds() []sched.RunningJob {
+	out := make([]sched.RunningJob, 0, len(s.running))
+	for j, end := range s.running {
+		out = append(out, sched.RunningJob{End: end, Nodes: j.Nodes})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file adds the other scientific workflows distributed by the Pegasus
+// WorkflowGenerator the paper cites for its MTC workloads [15]. Montage is
+// the paper's evaluation workload (montage.go); CyberShake, Epigenomics
+// and LIGO Inspiral exercise different DAG shapes — broad scatter/gather,
+// deep pipelines and paired fan-outs — so the MTC runtime environment and
+// its demand accounting are tested well beyond one topology.
+
+// builder accumulates tasks with sequential IDs.
+type builder struct {
+	rng    *rand.Rand
+	jitter float64
+	nextID int
+	tasks  []Task
+}
+
+func newBuilder(seed int64, jitter float64) *builder {
+	return &builder{rng: rand.New(rand.NewSource(seed)), jitter: jitter, nextID: 1}
+}
+
+func (b *builder) add(typ string, base float64, deps []int) int {
+	id := b.nextID
+	b.nextID++
+	if b.jitter > 0 {
+		base *= math.Exp(b.rng.NormFloat64() * b.jitter)
+	}
+	r := int64(math.Round(base))
+	if r < 1 {
+		r = 1
+	}
+	b.tasks = append(b.tasks, Task{ID: id, Type: typ, Runtime: r, Nodes: 1, Deps: deps})
+	return id
+}
+
+// CyberShakeConfig parameterizes the CyberShake seismic-hazard workflow:
+// per-site ruptures are simulated against two strain Green tensors, then
+// aggregated.
+type CyberShakeConfig struct {
+	Name string
+	Seed int64
+	// Sites is the number of geographic sites (fan-out pairs).
+	Sites int
+	// VariationsPerSite is the rupture-variation count per site.
+	VariationsPerSite int
+	// RuntimeJitter is the lognormal sigma per task.
+	RuntimeJitter float64
+}
+
+// CyberShake generates the CyberShake DAG shape:
+//
+//	per site: ExtractSGT (x2) -> SeismogramSynthesis (per variation)
+//	          -> PeakValCalcOkaya (per variation) -> ZipSeis / ZipPSA (global)
+func CyberShake(cfg CyberShakeConfig) (*DAG, error) {
+	if cfg.Sites < 1 || cfg.VariationsPerSite < 1 {
+		return nil, fmt.Errorf("workflow: cybershake needs sites and variations >= 1, got %d/%d",
+			cfg.Sites, cfg.VariationsPerSite)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "cybershake"
+	}
+	b := newBuilder(cfg.Seed, cfg.RuntimeJitter)
+	var allPeaks, allSeis []int
+	for s := 0; s < cfg.Sites; s++ {
+		sgtX := b.add("ExtractSGT", 110, nil)
+		sgtY := b.add("ExtractSGT", 110, nil)
+		for v := 0; v < cfg.VariationsPerSite; v++ {
+			seis := b.add("SeismogramSynthesis", 22, []int{sgtX, sgtY})
+			allSeis = append(allSeis, seis)
+			peak := b.add("PeakValCalcOkaya", 1, []int{seis})
+			allPeaks = append(allPeaks, peak)
+		}
+	}
+	b.add("ZipSeis", 35, allSeis)
+	b.add("ZipPSA", 35, allPeaks)
+	d := &DAG{Name: cfg.Name, Tasks: b.tasks}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// EpigenomicsConfig parameterizes the USC Epigenomics pipeline: parallel
+// lanes of sequence filtering/mapping feeding one global index.
+type EpigenomicsConfig struct {
+	Name string
+	Seed int64
+	// Lanes is the number of parallel sequence partitions.
+	Lanes int
+	// RuntimeJitter is the lognormal sigma per task.
+	RuntimeJitter float64
+}
+
+// Epigenomics generates the Epigenomics DAG shape: per lane a deep chain
+// fastqSplit -> filterContams -> sol2sanger -> fastq2bfq -> map, then
+// mapMerge -> maqIndex -> pileup across lanes. Deep chains make the
+// critical path long relative to the width — the opposite regime from
+// CyberShake.
+func Epigenomics(cfg EpigenomicsConfig) (*DAG, error) {
+	if cfg.Lanes < 1 {
+		return nil, fmt.Errorf("workflow: epigenomics needs lanes >= 1, got %d", cfg.Lanes)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "epigenomics"
+	}
+	b := newBuilder(cfg.Seed, cfg.RuntimeJitter)
+	split := b.add("fastqSplit", 35, nil)
+	var maps []int
+	for l := 0; l < cfg.Lanes; l++ {
+		filter := b.add("filterContams", 2, []int{split})
+		sol := b.add("sol2sanger", 1, []int{filter})
+		bfq := b.add("fastq2bfq", 2, []int{sol})
+		m := b.add("map", 115, []int{bfq})
+		maps = append(maps, m)
+	}
+	merge := b.add("mapMerge", 9, maps)
+	index := b.add("maqIndex", 2, []int{merge})
+	b.add("pileup", 56, []int{index})
+	d := &DAG{Name: cfg.Name, Tasks: b.tasks}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LigoConfig parameterizes the LIGO Inspiral gravitational-wave analysis:
+// paired template-bank/inspiral fan-outs with thinca coincidence stages.
+type LigoConfig struct {
+	Name string
+	Seed int64
+	// Groups is the number of analysis groups.
+	Groups int
+	// TemplatesPerGroup is the fan-out within each group.
+	TemplatesPerGroup int
+	// RuntimeJitter is the lognormal sigma per task.
+	RuntimeJitter float64
+}
+
+// LigoInspiral generates the Inspiral DAG shape: per group, TmpltBank
+// tasks feed Inspiral tasks gathered by a Thinca; a second Inspiral stage
+// follows TrigBank and gathers into a final Thinca.
+func LigoInspiral(cfg LigoConfig) (*DAG, error) {
+	if cfg.Groups < 1 || cfg.TemplatesPerGroup < 1 {
+		return nil, fmt.Errorf("workflow: ligo needs groups and templates >= 1, got %d/%d",
+			cfg.Groups, cfg.TemplatesPerGroup)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "ligo-inspiral"
+	}
+	b := newBuilder(cfg.Seed, cfg.RuntimeJitter)
+	for g := 0; g < cfg.Groups; g++ {
+		var firstInspirals []int
+		for t := 0; t < cfg.TemplatesPerGroup; t++ {
+			bank := b.add("TmpltBank", 18, nil)
+			insp := b.add("Inspiral", 460, []int{bank})
+			firstInspirals = append(firstInspirals, insp)
+		}
+		thinca1 := b.add("Thinca", 5, firstInspirals)
+		var secondInspirals []int
+		for t := 0; t < cfg.TemplatesPerGroup; t++ {
+			trig := b.add("TrigBank", 5, []int{thinca1})
+			insp := b.add("Inspiral", 460, []int{trig})
+			secondInspirals = append(secondInspirals, insp)
+		}
+		b.add("Thinca", 5, secondInspirals)
+	}
+	d := &DAG{Name: cfg.Name, Tasks: b.tasks}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Generators maps generator names to constructors producing roughly
+// size-task instances, used by cmd/tracegen and the gallery example.
+var Generators = map[string]func(seed int64, size int) (*DAG, error){
+	"montage": func(seed int64, size int) (*DAG, error) {
+		images := size * 166 / 1000
+		if images < 2 {
+			images = 2
+		}
+		return Montage(MontageConfig{
+			Seed: seed, Images: images,
+			Diffs:       maxInt(1, size*657/1000),
+			Shrinks:     maxInt(1, size*6/1000),
+			MeanRuntime: 11.38, RuntimeJitter: 0.25,
+		})
+	},
+	"cybershake": func(seed int64, size int) (*DAG, error) {
+		// sites*(2+2v)+2 tasks: v=24 gives 50 tasks per site.
+		sites := maxInt(1, size/50)
+		return CyberShake(CyberShakeConfig{Seed: seed, Sites: sites, VariationsPerSite: 24, RuntimeJitter: 0.3})
+	},
+	"epigenomics": func(seed int64, size int) (*DAG, error) {
+		lanes := maxInt(1, (size-4)/4)
+		return Epigenomics(EpigenomicsConfig{Seed: seed, Lanes: lanes, RuntimeJitter: 0.3})
+	},
+	"ligo": func(seed int64, size int) (*DAG, error) {
+		// groups*(4t+2) tasks: t=12 gives 50 per group.
+		groups := maxInt(1, size/50)
+		return LigoInspiral(LigoConfig{Seed: seed, Groups: groups, TemplatesPerGroup: 12, RuntimeJitter: 0.3})
+	},
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package workflow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCyberShakeStructure(t *testing.T) {
+	d, err := CyberShake(CyberShakeConfig{Seed: 1, Sites: 3, VariationsPerSite: 5})
+	if err != nil {
+		t.Fatalf("CyberShake: %v", err)
+	}
+	// 3 sites x (2 SGT + 5 seis + 5 peak) + 2 zips = 38.
+	if len(d.Tasks) != 38 {
+		t.Fatalf("tasks = %d, want 38", len(d.Tasks))
+	}
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SGT -> seis -> peak/zipseis -> zippsa.
+	if len(levels) != 4 {
+		t.Errorf("levels = %d, want 4", len(levels))
+	}
+	if len(levels[0]) != 6 {
+		t.Errorf("level 0 = %d ExtractSGT tasks, want 6", len(levels[0]))
+	}
+	w, _ := d.MaxWidth()
+	// Level 2 holds the 15 peak calculations plus ZipSeis (it depends
+	// only on the level-1 seismograms).
+	if w != 16 {
+		t.Errorf("max width = %d, want 16", w)
+	}
+}
+
+func TestCyberShakeValidation(t *testing.T) {
+	if _, err := CyberShake(CyberShakeConfig{Sites: 0, VariationsPerSite: 1}); err == nil {
+		t.Error("zero sites accepted")
+	}
+	if _, err := CyberShake(CyberShakeConfig{Sites: 1, VariationsPerSite: 0}); err == nil {
+		t.Error("zero variations accepted")
+	}
+}
+
+func TestEpigenomicsDeepChains(t *testing.T) {
+	d, err := Epigenomics(EpigenomicsConfig{Seed: 2, Lanes: 8})
+	if err != nil {
+		t.Fatalf("Epigenomics: %v", err)
+	}
+	// 1 split + 8 lanes x 4 + merge + index + pileup = 36.
+	if len(d.Tasks) != 36 {
+		t.Fatalf("tasks = %d, want 36", len(d.Tasks))
+	}
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// split, filter, sol, bfq, map, merge, index, pileup = 8 levels deep.
+	if len(levels) != 8 {
+		t.Errorf("levels = %d, want 8 (deep pipeline)", len(levels))
+	}
+	w, _ := d.MaxWidth()
+	if w != 8 {
+		t.Errorf("max width = %d, want 8 (lanes)", w)
+	}
+	cp, _ := d.CriticalPath()
+	if cp <= 0 {
+		t.Error("critical path missing")
+	}
+}
+
+func TestEpigenomicsValidation(t *testing.T) {
+	if _, err := Epigenomics(EpigenomicsConfig{Lanes: 0}); err == nil {
+		t.Error("zero lanes accepted")
+	}
+}
+
+func TestLigoInspiralPairedStages(t *testing.T) {
+	d, err := LigoInspiral(LigoConfig{Seed: 3, Groups: 2, TemplatesPerGroup: 4})
+	if err != nil {
+		t.Fatalf("LigoInspiral: %v", err)
+	}
+	// Per group: 4 banks + 4 inspirals + thinca + 4 trigbanks +
+	// 4 inspirals + thinca = 18; two groups = 36.
+	if len(d.Tasks) != 36 {
+		t.Fatalf("tasks = %d, want 36", len(d.Tasks))
+	}
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bank, inspiral, thinca, trigbank, inspiral, thinca = 6 levels.
+	if len(levels) != 6 {
+		t.Errorf("levels = %d, want 6", len(levels))
+	}
+	counts := map[string]int{}
+	for _, task := range d.Tasks {
+		counts[task.Type]++
+	}
+	if counts["Inspiral"] != 16 || counts["Thinca"] != 4 {
+		t.Errorf("type counts = %v", counts)
+	}
+}
+
+func TestLigoValidation(t *testing.T) {
+	if _, err := LigoInspiral(LigoConfig{Groups: 0, TemplatesPerGroup: 1}); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestGeneratorsRegistry(t *testing.T) {
+	for name, gen := range Generators {
+		d, err := gen(7, 200)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: invalid DAG: %v", name, err)
+		}
+		if len(d.Tasks) < 20 {
+			t.Errorf("%s: only %d tasks for requested ~200", name, len(d.Tasks))
+		}
+		jobs := d.Jobs(0)
+		if len(jobs) != len(d.Tasks) {
+			t.Errorf("%s: job conversion lost tasks", name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for name, gen := range Generators {
+		a, err := gen(11, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen(11, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(a.Tasks) != len(b.Tasks) {
+			t.Errorf("%s: nondeterministic task count", name)
+			continue
+		}
+		for i := range a.Tasks {
+			if a.Tasks[i].Runtime != b.Tasks[i].Runtime {
+				t.Errorf("%s: task %d runtime differs across runs", name, i)
+				break
+			}
+		}
+	}
+}
+
+// Property: every generator yields acyclic DAGs whose critical path is
+// bounded by the total runtime, for arbitrary seeds and sizes.
+func TestPropertyGeneratorInvariants(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw)%300 + 20
+		for _, gen := range Generators {
+			d, err := gen(seed, size)
+			if err != nil {
+				return false
+			}
+			cp, err := d.CriticalPath()
+			if err != nil {
+				return false
+			}
+			if cp <= 0 || cp > d.TotalRuntime() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MontageConfig parameterizes the Montage DAG generator. The defaults in
+// PaperMontage reproduce the paper's 1,000-task instance.
+type MontageConfig struct {
+	// Name labels the workflow.
+	Name string
+	// Seed drives runtime jitter and overlap-pair selection.
+	Seed int64
+	// Images is the number of input sky images (the width of the
+	// mProjectPP and mBackground levels).
+	Images int
+	// Diffs is the number of overlapping image pairs (the width of the
+	// mDiffFit level, the workflow's widest level). Zero defaults to
+	// roughly four overlaps per image, the shape of a dense mosaic.
+	Diffs int
+	// Shrinks is the number of mShrink tiles. Zero defaults to
+	// max(1, Images/28).
+	Shrinks int
+	// MeanRuntime rescales task runtimes so their mean matches this
+	// value in seconds. Zero keeps the built-in per-type profile.
+	MeanRuntime float64
+	// RuntimeJitter is the lognormal sigma applied per task (0 = none).
+	RuntimeJitter float64
+}
+
+// montageProfile is the relative per-type runtime profile, loosely
+// following published Montage task characterizations: many short parallel
+// tasks plus a few long serial aggregation steps.
+var montageProfile = map[string]float64{
+	"mProjectPP":  13,
+	"mDiffFit":    10,
+	"mConcatFit":  60,
+	"mBgModel":    90,
+	"mBackground": 11,
+	"mImgtbl":     30,
+	"mAdd":        80,
+	"mShrink":     45,
+	"mJPEG":       40,
+}
+
+// TaskCount reports how many tasks the configuration generates:
+// 2*Images + Diffs + Shrinks + 5 serial tasks.
+func (c *MontageConfig) TaskCount() int {
+	c2 := *c
+	c2.applyDefaults()
+	return 2*c2.Images + c2.Diffs + c2.Shrinks + 5
+}
+
+func (c *MontageConfig) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "montage"
+	}
+	if c.Diffs == 0 {
+		c.Diffs = 4*c.Images - 7
+		if c.Diffs < 1 {
+			c.Diffs = 1
+		}
+	}
+	if c.Shrinks == 0 {
+		c.Shrinks = c.Images / 28
+		if c.Shrinks < 1 {
+			c.Shrinks = 1
+		}
+	}
+}
+
+// Montage generates a Montage-shaped DAG:
+//
+//	mProjectPP (Images) -> mDiffFit (Diffs) -> mConcatFit -> mBgModel ->
+//	mBackground (Images) -> mImgtbl -> mAdd -> mShrink (Shrinks) -> mJPEG
+//
+// Each mDiffFit depends on two neighbouring projections; each mBackground
+// on its projection plus the background model; the aggregation tasks on
+// every task of the preceding level. All tasks demand one node.
+func Montage(cfg MontageConfig) (*DAG, error) {
+	if cfg.Images < 2 {
+		return nil, fmt.Errorf("workflow: montage needs >= 2 images, got %d", cfg.Images)
+	}
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &DAG{Name: cfg.Name}
+	nextID := 1
+	add := func(typ string, deps []int) int {
+		id := nextID
+		nextID++
+		d.Tasks = append(d.Tasks, Task{
+			ID:      id,
+			Type:    typ,
+			Runtime: sampleMontageRuntime(rng, typ, cfg.RuntimeJitter),
+			Nodes:   1,
+			Deps:    deps,
+		})
+		return id
+	}
+
+	projects := make([]int, cfg.Images)
+	for i := range projects {
+		projects[i] = add("mProjectPP", nil)
+	}
+
+	diffs := make([]int, cfg.Diffs)
+	for i := range diffs {
+		// Neighbouring pairs: image i overlaps a nearby image, like
+		// tiles in a mosaic grid.
+		a := i % cfg.Images
+		b := (a + 1 + rng.Intn(3)) % cfg.Images
+		if b == a {
+			b = (a + 1) % cfg.Images
+		}
+		diffs[i] = add("mDiffFit", []int{projects[a], projects[b]})
+	}
+
+	concat := add("mConcatFit", diffs)
+	bgModel := add("mBgModel", []int{concat})
+
+	backgrounds := make([]int, cfg.Images)
+	for i := range backgrounds {
+		backgrounds[i] = add("mBackground", []int{projects[i], bgModel})
+	}
+
+	imgtbl := add("mImgtbl", backgrounds)
+	mAdd := add("mAdd", []int{imgtbl})
+
+	shrinks := make([]int, cfg.Shrinks)
+	for i := range shrinks {
+		shrinks[i] = add("mShrink", []int{mAdd})
+	}
+	add("mJPEG", shrinks)
+
+	if cfg.MeanRuntime > 0 {
+		rescaleMean(d, cfg.MeanRuntime)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func sampleMontageRuntime(rng *rand.Rand, typ string, jitter float64) int64 {
+	base := montageProfile[typ]
+	if base == 0 {
+		base = 10
+	}
+	if jitter > 0 {
+		base *= math.Exp(rng.NormFloat64() * jitter)
+	}
+	r := int64(math.Round(base))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// rescaleMean multiplies runtimes so the DAG mean approaches target,
+// distributing integer rounding remainders over the widest level.
+func rescaleMean(d *DAG, target float64) {
+	mean := d.MeanRuntime()
+	if mean == 0 {
+		return
+	}
+	factor := target / mean
+	for i := range d.Tasks {
+		r := int64(math.Round(float64(d.Tasks[i].Runtime) * factor))
+		if r < 1 {
+			r = 1
+		}
+		d.Tasks[i].Runtime = r
+	}
+	// Distribute the remaining whole seconds one at a time.
+	want := int64(math.Round(target * float64(len(d.Tasks))))
+	diff := want - d.TotalRuntime()
+	step := int64(1)
+	if diff < 0 {
+		step = -1
+		diff = -diff
+	}
+	for i := 0; diff > 0 && i < len(d.Tasks); i++ {
+		if d.Tasks[i].Runtime+step >= 1 {
+			d.Tasks[i].Runtime += step
+			diff--
+		}
+	}
+}
+
+// PaperMontage reproduces the paper's workload: 1,000 tasks with mean
+// runtime 11.38 s. The level widths (166 projections, 657 overlap pairs,
+// 6 shrink tiles) match the paper's reported accumulated demand of 166
+// nodes for most of the run and the DRP system's 662-node peak lease.
+func PaperMontage(seed int64) (*DAG, error) {
+	return Montage(MontageConfig{
+		Name:          "montage-1000",
+		Seed:          seed,
+		Images:        166,
+		Diffs:         657,
+		Shrinks:       6,
+		MeanRuntime:   11.38,
+		RuntimeJitter: 0.25,
+	})
+}

@@ -1,0 +1,372 @@
+package workflow
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+)
+
+// diamond returns a 4-task diamond DAG: 1 -> {2,3} -> 4.
+func diamond() *DAG {
+	return &DAG{
+		Name: "diamond",
+		Tasks: []Task{
+			{ID: 1, Type: "a", Runtime: 10, Nodes: 1},
+			{ID: 2, Type: "b", Runtime: 20, Nodes: 1, Deps: []int{1}},
+			{ID: 3, Type: "c", Runtime: 5, Nodes: 1, Deps: []int{1}},
+			{ID: 4, Type: "d", Runtime: 1, Nodes: 1, Deps: []int{2, 3}},
+		},
+	}
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatalf("Validate(diamond) = %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		d    *DAG
+	}{
+		{"duplicate id", &DAG{Tasks: []Task{{ID: 1, Nodes: 1}, {ID: 1, Nodes: 1}}}},
+		{"zero nodes", &DAG{Tasks: []Task{{ID: 1, Nodes: 0}}}},
+		{"negative runtime", &DAG{Tasks: []Task{{ID: 1, Nodes: 1, Runtime: -1}}}},
+		{"missing dep", &DAG{Tasks: []Task{{ID: 1, Nodes: 1, Deps: []int{9}}}}},
+		{"self dep", &DAG{Tasks: []Task{{ID: 1, Nodes: 1, Deps: []int{1}}}}},
+		{"cycle", &DAG{Tasks: []Task{
+			{ID: 1, Nodes: 1, Deps: []int{2}},
+			{ID: 2, Nodes: 1, Deps: []int{1}},
+		}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.d.Validate(); err == nil {
+				t.Error("invalid DAG accepted")
+			}
+		})
+	}
+}
+
+func TestLevels(t *testing.T) {
+	levels, err := diamond().Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	want := [][]int{{1}, {2, 3}, {4}}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v, want %v", levels, want)
+	}
+	for i := range want {
+		if len(levels[i]) != len(want[i]) {
+			t.Errorf("level %d = %v, want %v", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestMaxWidth(t *testing.T) {
+	w, err := diamond().MaxWidth()
+	if err != nil {
+		t.Fatalf("MaxWidth: %v", err)
+	}
+	if w != 2 {
+		t.Errorf("MaxWidth = %d, want 2", w)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	cp, err := diamond().CriticalPath()
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
+	// 10 + 20 + 1 through the slow branch.
+	if cp != 31 {
+		t.Errorf("CriticalPath = %d, want 31", cp)
+	}
+}
+
+func TestTotalAndMeanRuntime(t *testing.T) {
+	d := diamond()
+	if got := d.TotalRuntime(); got != 36 {
+		t.Errorf("TotalRuntime = %d, want 36", got)
+	}
+	if got := d.MeanRuntime(); got != 9 {
+		t.Errorf("MeanRuntime = %g, want 9", got)
+	}
+	empty := &DAG{}
+	if empty.MeanRuntime() != 0 {
+		t.Error("MeanRuntime(empty) != 0")
+	}
+}
+
+func TestJobsConversion(t *testing.T) {
+	jobs := diamond().Jobs(500)
+	if err := job.ValidateAll(jobs); err != nil {
+		t.Fatalf("jobs invalid: %v", err)
+	}
+	for _, j := range jobs {
+		if j.Submit != 500 {
+			t.Errorf("job %d submit = %d, want 500", j.ID, j.Submit)
+		}
+		if j.Class != job.MTC {
+			t.Errorf("job %d class = %v, want MTC", j.ID, j.Class)
+		}
+		if j.Workflow != "diamond" {
+			t.Errorf("job %d workflow = %q", j.ID, j.Workflow)
+		}
+	}
+	if len(jobs[3].Deps) != 2 {
+		t.Errorf("job 4 deps = %v, want 2 deps", jobs[3].Deps)
+	}
+}
+
+func TestJobsDepsAreCopies(t *testing.T) {
+	d := diamond()
+	jobs := d.Jobs(0)
+	jobs[3].Deps[0] = 999
+	if d.Tasks[3].Deps[0] == 999 {
+		t.Error("Jobs shares Deps slice with DAG")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, diamond()); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if d.Name != "diamond" || len(d.Tasks) != 4 {
+		t.Errorf("decoded = %s with %d tasks", d.Name, len(d.Tasks))
+	}
+	if d.Tasks[1].Runtime != 20 || d.Tasks[1].Deps[0] != 1 {
+		t.Errorf("task 2 = %+v", d.Tasks[1])
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	bad := `{"name":"x","tasks":[{"id":1,"nodes":0,"runtime":5}]}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("Decode accepted invalid DAG")
+	}
+	if _, err := Decode(strings.NewReader("{garbage")); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}
+
+func TestMontageStructure(t *testing.T) {
+	d, err := Montage(MontageConfig{Name: "m", Seed: 1, Images: 10, Diffs: 30, Shrinks: 2})
+	if err != nil {
+		t.Fatalf("Montage: %v", err)
+	}
+	wantTasks := 2*10 + 30 + 2 + 5
+	if len(d.Tasks) != wantTasks {
+		t.Fatalf("tasks = %d, want %d", len(d.Tasks), wantTasks)
+	}
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	// mProject, mDiffFit, mConcatFit, mBgModel, mBackground, mImgtbl,
+	// mAdd, mShrink, mJPEG = 9 levels.
+	if len(levels) != 9 {
+		t.Fatalf("levels = %d, want 9", len(levels))
+	}
+	wantWidths := []int{10, 30, 1, 1, 10, 1, 1, 2, 1}
+	for i, w := range wantWidths {
+		if len(levels[i]) != w {
+			t.Errorf("level %d width = %d, want %d", i, len(levels[i]), w)
+		}
+	}
+}
+
+func TestMontageTypesPerLevel(t *testing.T) {
+	d, err := Montage(MontageConfig{Seed: 1, Images: 5})
+	if err != nil {
+		t.Fatalf("Montage: %v", err)
+	}
+	byID := make(map[int]Task)
+	for _, task := range d.Tasks {
+		byID[task.ID] = task
+	}
+	levels, _ := d.Levels()
+	wantTypes := []string{"mProjectPP", "mDiffFit", "mConcatFit", "mBgModel",
+		"mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG"}
+	for i, lvl := range levels {
+		for _, id := range lvl {
+			if byID[id].Type != wantTypes[i] {
+				t.Errorf("level %d has type %s, want %s", i, byID[id].Type, wantTypes[i])
+			}
+		}
+	}
+}
+
+func TestMontageRejectsTooFewImages(t *testing.T) {
+	if _, err := Montage(MontageConfig{Images: 1}); err == nil {
+		t.Error("Montage accepted 1 image")
+	}
+}
+
+func TestMontageDeterministicBySeed(t *testing.T) {
+	a, err := PaperMontage(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperMontage(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("task counts differ")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].Runtime != b.Tasks[i].Runtime {
+			t.Fatalf("task %d runtime differs", i)
+		}
+	}
+}
+
+func TestPaperMontageMatchesPaper(t *testing.T) {
+	d, err := PaperMontage(42)
+	if err != nil {
+		t.Fatalf("PaperMontage: %v", err)
+	}
+	if len(d.Tasks) != 1000 {
+		t.Errorf("tasks = %d, want 1000", len(d.Tasks))
+	}
+	if mean := d.MeanRuntime(); math.Abs(mean-11.38) > 0.6 {
+		t.Errorf("mean runtime = %.2f, want 11.38 +/- 0.6", mean)
+	}
+	w, err := d.MaxWidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 657 {
+		t.Errorf("max width = %d, want 657 (mDiffFit level)", w)
+	}
+	for _, task := range d.Tasks {
+		if task.Nodes != 1 {
+			t.Errorf("task %d demands %d nodes, want 1", task.ID, task.Nodes)
+		}
+	}
+}
+
+func TestMontageTaskCountHelper(t *testing.T) {
+	cfg := MontageConfig{Images: 166, Diffs: 657, Shrinks: 6}
+	if got := cfg.TaskCount(); got != 1000 {
+		t.Errorf("TaskCount = %d, want 1000", got)
+	}
+	d, err := Montage(MontageConfig{Seed: 9, Images: 166, Diffs: 657, Shrinks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tasks) != 1000 {
+		t.Errorf("generated %d tasks, want 1000", len(d.Tasks))
+	}
+}
+
+func TestMontageJobsRoundtripThroughJSON(t *testing.T) {
+	d, err := Montage(MontageConfig{Seed: 3, Images: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Tasks) != len(d.Tasks) {
+		t.Fatalf("roundtrip task count %d != %d", len(d2.Tasks), len(d.Tasks))
+	}
+	cp1, _ := d.CriticalPath()
+	cp2, _ := d2.CriticalPath()
+	if cp1 != cp2 {
+		t.Errorf("critical path changed across roundtrip: %d vs %d", cp1, cp2)
+	}
+}
+
+// Property: for random Montage configurations, the DAG validates, the
+// critical path never exceeds the total runtime, and the max width never
+// exceeds the task count.
+func TestPropertyMontageInvariants(t *testing.T) {
+	f := func(seed int64, img, diffs, shrinks uint8) bool {
+		cfg := MontageConfig{
+			Seed:    seed,
+			Images:  int(img%50) + 2,
+			Diffs:   int(diffs) + 1,
+			Shrinks: int(shrinks%10) + 1,
+		}
+		d, err := Montage(cfg)
+		if err != nil {
+			return false
+		}
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		cp, err := d.CriticalPath()
+		if err != nil {
+			return false
+		}
+		if cp > d.TotalRuntime() || cp <= 0 {
+			return false
+		}
+		w, err := d.MaxWidth()
+		if err != nil {
+			return false
+		}
+		return w <= len(d.Tasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: levels partition the task set and every dependency crosses to
+// a strictly earlier level.
+func TestPropertyLevelsPartitionAndOrder(t *testing.T) {
+	f := func(seed int64, img uint8) bool {
+		d, err := Montage(MontageConfig{Seed: seed, Images: int(img%30) + 2})
+		if err != nil {
+			return false
+		}
+		levels, err := d.Levels()
+		if err != nil {
+			return false
+		}
+		levelOf := make(map[int]int)
+		count := 0
+		for li, lvl := range levels {
+			for _, id := range lvl {
+				if _, dup := levelOf[id]; dup {
+					return false
+				}
+				levelOf[id] = li
+				count++
+			}
+		}
+		if count != len(d.Tasks) {
+			return false
+		}
+		for _, task := range d.Tasks {
+			for _, dep := range task.Deps {
+				if levelOf[dep] >= levelOf[task.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

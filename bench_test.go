@@ -184,11 +184,26 @@ func BenchmarkAblationProvisionPolicy(b *testing.B) {
 }
 
 // BenchmarkFullEvaluation regenerates every artifact in paper order, the
-// whole Section 4 in one measurement.
+// whole Section 4 in one measurement. The suite fans independent
+// simulations out over all CPUs; compare with BenchmarkFullEvaluationSerial
+// for the parallel speedup.
 func BenchmarkFullEvaluation(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		suite := experiments.NewSuite(benchSeed)
+		if _, err := suite.Artifacts(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullEvaluationSerial is the workers=1 reference for the same
+// artifact set: the pre-parallelization behaviour.
+func BenchmarkFullEvaluationSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite(benchSeed)
+		suite.Workers = 1
 		if _, err := suite.Artifacts(); err != nil {
 			b.Fatal(err)
 		}
@@ -207,6 +222,44 @@ func BenchmarkDawningCloudSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(DawningCloud, wls, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDawningCloudSimulationParallel runs independent full
+// simulations on every P, the aggregate-throughput view of the engine:
+// each iteration clones the workloads exactly like the suite's parallel
+// runner does.
+func BenchmarkDawningCloudSimulationParallel(b *testing.B) {
+	wls, err := PaperWorkloads(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Horizon: TwoWeeks}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := Run(DawningCloud, CloneWorkloads(wls), opts); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkRunSystemsAllFour measures the public fan-out runner over the
+// four compared systems on all CPUs.
+func BenchmarkRunSystemsAllFour(b *testing.B) {
+	wls, err := PaperWorkloads(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Horizon: TwoWeeks}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSystems(AllSystems(), wls, opts, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

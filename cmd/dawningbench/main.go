@@ -6,7 +6,12 @@
 //
 //	dawningbench [-experiment all|table1|fig9|fig10|fig11|table2|table3|table4|fig12|fig13|fig14|tco
 //	              |ext-scale|ext-backfill|ext-provision|extensions]
-//	             [-seed N] [-days N] [-out DIR]
+//	             [-seed N] [-days N] [-out DIR] [-workers N]
+//
+// Independent simulations (the four system runs and every sweep grid
+// point) fan out over up to -workers concurrent workers; 0 uses all CPUs
+// and 1 restores the serial reference behaviour. Artifact content is
+// identical at any worker count.
 package main
 
 import (
@@ -24,11 +29,13 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		days       = flag.Int("days", 14, "trace window in days (the paper uses 14)")
 		outDir     = flag.String("out", "", "directory for .txt/.svg artifacts (optional)")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
 	suite := experiments.NewSuite(*seed)
 	suite.Days = *days
+	suite.Workers = *workers
 
 	artifacts, err := collect(suite, *experiment)
 	if err != nil {

@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	dcsim -system dawningcloud|ssp|dcs|drp -workload nasa|blue|montage
-//	      [-b 40] [-r 1.2] [-seed 42] [-days 14] [-capacity 0]
+//	dcsim -system dawningcloud|ssp|dcs|drp|all -workload nasa|blue|montage
+//	      [-b 40] [-r 1.2] [-seed 42] [-days 14] [-capacity 0] [-workers 0]
+//
+// With -system all, every compared system runs over the workload
+// concurrently on up to -workers simulations (0 = all CPUs).
 //
 // It can also replay an external trace:
 //
@@ -28,7 +31,8 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "dawningcloud", "system: dawningcloud, ssp, dcs or drp")
+		system   = flag.String("system", "dawningcloud", "system: dawningcloud, ssp, dcs, drp or all")
+		workers  = flag.Int("workers", 0, "max concurrent simulations for -system all (0 = all CPUs)")
 		load     = flag.String("workload", "nasa", "builtin workload: nasa, blue or montage")
 		b        = flag.Int("b", 0, "initial nodes B (0 = paper default for the workload)")
 		r        = flag.Float64("r", 0, "threshold ratio R (0 = paper default)")
@@ -52,19 +56,30 @@ func main() {
 		wl.Params.ThresholdRatio = *r
 	}
 
+	opts := dawningcloud.Options{Horizon: horizon, PoolCapacity: *capacity}
+	if *system == "all" {
+		results, err := dawningcloud.RunSystems(dawningcloud.AllSystems(), []dawningcloud.Workload{wl}, opts, *workers)
+		if err != nil {
+			fail(err)
+		}
+		for _, res := range results {
+			printResult(res, wl.Name)
+		}
+		return
+	}
 	sys, err := parseSystem(*system)
 	if err != nil {
 		fail(err)
 	}
-	res, err := dawningcloud.Run(sys, []dawningcloud.Workload{wl}, dawningcloud.Options{
-		Horizon:      horizon,
-		PoolCapacity: *capacity,
-	})
+	res, err := dawningcloud.Run(sys, []dawningcloud.Workload{wl}, opts)
 	if err != nil {
 		fail(err)
 	}
+	printResult(res, wl.Name)
+}
 
-	fmt.Printf("system: %s  workload: %s  horizon: %dh\n", res.System, wl.Name, res.Horizon/3600)
+func printResult(res dawningcloud.Result, workload string) {
+	fmt.Printf("system: %s  workload: %s  horizon: %dh\n", res.System, workload, res.Horizon/3600)
 	for _, p := range res.Providers {
 		fmt.Printf("provider %s (%v):\n", p.Name, p.Class)
 		fmt.Printf("  completed jobs:        %d / %d\n", p.Completed, p.Submitted)

@@ -26,11 +26,13 @@ package dawningcloud
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/job"
+	"repro/internal/par"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -116,6 +118,39 @@ func Run(system System, workloads []Workload, opts Options) (Result, error) {
 // paper's First-Fit HTC dispatch (the scheduler ablation).
 func RunWithBackfill(workloads []Workload, opts Options) (Result, error) {
 	return core.Run(workloads, core.Config{Options: opts, EasyBackfill: true})
+}
+
+// RunSystems simulates several systems over the same workloads
+// concurrently, bounded by workers (0 means runtime.NumCPU()). Each run
+// receives a deep clone of the workloads so no simulation aliases
+// another's job slices, and results come back indexed like the input
+// regardless of completion order.
+func RunSystems(sys []System, workloads []Workload, opts Options, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	results := make([]Result, len(sys))
+	err := par.ForEach(workers, len(sys), func(i int) error {
+		r, err := Run(sys[i], systems.CloneWorkloads(workloads), opts)
+		if err != nil {
+			return fmt.Errorf("dawningcloud: run %v: %w", sys[i], err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AllSystems lists the four compared systems in presentation order.
+func AllSystems() []System { return []System{DCS, SSP, DRP, DawningCloud} }
+
+// CloneWorkloads deep-copies a workload set (job slices and their Deps
+// included) so concurrent runs never alias each other's state.
+func CloneWorkloads(workloads []Workload) []Workload {
+	return systems.CloneWorkloads(workloads)
 }
 
 // HTCPolicy returns the paper's HTC policy schedule with initial nodes B

@@ -102,6 +102,47 @@ func TestRunUnknownSystem(t *testing.T) {
 	}
 }
 
+// TestRunSystemsMatchesSequentialRuns checks the concurrent fan-out
+// runner: input-ordered results, identical to one-at-a-time Run calls,
+// and no mutation of the caller's workloads.
+func TestRunSystemsMatchesSequentialRuns(t *testing.T) {
+	montage, err := MontageWorkload(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls := []Workload{montage}
+	opts := Options{Horizon: 6 * 3600}
+	parallel, err := RunSystems(AllSystems(), wls, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != 4 {
+		t.Fatalf("results = %d, want 4", len(parallel))
+	}
+	for i, system := range AllSystems() {
+		res, err := Run(system, CloneWorkloads(wls), opts)
+		if err != nil {
+			t.Fatalf("Run(%v): %v", system, err)
+		}
+		if parallel[i].System != res.System {
+			t.Errorf("result %d = %s, want %s (input order)", i, parallel[i].System, res.System)
+		}
+		if parallel[i].TotalNodeHours != res.TotalNodeHours || parallel[i].PeakNodes != res.PeakNodes {
+			t.Errorf("%v diverged from sequential run: %.0f/%d vs %.0f/%d", system,
+				parallel[i].TotalNodeHours, parallel[i].PeakNodes, res.TotalNodeHours, res.PeakNodes)
+		}
+	}
+	if wls[0].Params.InitialNodes != montage.Params.InitialNodes || len(wls[0].Jobs) != len(montage.Jobs) {
+		t.Error("RunSystems mutated the caller's workloads")
+	}
+}
+
+func TestRunSystemsPropagatesErrors(t *testing.T) {
+	if _, err := RunSystems([]System{DawningCloud, System(42)}, nil, Options{}, 2); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
 func TestRunWithBackfillCompletesWork(t *testing.T) {
 	nasa, err := NASATrace(9)
 	if err != nil {

@@ -41,6 +41,12 @@ type Config struct {
 
 // Run simulates DawningCloud over the given workloads and returns the
 // shared Result type for comparison with the baseline systems.
+//
+// Run is safe to call from concurrent goroutines: every piece of mutable
+// state (engine, pool, accountant, provision service, servers) is
+// constructed per call, and workloads are only read — jobs are immutable
+// by contract (see job.Job). Callers that retune or resort workloads
+// between concurrent runs must pass clones (systems.CloneWorkloads).
 func Run(workloads []systems.Workload, cfg Config) (systems.Result, error) {
 	if err := systems.ValidateWorkloads(workloads); err != nil {
 		return systems.Result{}, err

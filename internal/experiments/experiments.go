@@ -9,10 +9,13 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/job"
+	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -46,28 +49,84 @@ const (
 )
 
 // Suite fixes workloads and options for one reproduction run.
+//
+// A Suite is safe for concurrent use: RunAll, Sweep and Artifacts fan
+// their independent simulations out over a bounded worker pool, results
+// are cached under a lock held only for the map check/fill (never across
+// a simulation), and identical in-flight runs are deduplicated
+// singleflight-style so concurrent callers share one simulation instead
+// of racing to repeat it.
 type Suite struct {
 	// Seed drives all synthetic generation.
 	Seed int64
 	// Days shortens the trace window (default 14, the paper's two
 	// weeks). Tests use smaller windows.
 	Days int
+	// Workers bounds how many simulations run concurrently across
+	// RunAll, Sweep and Artifacts. Zero means runtime.NumCPU(); one
+	// forces the serial reference behaviour. Set it before the first
+	// run.
+	Workers int
 
-	mu        sync.Mutex
-	workloads []systems.Workload
-	results   map[string]systems.Result
+	workloadsOnce sync.Once
+	workloads     []systems.Workload
+	workloadsErr  error
+
+	mu       sync.Mutex
+	sem      chan struct{} // bounds concurrent simulations suite-wide
+	results  map[string]systems.Result
+	inflight map[string]*runCall
+
+	simulations atomic.Int64
+}
+
+// runCall is one in-flight Run shared by every concurrent caller asking
+// for the same system.
+type runCall struct {
+	done chan struct{}
+	res  systems.Result
+	err  error
 }
 
 // NewSuite builds a suite with the paper's two-week window.
 func NewSuite(seed int64) *Suite {
-	return &Suite{Seed: seed, Days: 14, results: make(map[string]systems.Result)}
+	return &Suite{Seed: seed, Days: 14}
 }
 
 // NewQuickSuite builds a reduced suite for fast tests: a shorter trace
 // window with the same calibration targets.
 func NewQuickSuite(seed int64) *Suite {
-	return &Suite{Seed: seed, Days: 4, results: make(map[string]systems.Result)}
+	return &Suite{Seed: seed, Days: 4}
 }
+
+// workers resolves the effective pool size.
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// simulate runs one simulation under a suite-wide semaphore slot and
+// counts it. The semaphore spans every fan-out (Artifacts over steps,
+// each step over systems or grid points), so nested parallelism never
+// exceeds Workers concurrent simulations in total.
+func (s *Suite) simulate(fn func() error) error {
+	s.mu.Lock()
+	if s.sem == nil {
+		s.sem = make(chan struct{}, s.workers())
+	}
+	sem := s.sem
+	s.mu.Unlock()
+	sem <- struct{}{}
+	defer func() { <-sem }()
+	s.simulations.Add(1)
+	return fn()
+}
+
+// Simulations reports how many full system simulations the suite has
+// executed (cache hits and deduplicated concurrent calls excluded).
+func (s *Suite) Simulations() int64 { return s.simulations.Load() }
 
 // Horizon is the accounting window.
 func (s *Suite) Horizon() sim.Time { return sim.Time(s.Days) * sim.Day }
@@ -79,17 +138,16 @@ func (s *Suite) Options() systems.Options {
 
 // Workloads builds (once) the three service providers' workloads: two HTC
 // organizations replaying the NASA-like and BLUE-like traces, and one MTC
-// organization running the Montage workflow mid-trace.
+// organization running the Montage workflow mid-trace. The returned slice
+// is the shared cached copy; runs clone it before mutating anything.
 func (s *Suite) Workloads() ([]systems.Workload, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.workloadsLocked()
+	s.workloadsOnce.Do(func() {
+		s.workloads, s.workloadsErr = s.buildWorkloads()
+	})
+	return s.workloads, s.workloadsErr
 }
 
-func (s *Suite) workloadsLocked() ([]systems.Workload, error) {
-	if s.workloads != nil {
-		return s.workloads, nil
-	}
+func (s *Suite) buildWorkloads() ([]systems.Workload, error) {
 	nasaModel := synth.NASAiPSC(s.Seed)
 	nasaModel.Days = s.Days
 	nasa, err := nasaModel.Generate()
@@ -113,7 +171,7 @@ func (s *Suite) workloadsLocked() ([]systems.Workload, error) {
 	// Submit the workflow mid-trace during a busy morning hour so the
 	// consolidated peak reflects coexisting workloads.
 	montageAt := sim.Time(s.Days/2)*sim.Day + 11*sim.Hour
-	s.workloads = []systems.Workload{
+	return []systems.Workload{
 		{
 			Name:       NASAProvider,
 			Class:      job.HTC,
@@ -135,55 +193,104 @@ func (s *Suite) workloadsLocked() ([]systems.Workload, error) {
 			FixedNodes: MontageFixed,
 			Params:     policy.MTCDefaults(MontageInitial, MontageRatio),
 		},
-	}
-	return s.workloads, nil
+	}, nil
 }
 
 // SystemNames lists the four compared systems in presentation order.
 var SystemNames = []string{"DCS", "SSP", "DRP", "DawningCloud"}
 
 // Run simulates one system over the consolidated three-provider workload,
-// caching the result.
+// caching the result. The lock guards only the cache check/fill, never a
+// simulation; concurrent callers asking for the same system share one
+// in-flight run instead of repeating it.
 func (s *Suite) Run(system string) (systems.Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if r, ok := s.results[system]; ok {
+		s.mu.Unlock()
 		return r, nil
 	}
-	workloads, err := s.workloadsLocked()
+	if c, ok := s.inflight[system]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &runCall{done: make(chan struct{})}
+	if s.inflight == nil {
+		s.inflight = make(map[string]*runCall)
+	}
+	s.inflight[system] = c
+	s.mu.Unlock()
+
+	c.res, c.err = s.runSystem(system)
+
+	s.mu.Lock()
+	delete(s.inflight, system)
+	if c.err == nil {
+		if s.results == nil {
+			s.results = make(map[string]systems.Result)
+		}
+		s.results[system] = c.res
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// runSystem executes one full simulation on a cloned workload set. The
+// baseline runners and core.Run only read their workloads, but cloning
+// makes the isolation unconditional: no concurrent run can observe
+// another's job slices no matter how a future runner evolves.
+func (s *Suite) runSystem(system string) (systems.Result, error) {
+	runner, ok := systemRunners[system]
+	if !ok {
+		return systems.Result{}, fmt.Errorf("experiments: unknown system %q", system)
+	}
+	workloads, err := s.Workloads()
 	if err != nil {
 		return systems.Result{}, err
 	}
-	opts := systems.Options{Horizon: s.Horizon(), Provision: policy.GrantOrReject}
+	opts := s.Options()
 	var r systems.Result
-	switch system {
-	case "DCS":
-		r, err = systems.RunDCS(workloads, opts)
-	case "SSP":
-		r, err = systems.RunSSP(workloads, opts)
-	case "DRP":
-		r, err = systems.RunDRP(workloads, opts)
-	case "DawningCloud":
-		r, err = core.Run(workloads, core.Config{Options: opts})
-	default:
-		return systems.Result{}, fmt.Errorf("experiments: unknown system %q", system)
-	}
+	err = s.simulate(func() (err error) {
+		r, err = runner(systems.CloneWorkloads(workloads), opts)
+		if err != nil {
+			return fmt.Errorf("experiments: run %s: %w", system, err)
+		}
+		return nil
+	})
 	if err != nil {
-		return systems.Result{}, fmt.Errorf("experiments: run %s: %w", system, err)
+		return systems.Result{}, err
 	}
-	s.results[system] = r
 	return r, nil
 }
 
-// RunAll simulates all four systems.
+// systemRunners maps a system name to its runner.
+var systemRunners = map[string]func([]systems.Workload, systems.Options) (systems.Result, error){
+	"DCS": systems.RunDCS,
+	"SSP": systems.RunSSP,
+	"DRP": systems.RunDRP,
+	"DawningCloud": func(wls []systems.Workload, opts systems.Options) (systems.Result, error) {
+		return core.Run(wls, core.Config{Options: opts})
+	},
+}
+
+// RunAll simulates all four systems, fanning out over the worker pool.
 func (s *Suite) RunAll() (map[string]systems.Result, error) {
-	out := make(map[string]systems.Result, len(SystemNames))
-	for _, name := range SystemNames {
-		r, err := s.Run(name)
+	results := make([]systems.Result, len(SystemNames))
+	err := par.ForEach(s.workers(), len(SystemNames), func(i int) error {
+		r, err := s.Run(SystemNames[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[name] = r
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]systems.Result, len(SystemNames))
+	for i, name := range SystemNames {
+		out[name] = results[i]
 	}
 	return out, nil
 }

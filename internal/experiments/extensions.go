@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/job"
+	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/policy"
 	"repro/internal/synth"
@@ -53,12 +54,18 @@ func (s *Suite) ScaleStudy(n int) ([]ScalePoint, error) {
 			FixedNodes: model.MachineNodes,
 			Params:     policy.HTCDefaults(NASAInitial, NASARatio),
 		})
-		dcs, err := systems.RunDCS(workloads, opts)
-		if err != nil {
-			return nil, err
+		var dcs, dsp systems.Result
+		runs := []func() error{
+			func() (err error) {
+				dcs, err = systems.RunDCS(systems.CloneWorkloads(workloads), opts)
+				return err
+			},
+			func() (err error) {
+				dsp, err = core.Run(systems.CloneWorkloads(workloads), core.Config{Options: opts})
+				return err
+			},
 		}
-		dsp, err := core.Run(workloads, core.Config{Options: opts})
-		if err != nil {
+		if err := s.runPair(runs); err != nil {
 			return nil, err
 		}
 		pt := ScalePoint{
@@ -116,12 +123,18 @@ func (s *Suite) AblationBackfill(provider string) (Artifact, error) {
 		return Artifact{}, err
 	}
 	opts := s.Options()
-	ff, err := core.Run([]systems.Workload{*wl}, core.Config{Options: opts})
-	if err != nil {
-		return Artifact{}, err
+	var ff, easy systems.Result
+	runs := []func() error{
+		func() (err error) {
+			ff, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: opts})
+			return err
+		},
+		func() (err error) {
+			easy, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: opts, EasyBackfill: true})
+			return err
+		},
 	}
-	easy, err := core.Run([]systems.Workload{*wl}, core.Config{Options: opts, EasyBackfill: true})
-	if err != nil {
+	if err := s.runPair(runs); err != nil {
 		return Artifact{}, err
 	}
 	pf, _ := ff.Provider(provider)
@@ -158,12 +171,18 @@ func (s *Suite) AblationProvision(provider string, capacity int) (Artifact, erro
 	strictOpts, effortOpts := opts, opts
 	strictOpts.Provision = policy.GrantOrReject
 	effortOpts.Provision = policy.BestEffort
-	strict, err := core.Run([]systems.Workload{*wl}, core.Config{Options: strictOpts})
-	if err != nil {
-		return Artifact{}, err
+	var strict, effort systems.Result
+	runs := []func() error{
+		func() (err error) {
+			strict, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: strictOpts})
+			return err
+		},
+		func() (err error) {
+			effort, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: effortOpts})
+			return err
+		},
 	}
-	effort, err := core.Run([]systems.Workload{*wl}, core.Config{Options: effortOpts})
-	if err != nil {
+	if err := s.runPair(runs); err != nil {
 		return Artifact{}, err
 	}
 	ps, _ := strict.Provider(provider)
@@ -187,6 +206,14 @@ func (s *Suite) AblationProvision(provider string, capacity int) (Artifact, erro
 			"effort_rejected":  float64(effort.RejectedRequests),
 		},
 	}, nil
+}
+
+// runPair executes an ablation's two independent simulations on the
+// worker pool, each under a suite semaphore slot.
+func (s *Suite) runPair(runs []func() error) error {
+	return par.ForEach(s.workers(), len(runs), func(i int) error {
+		return s.simulate(runs[i])
+	})
 }
 
 func (s *Suite) workloadByName(name string) (*systems.Workload, error) {

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/systems"
+)
+
+// TestRunAllConcurrentCallers hammers one suite from many goroutines
+// under -race: every caller must observe identical results, and the
+// singleflight dedup must collapse the work to exactly one simulation
+// per system.
+func TestRunAllConcurrentCallers(t *testing.T) {
+	s := NewQuickSuite(42)
+	const callers = 8
+	results := make([]map[string]systems.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = s.RunAll()
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("caller %d saw different results", i)
+		}
+	}
+	if got := s.Simulations(); got != int64(len(SystemNames)) {
+		t.Errorf("simulations = %d, want %d (one per system, dedup collapsing the rest)",
+			got, len(SystemNames))
+	}
+}
+
+// TestSweepConcurrentCallers runs two different sweeps from concurrent
+// goroutines over one suite, the -race check for the grid fan-out.
+func TestSweepConcurrentCallers(t *testing.T) {
+	s := NewQuickSuite(42)
+	var wg sync.WaitGroup
+	var mtc, htc []SweepPoint
+	var mtcErr, htcErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		mtc, mtcErr = s.Sweep(MontageProvider, []int{10, 80}, []float64{8})
+	}()
+	go func() {
+		defer wg.Done()
+		htc, htcErr = s.Sweep(NASAProvider, []int{20, 40}, []float64{1.2})
+	}()
+	wg.Wait()
+	if mtcErr != nil || htcErr != nil {
+		t.Fatalf("sweeps failed: %v / %v", mtcErr, htcErr)
+	}
+	if len(mtc) != 2 || len(htc) != 2 {
+		t.Fatalf("points = %d/%d, want 2/2", len(mtc), len(htc))
+	}
+	for _, p := range htc {
+		if p.TasksPerSecond != 0 {
+			t.Errorf("HTC point B%d reports tasks/second %.2f, want 0", p.B, p.TasksPerSecond)
+		}
+		if p.Perf != float64(p.Completed) {
+			t.Errorf("HTC point B%d plots %.2f, want completed jobs %d", p.B, p.Perf, p.Completed)
+		}
+	}
+	for _, p := range mtc {
+		if p.Perf != p.TasksPerSecond {
+			t.Errorf("MTC point B%d plots %.2f, want tasks/second %.2f", p.B, p.Perf, p.TasksPerSecond)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract: a parallel suite
+// must produce bit-identical Results, SweepPoints and artifact Values to
+// the workers=1 reference on the same seed.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := NewQuickSuite(7)
+	serial.Workers = 1
+	parallel := NewQuickSuite(7)
+	parallel.Workers = runtime.NumCPU()
+
+	sr, err := serial.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := parallel.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sr, pr) {
+		t.Errorf("RunAll diverged:\nserial:   %+v\nparallel: %+v", sr, pr)
+	}
+
+	sp, err := serial.Sweep(MontageProvider, SweepInitials, SweepRatiosMTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := parallel.Sweep(MontageProvider, SweepInitials, SweepRatiosMTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, pp) {
+		t.Errorf("Sweep diverged:\nserial:   %+v\nparallel: %+v", sp, pp)
+	}
+
+	sa, err := serial.Artifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := parallel.Artifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa) != len(pa) {
+		t.Fatalf("artifact counts diverged: %d vs %d", len(sa), len(pa))
+	}
+	for i := range sa {
+		if sa[i].ID != pa[i].ID {
+			t.Errorf("artifact %d order diverged: %s vs %s", i, sa[i].ID, pa[i].ID)
+		}
+		if !reflect.DeepEqual(sa[i].Values, pa[i].Values) {
+			t.Errorf("artifact %s Values diverged:\nserial:   %v\nparallel: %v",
+				sa[i].ID, sa[i].Values, pa[i].Values)
+		}
+		if sa[i].Text != pa[i].Text {
+			t.Errorf("artifact %s rendered text diverged", sa[i].ID)
+		}
+	}
+}
+
+// TestSweepDoesNotMutateBase asserts the deep-copy fix: retuning grid
+// points must never write through to the suite's cached workloads.
+func TestSweepDoesNotMutateBase(t *testing.T) {
+	s := NewQuickSuite(42)
+	before, err := s.Workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var montage systems.Workload
+	for _, wl := range before {
+		if wl.Name == MontageProvider {
+			montage = wl.Clone()
+		}
+	}
+	if _, err := s.Sweep(MontageProvider, []int{77}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.workloadByName(MontageProvider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Params != montage.Params {
+		t.Errorf("sweep mutated cached params: %+v -> %+v", montage.Params, after.Params)
+	}
+	if !reflect.DeepEqual(after.Jobs, montage.Jobs) {
+		t.Error("sweep mutated cached jobs")
+	}
+}
+
+// TestWorkloadCloneIsolation asserts the clone severs every backing
+// array a struct copy would share.
+func TestWorkloadCloneIsolation(t *testing.T) {
+	orig := systems.Workload{
+		Name:  "w",
+		Class: job.MTC,
+		Jobs: []job.Job{
+			{ID: 1, Nodes: 1, Runtime: 5, Workflow: "wf"},
+			{ID: 2, Nodes: 2, Runtime: 5, Deps: []int{1}, Workflow: "wf"},
+		},
+		FixedNodes: 4,
+	}
+	c := orig.Clone()
+	c.Jobs[0].Nodes = 99
+	c.Jobs[1].Deps[0] = 42
+	c.Params.InitialNodes = 7
+	if orig.Jobs[0].Nodes != 1 {
+		t.Error("clone shares the job slice")
+	}
+	if orig.Jobs[1].Deps[0] != 1 {
+		t.Error("clone shares a Deps slice")
+	}
+	if orig.Params.InitialNodes != 0 {
+		t.Error("clone shares params")
+	}
+}
+
+// TestArtifactsConcurrentWithExtensions drives the full artifact set and
+// the extension studies from concurrent goroutines, the widest -race
+// surface the suite exposes.
+func TestArtifactsConcurrentWithExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact set")
+	}
+	s := NewQuickSuite(42)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		_, err := s.Artifacts()
+		errCh <- err
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := s.AblationBackfill(NASAProvider)
+		errCh <- err
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := s.ScaleStudy(2)
+		errCh <- err
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/systems"
 )
@@ -16,53 +18,73 @@ var (
 	SweepRatiosMTC = []float64{2, 4, 8, 16}
 )
 
-// SweepPoint is one parameter combination's outcome.
+// SweepPoint is one parameter combination's outcome. Both performance
+// quantities are recorded separately so a sweep surface never splices
+// incomparable units: Completed counts finished jobs (or workflow tasks)
+// and TasksPerSecond is the MTC throughput (zero for HTC workloads).
 type SweepPoint struct {
 	B         int
 	R         float64
 	NodeHours float64
-	// Perf is completed jobs for HTC, tasks/second for MTC.
+	// Completed is the number of jobs (HTC) or workflow tasks (MTC)
+	// finished within the accounting window.
+	Completed int
+	// TasksPerSecond is the MTC throughput; it stays 0 for HTC
+	// workloads rather than standing in for a job count.
+	TasksPerSecond float64
+	// Perf is the metric the corresponding paper figure plots, chosen
+	// by workload class: Completed for HTC (Figures 9-10),
+	// TasksPerSecond for MTC (Figure 11).
 	Perf float64
 }
 
 // Sweep runs DawningCloud over the B x R grid for one provider's workload
-// in isolation, the paper's parameter-tuning methodology.
+// in isolation, the paper's parameter-tuning methodology. Grid points are
+// independent simulations, so they fan out over the suite's worker pool;
+// the returned slice is always in b-major, r-minor grid order regardless
+// of scheduling. Each point deep-clones the base workload before retuning
+// it, so no grid point ever aliases the cached workloads or another point.
 func (s *Suite) Sweep(provider string, bs []int, rs []float64) ([]SweepPoint, error) {
-	workloads, err := s.Workloads()
+	base, err := s.workloadByName(provider)
 	if err != nil {
 		return nil, err
 	}
-	var base *systems.Workload
-	for i := range workloads {
-		if workloads[i].Name == provider {
-			base = &workloads[i]
-			break
-		}
-	}
-	if base == nil {
-		return nil, fmt.Errorf("experiments: unknown provider %q", provider)
-	}
 	opts := s.Options()
-	var points []SweepPoint
-	for _, b := range bs {
-		for _, r := range rs {
-			wl := *base
+	points := make([]SweepPoint, len(bs)*len(rs))
+	err = par.ForEach(s.workers(), len(points), func(i int) error {
+		b, r := bs[i/len(rs)], rs[i%len(rs)]
+		var res systems.Result
+		err := s.simulate(func() (err error) {
+			wl := base.Clone()
 			wl.Params.InitialNodes = b
 			wl.Params.ThresholdRatio = r
-			res, err := core.Run([]systems.Workload{wl}, core.Config{Options: opts})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep %s B%d R%g: %w", provider, b, r, err)
-			}
-			p, ok := res.Provider(provider)
-			if !ok {
-				return nil, fmt.Errorf("experiments: sweep %s B%d R%g: provider missing", provider, b, r)
-			}
-			perf := float64(p.Completed)
-			if p.TasksPerSecond > 0 {
-				perf = p.TasksPerSecond
-			}
-			points = append(points, SweepPoint{B: b, R: r, NodeHours: p.NodeHours, Perf: perf})
+			res, err = core.Run([]systems.Workload{wl}, core.Config{Options: opts})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: sweep %s B%d R%g: %w", provider, b, r, err)
 		}
+		p, ok := res.Provider(provider)
+		if !ok {
+			return fmt.Errorf("experiments: sweep %s B%d R%g: provider missing", provider, b, r)
+		}
+		pt := SweepPoint{
+			B:              b,
+			R:              r,
+			NodeHours:      p.NodeHours,
+			Completed:      p.Completed,
+			TasksPerSecond: p.TasksPerSecond,
+		}
+		if base.Class == job.MTC {
+			pt.Perf = p.TasksPerSecond
+		} else {
+			pt.Perf = float64(p.Completed)
+		}
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -73,7 +95,7 @@ func sweepArtifact(id, title, perfLabel, paperRef string, points []SweepPoint) A
 	xs := make([]string, len(points))
 	consumption := make([]float64, len(points))
 	perf := make([]float64, len(points))
-	values := make(map[string]float64, 2*len(points))
+	values := make(map[string]float64, 4*len(points))
 	for i, p := range points {
 		key := fmt.Sprintf("B%d_R%g", p.B, p.R)
 		xs[i] = key
@@ -81,6 +103,8 @@ func sweepArtifact(id, title, perfLabel, paperRef string, points []SweepPoint) A
 		perf[i] = p.Perf
 		values["nodehours_"+key] = p.NodeHours
 		values["perf_"+key] = p.Perf
+		values["completed_"+key] = float64(p.Completed)
+		values["tps_"+key] = p.TasksPerSecond
 	}
 	series := []plot.Series{
 		{Label: "resource consumption (node*hour)", Y: consumption},
@@ -90,7 +114,8 @@ func sweepArtifact(id, title, perfLabel, paperRef string, points []SweepPoint) A
 		ID:    id,
 		Title: title,
 		Text: plot.LineTable(title, "parameters", xs, series,
-			"DawningCloud only; each row is one (B, R) configuration"),
+			"DawningCloud only; each row is one (B, R) configuration; "+
+				"performance column plots "+perfLabel),
 		SVG:      plot.LineChartSVG(title, "parameters (B, R)", "value", xs, series),
 		PaperRef: paperRef,
 		Values:   values,
@@ -136,21 +161,29 @@ func (s *Suite) Figure11() (Artifact, error) {
 		points), nil
 }
 
-// Artifacts runs every experiment in paper order.
+// Artifacts runs every experiment and returns them in paper order. The
+// steps fan out over the worker pool: the three sweeps proceed while the
+// table and figure steps share the four deduplicated system runs, and the
+// suite-wide semaphore keeps total simulation concurrency bounded.
 func (s *Suite) Artifacts() ([]Artifact, error) {
-	out := []Artifact{Table1()}
 	steps := []func() (Artifact, error){
 		s.Figure9, s.Figure10, s.Figure11,
 		s.Table2, s.Table3, s.Table4,
 		s.Figure12, s.Figure13, s.Figure14,
 		TCO,
 	}
-	for _, step := range steps {
-		a, err := step()
+	out := make([]Artifact, 1+len(steps))
+	out[0] = Table1()
+	err := par.ForEach(s.workers(), len(steps), func(i int) error {
+		a, err := steps[i]()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, a)
+		out[i+1] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

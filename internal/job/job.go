@@ -82,6 +82,30 @@ func (j *Job) NodeSeconds() int64 {
 	return int64(j.Nodes) * j.Runtime
 }
 
+// Clone returns a deep copy of the job: the Deps slice gets its own
+// backing array, so mutating the copy can never reach the original.
+func (j *Job) Clone() Job {
+	out := *j
+	if j.Deps != nil {
+		out.Deps = make([]int, len(j.Deps))
+		copy(out.Deps, j.Deps)
+	}
+	return out
+}
+
+// CloneAll deep-copies a job slice. Concurrent simulation runs each get
+// their own copy so no run ever aliases another's workload.
+func CloneAll(jobs []Job) []Job {
+	if jobs == nil {
+		return nil
+	}
+	out := make([]Job, len(jobs))
+	for i := range jobs {
+		out[i] = jobs[i].Clone()
+	}
+	return out
+}
+
 // ValidateAll checks every job in a workload and that IDs are unique.
 func ValidateAll(jobs []Job) error {
 	seen := make(map[int]bool, len(jobs))

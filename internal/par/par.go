@@ -1,0 +1,66 @@
+// Package par provides the bounded fan-out primitive shared by the
+// experiment suite and the public multi-system runner. The simulations in
+// this repository are embarrassingly parallel — independent system runs
+// and parameter-sweep grid points share no state once workloads are
+// cloned — so a fixed worker pool with deterministic, index-addressed
+// output is all the orchestration they need.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), ..., fn(n-1) across at most workers goroutines and
+// waits for all of them. Callers get deterministic output by writing
+// results into caller-owned slots indexed by i. Once any call fails, no
+// further calls start (in-flight ones finish), mirroring the serial
+// loop's short-circuit; among the calls that did run, the error of the
+// lowest index wins. workers <= 1 (or n <= 1) degrades to a plain serial
+// loop on the calling goroutine.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		n := 37
+		counts := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Error("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReportsFailure(t *testing.T) {
+	err := ForEach(8, 20, func(i int) error {
+		if i == 1 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail 1" {
+		t.Errorf("err = %v, want fail 1", err)
+	}
+}
+
+func TestForEachStopsDispatchAfterFailure(t *testing.T) {
+	const n = 100000
+	var ran int32
+	err := ForEach(2, n, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := atomic.LoadInt32(&ran); got == n {
+		t.Errorf("all %d tasks ran despite the first one failing", n)
+	}
+}
+
+func TestForEachSerialShortCircuits(t *testing.T) {
+	ran := 0
+	err := ForEach(1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if ran != 3 {
+		t.Errorf("ran %d calls after error, want 3", ran)
+	}
+}

@@ -9,6 +9,11 @@
 // second (MTC), per-provider resource consumption in node*hours, and the
 // resource provider's total consumption, peak consumption and accumulated
 // node adjustments.
+//
+// Every runner builds its simulation state (engine, pool, accountant,
+// servers) per call and treats workloads as read-only, so independent
+// runs may execute concurrently; use CloneWorkloads when a caller mutates
+// workloads between runs.
 package systems
 
 import (
@@ -38,6 +43,28 @@ type Workload struct {
 	// Params is the DawningCloud resource-management policy (B and R
 	// with the class's scan schedule).
 	Params policy.Params
+}
+
+// Clone returns a deep copy of the workload. Params is a pure value
+// struct, but Jobs (and each job's Deps) share backing arrays under a
+// plain struct copy; Clone severs them so one run's workload can be
+// retuned or resorted without reaching any concurrent run.
+func (w *Workload) Clone() Workload {
+	out := *w
+	out.Jobs = job.CloneAll(w.Jobs)
+	return out
+}
+
+// CloneWorkloads deep-copies a workload set for one isolated run.
+func CloneWorkloads(workloads []Workload) []Workload {
+	if workloads == nil {
+		return nil
+	}
+	out := make([]Workload, len(workloads))
+	for i := range workloads {
+		out[i] = workloads[i].Clone()
+	}
+	return out
 }
 
 // Validate reports the first problem with the workload, or nil.

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestListBuiltins(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"paper-baseline", "scale-10", "blue-heavy", "mtc-burst", "mixed-federation"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("listing missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestDumpRoundTripsThroughFile(t *testing.T) {
+	code, out, _ := runCLI(t, "-dump", "mtc-burst")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// A dumped builtin must be a valid spec file.
+	path := filepath.Join(t.TempDir(), "dumped.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, runOut, errOut := runCLI(t, "-scenario", path, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("running dumped spec: exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(runOut, "scenario: mtc-burst") {
+		t.Errorf("output missing header:\n%s", runOut)
+	}
+}
+
+func TestMissingScenarioFlagShowsUsage(t *testing.T) {
+	code, _, errOut := runCLI(t)
+	if code == 0 {
+		t.Fatal("no arguments accepted")
+	}
+	if !strings.Contains(errOut, "usage: dcscen") {
+		t.Errorf("stderr missing usage text:\n%s", errOut)
+	}
+}
+
+func TestUnknownScenarioFails(t *testing.T) {
+	code, _, errOut := runCLI(t, "-scenario", "does-not-exist")
+	if code == 0 {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(errOut, "paper-baseline") {
+		t.Errorf("error does not list built-ins:\n%s", errOut)
+	}
+}
+
+func TestInvalidSpecFileReportsFieldError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	src := `{"name":"bad","days":0,"providers":[
+		{"name":"p","source":{"kind":"synth","model":"nasa"},"policy":{"b":10,"r":-1}}]}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "-scenario", path)
+	if code == 0 {
+		t.Fatal("invalid spec accepted")
+	}
+	if !strings.Contains(errOut, "policy.r") {
+		t.Errorf("error not field-level:\n%s", errOut)
+	}
+}
+
+func TestRunWritesReportFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "mini.json")
+	report := filepath.Join(dir, "report.txt")
+	src := `{"name":"mini","days":1,"systems":["DCS","DawningCloud"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-scenario", spec, "-workers", "1", "-out", report)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "provider p") {
+		t.Errorf("report file missing provider table:\n%s", data)
+	}
+	if !strings.Contains(out, "report written to") {
+		t.Errorf("stdout missing confirmation:\n%s", out)
+	}
+}

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	dawningcloud "repro"
@@ -29,25 +30,57 @@ import (
 	"repro/internal/workflow"
 )
 
+// knownWorkloads is the accepted -workload vocabulary (keep in sync with
+// buildWorkload's builtin cases); unknown names are rejected up front
+// with usage text and a non-zero exit. -system values are validated by
+// parseSystem itself so the vocabulary has a single source of truth.
+var knownWorkloads = []string{"nasa", "blue", "montage"}
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		system   = flag.String("system", "dawningcloud", "system: dawningcloud, ssp, dcs, drp or all")
-		workers  = flag.Int("workers", 0, "max concurrent simulations for -system all (0 = all CPUs)")
-		load     = flag.String("workload", "nasa", "builtin workload: nasa, blue or montage")
-		b        = flag.Int("b", 0, "initial nodes B (0 = paper default for the workload)")
-		r        = flag.Float64("r", 0, "threshold ratio R (0 = paper default)")
-		seed     = flag.Int64("seed", 42, "generation seed")
-		days     = flag.Int("days", 14, "trace window in days")
-		capacity = flag.Int("capacity", 0, "cloud pool capacity (0 = unconstrained)")
-		swfPath  = flag.String("swf", "", "replay an SWF trace file instead of a builtin workload")
-		dagPath  = flag.String("dag", "", "run a workflow JSON file instead of a builtin workload")
-		fixed    = flag.Int("fixed", 0, "fixed RE size for DCS/SSP when replaying external files")
+		system   = fs.String("system", "dawningcloud", "system: dawningcloud, ssp, dcs, drp or all")
+		workers  = fs.Int("workers", 0, "max concurrent simulations for -system all (0 = all CPUs)")
+		load     = fs.String("workload", "nasa", "builtin workload: nasa, blue or montage")
+		b        = fs.Int("b", 0, "initial nodes B (0 = paper default for the workload)")
+		r        = fs.Float64("r", 0, "threshold ratio R (0 = paper default)")
+		seed     = fs.Int64("seed", 42, "generation seed")
+		days     = fs.Int("days", 14, "trace window in days")
+		capacity = fs.Int("capacity", 0, "cloud pool capacity (0 = unconstrained)")
+		swfPath  = fs.String("swf", "", "replay an SWF trace file instead of a builtin workload")
+		dagPath  = fs.String("dag", "", "run a workflow JSON file instead of a builtin workload")
+		fixed    = fs.Int("fixed", 0, "fixed RE size for DCS/SSP when replaying external files")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Reject unknown names before any (potentially slow) workload
+	// generation, with the usage text alongside the specific error.
+	var sys dawningcloud.System
+	if *system != "all" {
+		var err error
+		if sys, err = parseSystem(*system); err != nil {
+			fmt.Fprintf(stderr, "dcsim: %v\n", err)
+			fs.Usage()
+			return 2
+		}
+	}
+	if *swfPath == "" && *dagPath == "" && !knownName(knownWorkloads, *load) {
+		fmt.Fprintf(stderr, "dcsim: unknown workload %q (known: nasa, blue, montage)\n", *load)
+		fs.Usage()
+		return 2
+	}
 
 	wl, horizon, err := buildWorkload(*load, *seed, *days, *swfPath, *dagPath, *fixed)
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "dcsim: %v\n", err)
+		return 1
 	}
 	if *b > 0 {
 		wl.Params.InitialNodes = *b
@@ -60,37 +93,45 @@ func main() {
 	if *system == "all" {
 		results, err := dawningcloud.RunSystems(dawningcloud.AllSystems(), []dawningcloud.Workload{wl}, opts, *workers)
 		if err != nil {
-			fail(err)
+			fmt.Fprintf(stderr, "dcsim: %v\n", err)
+			return 1
 		}
 		for _, res := range results {
-			printResult(res, wl.Name)
+			printResult(stdout, res, wl.Name)
 		}
-		return
-	}
-	sys, err := parseSystem(*system)
-	if err != nil {
-		fail(err)
+		return 0
 	}
 	res, err := dawningcloud.Run(sys, []dawningcloud.Workload{wl}, opts)
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "dcsim: %v\n", err)
+		return 1
 	}
-	printResult(res, wl.Name)
+	printResult(stdout, res, wl.Name)
+	return 0
 }
 
-func printResult(res dawningcloud.Result, workload string) {
-	fmt.Printf("system: %s  workload: %s  horizon: %dh\n", res.System, workload, res.Horizon/3600)
-	for _, p := range res.Providers {
-		fmt.Printf("provider %s (%v):\n", p.Name, p.Class)
-		fmt.Printf("  completed jobs:        %d / %d\n", p.Completed, p.Submitted)
-		if p.TasksPerSecond > 0 {
-			fmt.Printf("  tasks per second:      %.2f\n", p.TasksPerSecond)
+func knownName(known []string, name string) bool {
+	for _, k := range known {
+		if k == name {
+			return true
 		}
-		fmt.Printf("  resource consumption:  %.0f node*hour\n", p.NodeHours)
-		fmt.Printf("  peak nodes:            %d\n", p.PeakNodes)
-		fmt.Printf("  nodes adjusted:        %d\n", p.NodesAdjusted)
 	}
-	fmt.Printf("resource provider: total %.0f node*hour, peak %d nodes/hour, %d adjustments, overhead %.0f s (%.1f s/hour), %d rejections\n",
+	return false
+}
+
+func printResult(w io.Writer, res dawningcloud.Result, workload string) {
+	fmt.Fprintf(w, "system: %s  workload: %s  horizon: %dh\n", res.System, workload, res.Horizon/3600)
+	for _, p := range res.Providers {
+		fmt.Fprintf(w, "provider %s (%v):\n", p.Name, p.Class)
+		fmt.Fprintf(w, "  completed jobs:        %d / %d\n", p.Completed, p.Submitted)
+		if p.TasksPerSecond > 0 {
+			fmt.Fprintf(w, "  tasks per second:      %.2f\n", p.TasksPerSecond)
+		}
+		fmt.Fprintf(w, "  resource consumption:  %.0f node*hour\n", p.NodeHours)
+		fmt.Fprintf(w, "  peak nodes:            %d\n", p.PeakNodes)
+		fmt.Fprintf(w, "  nodes adjusted:        %d\n", p.NodesAdjusted)
+	}
+	fmt.Fprintf(w, "resource provider: total %.0f node*hour, peak %d nodes/hour, %d adjustments, overhead %.0f s (%.1f s/hour), %d rejections\n",
 		res.TotalNodeHours, res.PeakNodes, res.TotalNodesAdjusted,
 		res.OverheadSeconds, res.OverheadPerHour, res.RejectedRequests)
 }
@@ -177,11 +218,6 @@ func parseSystem(s string) (dawningcloud.System, error) {
 	case "drp":
 		return dawningcloud.DRP, nil
 	default:
-		return 0, fmt.Errorf("unknown system %q", s)
+		return 0, fmt.Errorf("unknown system %q (known: dawningcloud, ssp, dcs, drp, all)", s)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "dcsim: %v\n", err)
-	os.Exit(1)
 }

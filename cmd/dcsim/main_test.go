@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestCLIRejectsUnknownNames pins the strict flag contract: unknown
+// -system/-workload values exit non-zero with the specific error plus the
+// usage text, instead of running anything.
+func TestCLIRejectsUnknownNames(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown system", []string{"-system", "vms", "-workload", "nasa"}, `unknown system "vms"`},
+		{"case-sensitive system", []string{"-system", "DawningCloud"}, "unknown system"},
+		{"unknown workload", []string{"-system", "dcs", "-workload", "mosaic"}, `unknown workload "mosaic"`},
+		{"empty workload", []string{"-workload", ""}, "unknown workload"},
+		{"undefined flag", []string{"-sustem", "dcs"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(errOut, tc.wantErr) {
+				t.Errorf("stderr %q missing %q", errOut, tc.wantErr)
+			}
+			if !strings.Contains(errOut, "Usage of dcsim") && !strings.Contains(errOut, "-system string") {
+				t.Errorf("stderr missing usage text:\n%s", errOut)
+			}
+			if out != "" {
+				t.Errorf("rejected invocation produced output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestCLIExternalFileBypassesWorkloadCheck: with -swf or -dag the
+// -workload default is unused and must not be validated against.
+func TestCLIExternalFileMissingStillFails(t *testing.T) {
+	code, _, errOut := runCLI(t, "-swf", "/no/such/trace.swf")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (runtime error, not usage error)", code)
+	}
+	if strings.Contains(errOut, "unknown workload") {
+		t.Errorf("-swf invocation tripped the workload name check:\n%s", errOut)
+	}
+}
+
+func TestCLIRunsKnownSystemAndWorkload(t *testing.T) {
+	code, out, errOut := runCLI(t, "-system", "dcs", "-workload", "nasa", "-days", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	for _, want := range []string{"system: DCS", "workload: nasa-htc", "completed jobs", "resource provider"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/swf"
@@ -38,38 +39,41 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	if err := generate(*kind, *seed, *days, *tasks, w); err != nil {
+		fail(err)
+	}
+}
 
-	switch *kind {
+// generate writes the requested workload to w: SWF text for the HTC
+// trace kinds, workflow JSON for the DAG kinds.
+func generate(kind string, seed int64, days, tasks int, w io.Writer) error {
+	switch kind {
 	case "nasa", "blue":
-		model := synth.NASAiPSC(*seed)
-		if *kind == "blue" {
-			model = synth.SDSCBlue(*seed)
+		model := synth.NASAiPSC(seed)
+		if kind == "blue" {
+			model = synth.SDSCBlue(seed)
 		}
-		model.Days = *days
+		model.Days = days
 		jobs, err := model.Generate()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		trace := swf.FromJobs(jobs,
-			fmt.Sprintf(" Synthetic %s trace, seed %d, %d days", model.Name, *seed, *days),
+			fmt.Sprintf(" Synthetic %s trace, seed %d, %d days", model.Name, seed, days),
 			fmt.Sprintf(" MaxNodes: %d", model.MachineNodes),
 			fmt.Sprintf(" TargetUtilization: %.3f", model.TargetUtil),
 		)
-		if err := swf.Write(w, trace); err != nil {
-			fail(err)
-		}
+		return swf.Write(w, trace)
 	default:
-		gen, ok := workflow.Generators[*kind]
+		gen, ok := workflow.Generators[kind]
 		if !ok {
-			fail(fmt.Errorf("unknown kind %q", *kind))
+			return fmt.Errorf("unknown kind %q", kind)
 		}
-		dag, err := gen(*seed, *tasks)
+		dag, err := gen(seed, tasks)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		if err := workflow.Encode(w, dag); err != nil {
-			fail(err)
-		}
+		return workflow.Encode(w, dag)
 	}
 }
 

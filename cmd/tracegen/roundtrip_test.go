@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/swf"
+	"repro/internal/synth"
+	"repro/internal/workflow"
+)
+
+// TestSWFRoundTrip pins the tracegen ↔ swf contract: a generated SWF
+// file parses back to the exact job set the synthesizer produced —
+// same count, same submit/run/procs per job — so external tools and the
+// simulator see identical workloads.
+func TestSWFRoundTrip(t *testing.T) {
+	for _, kind := range []string{"nasa", "blue"} {
+		t.Run(kind, func(t *testing.T) {
+			const seed, days = 42, 3
+			var buf bytes.Buffer
+			if err := generate(kind, seed, days, 0, &buf); err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+
+			model := synth.NASAiPSC(seed)
+			if kind == "blue" {
+				model = synth.SDSCBlue(seed)
+			}
+			model.Days = days
+			want, err := model.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			trace, err := swf.Parse(&buf)
+			if err != nil {
+				t.Fatalf("generated SWF does not parse: %v", err)
+			}
+			if got := trace.Header.Field("MaxNodes"); !strings.Contains(got, "1") {
+				t.Errorf("header MaxNodes = %q", got)
+			}
+			got := trace.Jobs()
+			if len(got) != len(want) {
+				t.Fatalf("round trip changed job count: %d -> %d", len(want), len(got))
+			}
+			for i := range want {
+				if got[i].Submit != want[i].Submit || got[i].Runtime != want[i].Runtime ||
+					got[i].Nodes != want[i].Nodes {
+					t.Fatalf("job %d changed: generated {submit %d run %d nodes %d}, parsed {submit %d run %d nodes %d}",
+						i, want[i].Submit, want[i].Runtime, want[i].Nodes,
+						got[i].Submit, got[i].Runtime, got[i].Nodes)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkflowRoundTrip: the DAG kinds must emit JSON that decodes to a
+// structurally identical, valid workflow.
+func TestWorkflowRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generate("cybershake", 7, 0, 200, &buf); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	dag, err := workflow.Decode(&buf)
+	if err != nil {
+		t.Fatalf("generated workflow JSON does not decode: %v", err)
+	}
+	gen, _ := workflow.Generators["cybershake"]
+	want, err := gen(7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Tasks) != len(want.Tasks) {
+		t.Fatalf("round trip changed task count: %d -> %d", len(want.Tasks), len(dag.Tasks))
+	}
+	for i := range want.Tasks {
+		if dag.Tasks[i].ID != want.Tasks[i].ID || dag.Tasks[i].Runtime != want.Tasks[i].Runtime {
+			t.Fatalf("task %d changed: %+v -> %+v", i, want.Tasks[i], dag.Tasks[i])
+		}
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generate("fortran", 1, 1, 1, &buf); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/par"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/systems"
@@ -59,6 +60,11 @@ type (
 	Suite = experiments.Suite
 	// Artifact is one rendered table or figure.
 	Artifact = experiments.Artifact
+	// Scenario is a declarative n-provider × m-system simulation spec
+	// (JSON, with validation and defaults).
+	Scenario = scenario.Spec
+	// ScenarioReport is a scenario run's structured output.
+	ScenarioReport = scenario.Report
 )
 
 // Workload classes.
@@ -226,6 +232,35 @@ func PaperWorkloads(seed int64) ([]Workload, error) {
 	}
 	return []Workload{nasa, blue, montage}, nil
 }
+
+// LoadScenario resolves a scenario reference — a built-in name (see
+// ScenarioNames) or a JSON spec file path — applying defaults and
+// validating with field-level errors.
+func LoadScenario(nameOrPath string) (*Scenario, error) {
+	return scenario.Load(nameOrPath)
+}
+
+// ParseScenario decodes and validates a JSON scenario spec.
+func ParseScenario(data []byte) (*Scenario, error) {
+	return scenario.ParseBytes(data)
+}
+
+// RunScenario compiles the spec to workloads and executes every
+// system × provider-count × sweep cell over at most workers concurrent
+// simulations (0 = all CPUs). Output is deterministic at any worker
+// count.
+func RunScenario(s *Scenario, workers int) (*ScenarioReport, error) {
+	return scenario.Run(s, workers)
+}
+
+// ScenarioNames lists the built-in scenarios: paper-baseline (the
+// paper's evaluation, reproducing Tables 2-4 exactly), scale-10,
+// blue-heavy, mtc-burst and mixed-federation.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioJSON returns a built-in scenario's JSON source, a starting
+// point for custom spec files.
+func ScenarioJSON(name string) (string, error) { return scenario.BuiltinJSON(name) }
 
 // TwoWeeks is the paper's accounting window in seconds.
 const TwoWeeks = 14 * sim.Day

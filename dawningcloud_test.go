@@ -201,3 +201,36 @@ func TestTwoWeeksConstant(t *testing.T) {
 		t.Errorf("TwoWeeks = %d", TwoWeeks)
 	}
 }
+
+func TestRunScenarioPublicAPI(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 5 || names[0] != "paper-baseline" {
+		t.Fatalf("ScenarioNames = %v", names)
+	}
+	spec, err := ParseScenario([]byte(`{"name":"api","days":1,"seed":3,
+		"systems":["DCS","DawningCloud"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`))
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	report, err := RunScenario(spec, 2)
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if len(report.Base) != 2 {
+		t.Errorf("base systems = %d, want 2", len(report.Base))
+	}
+	dcs, dsp := report.Base["DCS"], report.Base["DawningCloud"]
+	if dcs.TotalNodeHours <= 0 || dsp.TotalNodeHours <= 0 {
+		t.Errorf("empty totals: DCS %.0f, DawningCloud %.0f", dcs.TotalNodeHours, dsp.TotalNodeHours)
+	}
+	if report.Render() == "" {
+		t.Error("empty rendered report")
+	}
+	if _, err := LoadScenario("mixed-federation"); err != nil {
+		t.Errorf("LoadScenario builtin: %v", err)
+	}
+	if _, err := ParseScenario([]byte(`{"name":"bad","days":0,"providers":[]}`)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

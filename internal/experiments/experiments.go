@@ -154,13 +154,7 @@ func (s *Suite) buildWorkloads() ([]systems.Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: NASA trace: %w", err)
 	}
-	blueModel := synth.SDSCBlue(s.Seed + 1)
-	blueModel.Days = s.Days
-	if s.Days < 14 {
-		// Keep the quiet-then-busy shape on shortened windows.
-		blueModel.WeekFactors = []float64{0.55, 1.45, 1.45}
-	}
-	blue, err := blueModel.Generate()
+	blue, err := synth.SDSCBlueWindowed(s.Seed+1, s.Days).Generate()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: BLUE trace: %w", err)
 	}
@@ -262,6 +256,14 @@ func (s *Suite) runSystem(system string) (systems.Result, error) {
 		return systems.Result{}, err
 	}
 	return r, nil
+}
+
+// SystemRunner returns the named system's runner function. It is the
+// single name → runner mapping in the repository, shared with the
+// declarative scenario engine.
+func SystemRunner(name string) (func([]systems.Workload, systems.Options) (systems.Result, error), bool) {
+	r, ok := systemRunners[name]
+	return r, ok
 }
 
 // systemRunners maps a system name to its runner.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -75,6 +76,65 @@ func TestAblationBackfill(t *testing.T) {
 func TestAblationBackfillUnknownProvider(t *testing.T) {
 	if _, err := extSuite.AblationBackfill("ghost"); err == nil {
 		t.Error("unknown provider accepted")
+	}
+}
+
+// TestScaleStudySingleProviderEdge covers the sweep's smallest grid —
+// ScaleStudy(1) runs exactly one consolidation point — and pins its
+// determinism: a Workers > 1 suite must reproduce the serial suite's
+// numbers bit for bit (run under -race in CI, this also exercises the
+// pair fan-out's synchronization).
+func TestScaleStudySingleProviderEdge(t *testing.T) {
+	serial := NewQuickSuite(42)
+	serial.Workers = 1
+	parallel := NewQuickSuite(42)
+	parallel.Workers = 4
+
+	sp, err := serial.ScaleStudy(1)
+	if err != nil {
+		t.Fatalf("serial ScaleStudy(1): %v", err)
+	}
+	pp, err := parallel.ScaleStudy(1)
+	if err != nil {
+		t.Fatalf("parallel ScaleStudy(1): %v", err)
+	}
+	if len(sp) != 1 || len(pp) != 1 {
+		t.Fatalf("points = %d/%d, want 1/1", len(sp), len(pp))
+	}
+	if sp[0].Providers != 1 {
+		t.Errorf("point providers = %d, want 1", sp[0].Providers)
+	}
+	if !reflect.DeepEqual(sp, pp) {
+		t.Errorf("Workers=4 diverged from serial:\n serial   %+v\n parallel %+v", sp[0], pp[0])
+	}
+}
+
+// TestAblationProvisionTwoPointDeterminism runs the ablation's two
+// simulations (grant-or-reject vs best-effort) on serial and Workers > 1
+// suites and requires identical artifact values regardless of which of
+// the pair finishes first.
+func TestAblationProvisionTwoPointDeterminism(t *testing.T) {
+	serial := NewQuickSuite(42)
+	serial.Workers = 1
+	parallel := NewQuickSuite(42)
+	parallel.Workers = 4
+
+	sa, err := serial.AblationProvision(NASAProvider, 160)
+	if err != nil {
+		t.Fatalf("serial AblationProvision: %v", err)
+	}
+	pa, err := parallel.AblationProvision(NASAProvider, 160)
+	if err != nil {
+		t.Fatalf("parallel AblationProvision: %v", err)
+	}
+	if !reflect.DeepEqual(sa.Values, pa.Values) {
+		t.Errorf("Workers=4 diverged from serial:\n serial   %v\n parallel %v", sa.Values, pa.Values)
+	}
+	if sa.Text != pa.Text {
+		t.Error("rendered ablation tables differ between worker counts")
+	}
+	if got := parallel.Simulations(); got != 2 {
+		t.Errorf("parallel suite ran %d simulations, want exactly 2", got)
 	}
 }
 

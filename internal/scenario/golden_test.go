@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestPaperBaselineMatchesSuiteGolden is the subsystem's reproduction
+// contract: the declarative paper-baseline scenario must produce exactly
+// the numbers the hand-coded experiment suite reports in Tables 2-4 —
+// same providers, same seeds, same policies, same horizon — so a spec
+// file is a faithful replacement for the hardcoded Go experiments.
+func TestPaperBaselineMatchesSuiteGolden(t *testing.T) {
+	spec, err := Builtin("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	suite := experiments.NewSuite(42)
+	want, err := suite.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	providers := []string{
+		experiments.NASAProvider,
+		experiments.BLUEProvider,
+		experiments.MontageProvider,
+	}
+	if !reflect.DeepEqual(rep.Providers, providers) {
+		t.Fatalf("providers = %v, want %v", rep.Providers, providers)
+	}
+	for _, system := range experiments.SystemNames {
+		got, ok := rep.Base[system]
+		if !ok {
+			t.Fatalf("scenario missing system %s", system)
+		}
+		w := want[system]
+		for _, provider := range providers {
+			gp, ok1 := got.Provider(provider)
+			wp, ok2 := w.Provider(provider)
+			if !ok1 || !ok2 {
+				t.Fatalf("%s: provider %s missing (scenario %v, suite %v)", system, provider, ok1, ok2)
+			}
+			if gp != wp {
+				t.Errorf("%s/%s:\n scenario %+v\n suite    %+v", system, provider, gp, wp)
+			}
+		}
+		if got.TotalNodeHours != w.TotalNodeHours || got.PeakNodes != w.PeakNodes ||
+			got.TotalNodesAdjusted != w.TotalNodesAdjusted {
+			t.Errorf("%s totals: scenario %.0f/%d/%d, suite %.0f/%d/%d", system,
+				got.TotalNodeHours, got.PeakNodes, got.TotalNodesAdjusted,
+				w.TotalNodeHours, w.PeakNodes, w.TotalNodesAdjusted)
+		}
+	}
+
+	// Spot-check the Table 2-4 artifact values through the suite's own
+	// rendering path, so this test fails loudly if either side drifts.
+	for _, table := range []func() (experiments.Artifact, error){suite.Table2, suite.Table3, suite.Table4} {
+		a, err := table()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, system := range experiments.SystemNames {
+			provider := providers[map[string]int{"table2": 0, "table3": 1, "table4": 2}[a.ID]]
+			p, _ := rep.Base[system].Provider(provider)
+			if got, want := p.NodeHours, a.Values["nodehours_"+system]; got != want {
+				t.Errorf("%s %s node-hours: scenario %.2f, suite %.2f", a.ID, system, got, want)
+			}
+			if got, want := float64(p.Completed), a.Values["completed_"+system]; got != want {
+				t.Errorf("%s %s completed: scenario %.0f, suite %.0f", a.ID, system, got, want)
+			}
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial pins the runner's determinism contract:
+// any worker count produces the identical report.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	spec, err := ParseBytes([]byte(`{"name":"det","days":2,"seed":9,
+		"systems":["DCS","SSP","DawningCloud"],
+		"providers":[
+			{"name":"a","count":2,"source":{"kind":"synth","model":"nasa"}},
+			{"name":"m","fixed_nodes":64,
+			 "source":{"kind":"workflow","generator":"montage","tasks":300,"submit_at":7200}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Base, parallel.Base) {
+		t.Error("parallel base results differ from serial")
+	}
+	if !reflect.DeepEqual(serial.Scale, parallel.Scale) ||
+		!reflect.DeepEqual(serial.Grid, parallel.Grid) {
+		t.Error("parallel sweep results differ from serial")
+	}
+	if serial.Render() != parallel.Render() {
+		t.Error("rendered reports differ between worker counts")
+	}
+}
+
+// TestSWFSourceCompiles exercises the third source kind end to end: an
+// SWF trace written to disk becomes a provider workload.
+func TestSWFSourceCompiles(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.swf"
+	swfSrc := "; tiny trace\n" +
+		"1 0 -1 600 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"2 3600 -1 1200 8 -1 -1 8 1200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	if err := writeFile(path, swfSrc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseBytes([]byte(`{"name":"swf-test","days":1,"systems":["DCS","DawningCloud"],
+		"providers":[{"name":"trace","source":{"kind":"swf","path":"` + path + `"},
+		"policy":{"b":4,"r":1.2}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Workloads[0].Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(c.Workloads[0].Jobs))
+	}
+	if c.Workloads[0].FixedNodes != 8 {
+		t.Errorf("derived fixed nodes = %d, want 8 (largest job)", c.Workloads[0].FixedNodes)
+	}
+	if _, err := c.Run(2); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// builtins maps scenario names to their JSON specs. The registry entries
+// are stored as JSON — not Go structs — so every built-in exercises the
+// exact parse/validate/default path a user's spec file takes, and can be
+// dumped as a starting point for new scenarios.
+var builtins = map[string]string{
+	// paper-baseline is the paper's evaluation: the three service
+	// providers with the paper-chosen parameters over the two-week
+	// window. It reproduces the suite's Tables 2-4 numbers exactly
+	// (enforced by a golden test).
+	"paper-baseline": `{
+  "name": "paper-baseline",
+  "description": "the paper's evaluation: NASA + BLUE HTC organizations and the 1,000-task Montage MTC organization over two weeks",
+  "seed": 42,
+  "days": 14,
+  "providers": [
+    {"name": "org-nasa-htc", "source": {"kind": "synth", "model": "nasa"}},
+    {"name": "org-blue-htc", "source": {"kind": "synth", "model": "blue"}, "policy": {"b": 80, "r": 1.5}},
+    {"name": "org-montage-mtc", "fixed_nodes": 166,
+     "source": {"kind": "workflow", "generator": "paper-montage", "submit_at": 644400}}
+  ]
+}`,
+
+	// scale-10 is the generalized case the paper's conclusion asks for:
+	// ten NASA-like organizations consolidating one by one.
+	"scale-10": `{
+  "name": "scale-10",
+  "description": "economies-of-scale curve: 10 distinct-seed NASA-like HTC organizations consolidated one at a time",
+  "seed": 42,
+  "days": 14,
+  "systems": ["DCS", "DawningCloud"],
+  "providers": [
+    {"name": "org", "count": 10, "source": {"kind": "synth", "model": "nasa"}}
+  ],
+  "sweep": {"scale": true}
+}`,
+
+	// blue-heavy skews the mix toward heavily loaded, bursty machines.
+	"blue-heavy": `{
+  "name": "blue-heavy",
+  "description": "a consolidation dominated by heavily loaded BLUE-like machines plus one light NASA-like organization",
+  "seed": 42,
+  "days": 14,
+  "providers": [
+    {"name": "org-blue", "count": 3, "source": {"kind": "synth", "model": "blue"}, "policy": {"b": 80, "r": 1.5}},
+    {"name": "org-nasa", "source": {"kind": "synth", "model": "nasa"}}
+  ]
+}`,
+
+	// mtc-burst submits several workflows in a short window: the MTC
+	// side of the title question at more than one topology.
+	"mtc-burst": `{
+  "name": "mtc-burst",
+  "description": "an MTC-only burst: three Montage mosaics plus CyberShake and LIGO Inspiral workflows submitted within hours",
+  "seed": 42,
+  "days": 1,
+  "providers": [
+    {"name": "org-montage", "count": 3, "fixed_nodes": 166,
+     "source": {"kind": "workflow", "generator": "paper-montage", "submit_at": 14400}},
+    {"name": "org-cybershake",
+     "source": {"kind": "workflow", "generator": "cybershake", "tasks": 500, "submit_at": 21600}},
+    {"name": "org-ligo",
+     "source": {"kind": "workflow", "generator": "ligo", "tasks": 400, "submit_at": 28800}}
+  ]
+}`,
+
+	// mixed-federation consolidates HTC and MTC organizations and sweeps
+	// the BLUE organization's policy knobs.
+	"mixed-federation": `{
+  "name": "mixed-federation",
+  "description": "a mixed federation: two HTC organizations, a Montage mosaic and a CyberShake hazard run, with a B x R sweep of the BLUE organization",
+  "seed": 42,
+  "days": 7,
+  "providers": [
+    {"name": "org-nasa", "source": {"kind": "synth", "model": "nasa"}},
+    {"name": "org-blue", "source": {"kind": "synth", "model": "blue"}, "policy": {"b": 80, "r": 1.5}},
+    {"name": "org-montage", "fixed_nodes": 166,
+     "source": {"kind": "workflow", "generator": "paper-montage", "submit_at": 302400}},
+    {"name": "org-cybershake",
+     "source": {"kind": "workflow", "generator": "cybershake", "tasks": 500, "submit_at": 308000}}
+  ],
+  "sweep": {"grid": {"provider": "org-blue", "b": [40, 80], "r": [1.2, 1.5]}}
+}`,
+}
+
+// Names lists the built-in scenarios in presentation order.
+func Names() []string {
+	return []string{"paper-baseline", "scale-10", "blue-heavy", "mtc-burst", "mixed-federation"}
+}
+
+// Builtin returns the named built-in scenario, parsed and validated.
+func Builtin(name string) (*Spec, error) {
+	src, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown built-in %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	s, err := ParseBytes([]byte(src))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: built-in %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// BuiltinJSON returns the named built-in's JSON source, a starting point
+// for custom spec files.
+func BuiltinJSON(name string) (string, error) {
+	src, ok := builtins[name]
+	if !ok {
+		return "", fmt.Errorf("scenario: unknown built-in %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return src, nil
+}
+
+// Load resolves a scenario reference: a built-in name first, then a spec
+// file path.
+func Load(nameOrPath string) (*Spec, error) {
+	if _, ok := builtins[nameOrPath]; ok {
+		return Builtin(nameOrPath)
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("scenario: %q is neither a built-in (%s) nor a readable spec file",
+				nameOrPath, strings.Join(Names(), ", "))
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}

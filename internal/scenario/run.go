@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiments"
+	"repro/internal/par"
+	"repro/internal/systems"
+)
+
+// Run compiles and executes the scenario on up to workers concurrent
+// simulations (0 = all CPUs, 1 = serial). Results are deterministic at
+// any worker count.
+func Run(s *Spec, workers int) (*Report, error) {
+	c, err := Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(workers)
+}
+
+// cell is one simulation the runner must have: a system over the first
+// Providers workloads, optionally with grid-overridden policy knobs.
+type cell struct {
+	system    string
+	providers int // prefix length of the workload list
+	grid      *gridCell
+}
+
+type gridCell struct {
+	provider string
+	b        int
+	r        float64
+}
+
+// key is the cache identity: cells that describe the same simulation
+// (e.g. the scale sweep's full prefix and the base run) share one
+// execution.
+func (c cell) key() string {
+	if c.grid != nil {
+		return fmt.Sprintf("grid|%s|B%d|R%g", c.grid.provider, c.grid.b, c.grid.r)
+	}
+	return fmt.Sprintf("%s|n=%d", c.system, c.providers)
+}
+
+// engine executes cells with the experiment suite's concurrency
+// semantics: the cache lock is held only for the map check/fill and
+// identical in-flight cells are deduplicated singleflight-style.
+// Simulation concurrency itself is bounded by the par.ForEach pool in
+// Compiled.Run — the engine lives for exactly one Run call, so no
+// additional suite-wide semaphore is needed.
+type engine struct {
+	c *Compiled
+
+	mu       sync.Mutex
+	results  map[string]systems.Result
+	inflight map[string]*runCall
+
+	simulations atomic.Int64
+}
+
+type runCall struct {
+	done chan struct{}
+	res  systems.Result
+	err  error
+}
+
+// Run executes every base, scale and grid cell of the compiled scenario.
+func (c *Compiled) Run(workers int) (*Report, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	eng := &engine{
+		c:        c,
+		results:  make(map[string]systems.Result),
+		inflight: make(map[string]*runCall),
+	}
+	cells := c.cells()
+	results := make([]systems.Result, len(cells))
+	err := par.ForEach(workers, len(cells), func(i int) error {
+		r, err := eng.run(cells[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.assemble(cells, results, eng.simulations.Load()), nil
+}
+
+// cells enumerates the scenario's simulations in deterministic order.
+func (c *Compiled) cells() []cell {
+	n := len(c.Workloads)
+	var out []cell
+	for _, system := range c.Spec.Systems {
+		out = append(out, cell{system: system, providers: n})
+	}
+	if sw := c.Spec.Sweep; sw != nil {
+		if sw.Scale {
+			for k := 1; k < n; k++ { // k = n duplicates the base cells
+				out = append(out,
+					cell{system: "DCS", providers: k},
+					cell{system: "DawningCloud", providers: k})
+			}
+		}
+		if g := sw.Grid; g != nil {
+			for _, b := range g.B {
+				for _, r := range g.R {
+					out = append(out, cell{
+						system:    "DawningCloud",
+						providers: 1,
+						grid:      &gridCell{provider: g.Provider, b: b, r: r},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// run executes one cell through the cache/singleflight/semaphore path.
+func (e *engine) run(c cell) (systems.Result, error) {
+	key := c.key()
+	e.mu.Lock()
+	if r, ok := e.results[key]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	if call, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-call.done
+		return call.res, call.err
+	}
+	call := &runCall{done: make(chan struct{})}
+	e.inflight[key] = call
+	e.mu.Unlock()
+
+	call.res, call.err = e.simulate(c)
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if call.err == nil {
+		e.results[key] = call.res
+	}
+	e.mu.Unlock()
+	close(call.done)
+	return call.res, call.err
+}
+
+// simulate builds the cell's isolated workload set and runs it.
+func (e *engine) simulate(c cell) (systems.Result, error) {
+	runner, ok := experiments.SystemRunner(c.system)
+	if !ok {
+		return systems.Result{}, fmt.Errorf("scenario %s: unknown system %q", e.c.Spec.Name, c.system)
+	}
+	var wls []systems.Workload
+	if c.grid != nil {
+		base, ok := e.c.workloadByName(c.grid.provider)
+		if !ok {
+			return systems.Result{}, fmt.Errorf("scenario %s: sweep provider %q missing after compile",
+				e.c.Spec.Name, c.grid.provider)
+		}
+		wl := base.Clone()
+		wl.Params.InitialNodes = c.grid.b
+		wl.Params.ThresholdRatio = c.grid.r
+		wls = []systems.Workload{wl}
+	} else {
+		wls = systems.CloneWorkloads(e.c.Workloads[:c.providers])
+	}
+	e.simulations.Add(1)
+	res, err := runner(wls, e.c.Options)
+	if err != nil {
+		return systems.Result{}, fmt.Errorf("scenario %s: run %s: %w", e.c.Spec.Name, c.key(), err)
+	}
+	return res, nil
+}
+
+func (c *Compiled) workloadByName(name string) (*systems.Workload, bool) {
+	for i := range c.Workloads {
+		if c.Workloads[i].Name == name {
+			return &c.Workloads[i], true
+		}
+	}
+	return nil, false
+}
+
+// assemble sorts the flat cell results into the structured report.
+func (c *Compiled) assemble(cells []cell, results []systems.Result, sims int64) *Report {
+	rep := &Report{
+		Spec:        c.Spec,
+		Horizon:     c.Spec.Horizon(),
+		Systems:     append([]string(nil), c.Spec.Systems...),
+		Base:        make(map[string]systems.Result, len(c.Spec.Systems)),
+		Simulations: sims,
+	}
+	for i := range c.Workloads {
+		rep.Providers = append(rep.Providers, c.Workloads[i].Name)
+	}
+	scale := make(map[int]*ScalePoint) // providers -> point under construction
+	for i, cl := range cells {
+		res := results[i]
+		switch {
+		case cl.grid != nil:
+			gp := GridPoint{B: cl.grid.b, R: cl.grid.r}
+			if p, ok := res.Provider(cl.grid.provider); ok {
+				gp.NodeHours = p.NodeHours
+				gp.Completed = p.Completed
+				gp.TasksPerSecond = p.TasksPerSecond
+			}
+			rep.Grid = append(rep.Grid, gp)
+		case cl.providers == len(c.Workloads):
+			rep.Base[cl.system] = res
+		}
+		if c.Spec.Sweep != nil && c.Spec.Sweep.Scale && cl.grid == nil &&
+			(cl.system == "DCS" || cl.system == "DawningCloud") {
+			pt := scale[cl.providers]
+			if pt == nil {
+				pt = &ScalePoint{Providers: cl.providers}
+				scale[cl.providers] = pt
+			}
+			if cl.system == "DCS" {
+				pt.DCSNodeHours = res.TotalNodeHours
+			} else {
+				pt.DSPNodeHours = res.TotalNodeHours
+				pt.PeakNodes = res.PeakNodes
+			}
+		}
+	}
+	if len(scale) > 0 {
+		for n := 1; n <= len(c.Workloads); n++ {
+			pt := scale[n]
+			if pt == nil {
+				continue
+			}
+			if pt.DCSNodeHours > 0 {
+				pt.SavedFraction = 1 - pt.DSPNodeHours/pt.DCSNodeHours
+			}
+			rep.Scale = append(rep.Scale, *pt)
+		}
+	}
+	rep.Summary = summarize(rep)
+	return rep
+}

@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// parseErr runs a JSON spec through Parse and returns the error text.
+func parseErr(t *testing.T, src string) string {
+	t.Helper()
+	_, err := ParseBytes([]byte(src))
+	if err == nil {
+		t.Fatalf("spec accepted, want error:\n%s", src)
+	}
+	return err.Error()
+}
+
+func TestValidationFieldErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		wantField string
+	}{
+		{"unknown system", `{"name":"x","systems":["DCS","VMS"],
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`, "systems[1]"},
+		{"zero-day window", `{"name":"x","days":-3,
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`, "days"},
+		{"negative ratio", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"},"policy":{"b":10,"r":-1}}]}`,
+			"providers[0].policy.r"},
+		{"zero initial nodes", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"},"policy":{"b":0,"r":1}}]}`,
+			"providers[0].policy.b"},
+		{"no providers", `{"name":"x","providers":[]}`, "providers"},
+		{"unknown source kind", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"csv"}}]}`, "providers[0].source.kind"},
+		{"unknown synth model", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"synth","model":"cray"}}]}`, "providers[0].source.model"},
+		{"swf without path", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"swf"}}]}`, "providers[0].source.path"},
+		{"workflow without generator or path", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"workflow"}}]}`, "providers[0].source"},
+		{"unknown generator", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"workflow","generator":"sipht"}}]}`,
+			"providers[0].source.generator"},
+		{"duplicate provider", `{"name":"x","providers":[
+			{"name":"p","source":{"kind":"synth","model":"nasa"}},
+			{"name":"p","source":{"kind":"synth","model":"blue"}}]}`, "providers[1].name"},
+		{"bad pool policy", `{"name":"x","pool":{"policy":"auction"},
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`, "pool.policy"},
+		{"grid unknown provider", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"sweep":{"grid":{"provider":"ghost","b":[10],"r":[1]}}}`, "sweep.grid.provider"},
+		{"grid negative ratio", `{"name":"x",
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"sweep":{"grid":{"provider":"p","b":[10],"r":[1,-2]}}}`, "sweep.grid.r[1]"},
+		{"scale without DCS", `{"name":"x","systems":["DawningCloud"],
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"sweep":{"scale":true}}`, "sweep.scale"},
+		{"unknown json field", `{"name":"x","providerz":[]}`, "providerz"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := parseErr(t, tc.src)
+			if !strings.Contains(msg, tc.wantField) {
+				t.Errorf("error %q does not name field %q", msg, tc.wantField)
+			}
+		})
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s, err := ParseBytes([]byte(`{"name":"d","providers":[
+		{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || s.Days != 14 {
+		t.Errorf("seed/days = %d/%d, want 42/14", s.Seed, s.Days)
+	}
+	if len(s.Systems) != 4 {
+		t.Errorf("systems = %v, want all four", s.Systems)
+	}
+	if s.Pool.Policy != "grant-or-reject" {
+		t.Errorf("pool policy = %q", s.Pool.Policy)
+	}
+	if s.Providers[0].Count != 1 {
+		t.Errorf("count = %d, want 1", s.Providers[0].Count)
+	}
+}
+
+func TestCompileExpandsCounts(t *testing.T) {
+	s, err := ParseBytes([]byte(`{"name":"c","days":2,"providers":[
+		{"name":"org","count":3,"source":{"kind":"synth","model":"nasa"}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Workloads) != 3 {
+		t.Fatalf("workloads = %d, want 3", len(c.Workloads))
+	}
+	wantNames := []string{"org-01", "org-02", "org-03"}
+	for i, want := range wantNames {
+		if c.Workloads[i].Name != want {
+			t.Errorf("workload %d = %s, want %s", i, c.Workloads[i].Name, want)
+		}
+	}
+	// Distinct seeds must produce distinct traces.
+	if len(c.Workloads[0].Jobs) == len(c.Workloads[1].Jobs) &&
+		c.Workloads[0].Jobs[0].Runtime == c.Workloads[1].Jobs[0].Runtime &&
+		c.Workloads[0].Jobs[0].Submit == c.Workloads[1].Jobs[0].Submit {
+		t.Error("replicated providers look identical; seeds not advanced")
+	}
+	if c.Workloads[0].FixedNodes != 128 {
+		t.Errorf("derived fixed nodes = %d, want 128 (NASA machine size)", c.Workloads[0].FixedNodes)
+	}
+}
+
+func TestCompileWorkflowDefaults(t *testing.T) {
+	s, err := ParseBytes([]byte(`{"name":"w","days":1,"providers":[
+		{"name":"mtc","source":{"kind":"workflow","generator":"cybershake","tasks":120}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := c.Workloads[0]
+	if wl.Class != job.MTC {
+		t.Errorf("class = %v, want MTC", wl.Class)
+	}
+	if wl.Params.ScanInterval != 3 {
+		t.Errorf("scan interval = %d, want 3 (MTC default)", wl.Params.ScanInterval)
+	}
+	if wl.FixedNodes < 1 {
+		t.Errorf("fixed nodes = %d, want derived max width >= 1", wl.FixedNodes)
+	}
+}
+
+func TestBuiltinsParseAndCompile(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Builtin(name)
+		if err != nil {
+			t.Fatalf("builtin %s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("builtin %s declares name %q", name, s.Name)
+		}
+		if _, err := Compile(s); err != nil {
+			t.Errorf("builtin %s does not compile: %v", name, err)
+		}
+	}
+	if _, err := Builtin("ghost"); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+}
+
+func TestLoadRejectsUnknownReference(t *testing.T) {
+	if _, err := Load("no-such-scenario-or-file.json"); err == nil {
+		t.Error("unknown reference accepted")
+	}
+}
+
+func TestLoadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tiny.json"
+	src := `{"name":"tiny","days":1,"systems":["DCS"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := writeFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tiny" {
+		t.Errorf("name = %q", s.Name)
+	}
+}
+
+func TestRunSmallScenarioEndToEnd(t *testing.T) {
+	s, err := ParseBytes([]byte(`{"name":"mini","days":2,"seed":7,
+		"systems":["DCS","DawningCloud"],
+		"providers":[
+			{"name":"a","count":2,"source":{"kind":"synth","model":"nasa"}}],
+		"sweep":{"scale":true,"grid":{"provider":"a-01","b":[20,40],"r":[1.2]}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Base) != 2 {
+		t.Errorf("base systems = %d, want 2", len(rep.Base))
+	}
+	if len(rep.Scale) != 2 {
+		t.Errorf("scale points = %d, want 2 (n=1 and n=2)", len(rep.Scale))
+	}
+	if len(rep.Grid) != 2 {
+		t.Errorf("grid points = %d, want 2", len(rep.Grid))
+	}
+	// The full scale prefix must equal the base runs (shared cache cell).
+	last := rep.Scale[len(rep.Scale)-1]
+	if last.DCSNodeHours != rep.Base["DCS"].TotalNodeHours {
+		t.Errorf("scale n=2 DCS %.0f != base DCS %.0f", last.DCSNodeHours, rep.Base["DCS"].TotalNodeHours)
+	}
+	if last.DSPNodeHours != rep.Base["DawningCloud"].TotalNodeHours {
+		t.Errorf("scale n=2 DSP %.0f != base %.0f", last.DSPNodeHours, rep.Base["DawningCloud"].TotalNodeHours)
+	}
+	// Cells: 2 base + 2 scale (n=1) + 2 grid = 6 distinct simulations;
+	// the n=2 scale points are cache hits on the base cells.
+	if rep.Simulations != 6 {
+		t.Errorf("simulations = %d, want 6 (full prefix deduplicated against base)", rep.Simulations)
+	}
+	text := rep.Render()
+	for _, want := range []string{"scenario: mini", "provider a-01", "provider a-02",
+		"resource provider", "economies of scale", "B20_R1.2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunReportsCompileErrors(t *testing.T) {
+	s := &Spec{Name: "bad"}
+	s.ApplyDefaults()
+	if _, err := Run(s, 1); err == nil {
+		t.Error("empty provider list ran")
+	}
+}

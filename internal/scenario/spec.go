@@ -1,0 +1,386 @@
+// Package scenario is the declarative experiment layer of the
+// reproduction: a Spec — a JSON document with validation and defaults —
+// declares an arbitrary n-provider × m-system simulation study (the
+// generalized case the paper's conclusion asks for), Compile lowers it to
+// the comparison harness's workloads, and Run executes every
+// system × provider-count × sweep cell over the shared worker pool with
+// the experiment suite's cache/singleflight semantics, emitting a
+// structured Report with rendered tables and an economies-of-scale
+// summary.
+//
+// A service provider's workload comes from one of three sources: a
+// calibrated synthetic HTC model (internal/synth), an external SWF trace
+// file (internal/swf), or an MTC workflow — a Pegasus-style generator or
+// a DAG JSON file (internal/workflow). Providers replicate with `count`,
+// so a 10-organization consolidation study is one data file, not new Go.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// Known spec vocabularies.
+var (
+	// KnownSystems lists the comparable systems in presentation order,
+	// shared with the experiment suite's runner registry.
+	KnownSystems = append([]string(nil), experiments.SystemNames...)
+	// KnownSourceKinds lists the workload source kinds.
+	KnownSourceKinds = []string{"synth", "swf", "workflow"}
+	// KnownSynthModels lists the calibrated synthetic HTC models.
+	KnownSynthModels = []string{"nasa", "blue"}
+	// KnownGenerators lists the workflow generators.
+	KnownGenerators = []string{"paper-montage", "montage", "cybershake", "epigenomics", "ligo"}
+)
+
+// Spec declares one scenario: the service providers, the systems to
+// compare, the resource provider's pool, the accounting window and
+// optional sweep axes. The zero values of optional fields take defaults
+// in ApplyDefaults; Validate reports field-level errors.
+type Spec struct {
+	// Name identifies the scenario in reports and the registry.
+	Name string `json:"name"`
+	// Description is free text shown in the report header.
+	Description string `json:"description,omitempty"`
+	// Seed is the base generation seed. Providers without an explicit
+	// seed draw Seed + their expanded position (so the first three
+	// providers of a seed-42 spec use 42, 43, 44, matching the paper
+	// suite's construction). Zero is reserved for "unset" and defaults
+	// to 42; to pin a specific seed use any non-zero value (or set the
+	// providers' seeds explicitly).
+	Seed int64 `json:"seed,omitempty"`
+	// Days is the accounting window in days (the paper uses 14).
+	Days int `json:"days,omitempty"`
+	// Systems lists which systems to compare; empty means all four.
+	Systems []string `json:"systems,omitempty"`
+	// Pool configures the resource provider.
+	Pool PoolSpec `json:"pool,omitempty"`
+	// Providers declares the service providers (before count expansion).
+	Providers []ProviderSpec `json:"providers"`
+	// Sweep optionally adds B×R grid and provider-count scaling axes.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+}
+
+// PoolSpec configures the resource provider's cloud pool.
+type PoolSpec struct {
+	// Capacity is the pool's node count; 0 means unconstrained (the
+	// paper's "large cloud platform").
+	Capacity int `json:"capacity,omitempty"`
+	// Policy is the provision policy: "grant-or-reject" (the paper's,
+	// default) or "best-effort".
+	Policy string `json:"policy,omitempty"`
+	// SetupCostSeconds is the per-node adjustment cost; 0 uses the
+	// paper's measured 15.743 s.
+	SetupCostSeconds float64 `json:"setup_cost_seconds,omitempty"`
+}
+
+// ProviderSpec declares one service provider (or, with Count > 1, a
+// family of identically configured providers with consecutive seeds).
+type ProviderSpec struct {
+	// Name labels the provider; replicated providers get -01..-NN
+	// suffixes.
+	Name string `json:"name"`
+	// Count replicates the provider with consecutive seeds; default 1.
+	Count int `json:"count,omitempty"`
+	// Seed overrides the derived per-provider seed (replicas then use
+	// Seed, Seed+1, ...).
+	Seed *int64 `json:"seed,omitempty"`
+	// Source declares where the workload comes from.
+	Source SourceSpec `json:"source"`
+	// Policy sets the DawningCloud knobs B and R; nil takes the class
+	// default (HTC: B40 R1.2, MTC: B10 R8).
+	Policy *PolicySpec `json:"policy,omitempty"`
+	// FixedNodes is the DCS/SSP runtime-environment size; 0 derives it
+	// from the source (synth: machine size; swf: largest job; workflow:
+	// maximum level width).
+	FixedNodes int `json:"fixed_nodes,omitempty"`
+}
+
+// PolicySpec is the paper's two tuning knobs.
+type PolicySpec struct {
+	// B is the initial (never-reclaimed) node lease.
+	B int `json:"b"`
+	// R is the DR1 threshold ratio.
+	R float64 `json:"r"`
+}
+
+// SourceSpec declares a provider's workload source. Kind selects which of
+// the remaining fields apply.
+type SourceSpec struct {
+	// Kind is "synth", "swf" or "workflow".
+	Kind string `json:"kind"`
+	// Model is the synth model: "nasa" or "blue".
+	Model string `json:"model,omitempty"`
+	// Util overrides the synth model's target utilization (0 keeps the
+	// calibrated value).
+	Util float64 `json:"util,omitempty"`
+	// Path is the SWF trace file (kind "swf") or workflow DAG JSON file
+	// (kind "workflow" without a generator).
+	Path string `json:"path,omitempty"`
+	// Generator is the workflow generator: "paper-montage" (the paper's
+	// exact 1,000-task instance), "montage", "cybershake",
+	// "epigenomics" or "ligo".
+	Generator string `json:"generator,omitempty"`
+	// Tasks sizes generated workflows (ignored by paper-montage);
+	// default 1000.
+	Tasks int `json:"tasks,omitempty"`
+	// SubmitAt is the workflow submission time in seconds into the run.
+	SubmitAt int64 `json:"submit_at,omitempty"`
+}
+
+// SweepSpec declares optional sweep axes.
+type SweepSpec struct {
+	// Grid sweeps DawningCloud over a B×R grid for one provider in
+	// isolation (the paper's Figures 9-11 methodology).
+	Grid *GridSpec `json:"grid,omitempty"`
+	// Scale runs DCS and DawningCloud over every provider-count prefix
+	// 1..n of the expanded provider list: the economies-of-scale curve.
+	Scale bool `json:"scale,omitempty"`
+}
+
+// GridSpec is the B×R grid of a parameter sweep.
+type GridSpec struct {
+	// Provider names the (expanded) provider to sweep.
+	Provider string `json:"provider"`
+	// B lists initial-node values.
+	B []int `json:"b"`
+	// R lists threshold-ratio values.
+	R []float64 `json:"r"`
+}
+
+// Parse decodes a JSON spec strictly (unknown fields are errors), applies
+// defaults and validates.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	s.ApplyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseBytes decodes a JSON spec from memory.
+func ParseBytes(data []byte) (*Spec, error) { return Parse(bytes.NewReader(data)) }
+
+// ApplyDefaults fills the optional fields: seed 42, a 14-day window, all
+// four systems, the grant-or-reject pool policy and per-provider count 1.
+func (s *Spec) ApplyDefaults() {
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Days == 0 {
+		s.Days = 14
+	}
+	if len(s.Systems) == 0 {
+		s.Systems = append([]string(nil), KnownSystems...)
+	}
+	if s.Pool.Policy == "" {
+		s.Pool.Policy = "grant-or-reject"
+	}
+	for i := range s.Providers {
+		p := &s.Providers[i]
+		if p.Count == 0 {
+			p.Count = 1
+		}
+		if p.Source.Kind == "workflow" && p.Source.Generator != "" &&
+			p.Source.Generator != "paper-montage" && p.Source.Tasks == 0 {
+			p.Source.Tasks = 1000
+		}
+	}
+}
+
+// Horizon is the accounting window in seconds.
+func (s *Spec) Horizon() sim.Time { return sim.Time(s.Days) * sim.Day }
+
+// Validate reports the first problem with the spec as a field-level
+// error ("providers[1].policy.r: ..."), or nil. Call ApplyDefaults first;
+// Parse does both.
+func (s *Spec) Validate() error {
+	fail := func(field, format string, args ...any) error {
+		return fmt.Errorf("scenario %s: %s: %s", s.Name, field, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name: must not be empty")
+	}
+	if s.Days < 1 {
+		return fail("days", "accounting window %d days < 1", s.Days)
+	}
+	if len(s.Systems) == 0 {
+		return fail("systems", "must name at least one system")
+	}
+	seenSys := make(map[string]bool)
+	for i, name := range s.Systems {
+		if !knownSystem(name) {
+			return fail(fmt.Sprintf("systems[%d]", i), "unknown system %q (known: %s)",
+				name, strings.Join(KnownSystems, ", "))
+		}
+		if seenSys[name] {
+			return fail(fmt.Sprintf("systems[%d]", i), "system %q listed twice", name)
+		}
+		seenSys[name] = true
+	}
+	switch s.Pool.Policy {
+	case "grant-or-reject", "best-effort":
+	default:
+		return fail("pool.policy", "unknown provision policy %q (known: grant-or-reject, best-effort)", s.Pool.Policy)
+	}
+	if s.Pool.Capacity < 0 {
+		return fail("pool.capacity", "capacity %d < 0", s.Pool.Capacity)
+	}
+	if s.Pool.SetupCostSeconds < 0 {
+		return fail("pool.setup_cost_seconds", "setup cost %g < 0", s.Pool.SetupCostSeconds)
+	}
+	if len(s.Providers) == 0 {
+		return fail("providers", "must declare at least one provider")
+	}
+	names := make(map[string]bool)
+	for i := range s.Providers {
+		if err := s.Providers[i].validate(fmt.Sprintf("providers[%d]", i), fail); err != nil {
+			return err
+		}
+		if names[s.Providers[i].Name] {
+			return fail(fmt.Sprintf("providers[%d].name", i), "duplicate provider name %q", s.Providers[i].Name)
+		}
+		names[s.Providers[i].Name] = true
+	}
+	if s.Sweep != nil {
+		if err := s.validateSweep(fail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *ProviderSpec) validate(field string, fail func(string, string, ...any) error) error {
+	if p.Name == "" {
+		return fail(field+".name", "must not be empty")
+	}
+	if p.Count < 1 {
+		return fail(field+".count", "count %d < 1", p.Count)
+	}
+	if p.FixedNodes < 0 {
+		return fail(field+".fixed_nodes", "fixed nodes %d < 0", p.FixedNodes)
+	}
+	if p.Policy != nil {
+		if p.Policy.B < 1 {
+			return fail(field+".policy.b", "initial nodes %d < 1", p.Policy.B)
+		}
+		if p.Policy.R <= 0 {
+			return fail(field+".policy.r", "threshold ratio %g <= 0", p.Policy.R)
+		}
+	}
+	src := &p.Source
+	switch src.Kind {
+	case "synth":
+		if !contains(KnownSynthModels, src.Model) {
+			return fail(field+".source.model", "unknown synth model %q (known: %s)",
+				src.Model, strings.Join(KnownSynthModels, ", "))
+		}
+		if src.Util < 0 || src.Util >= 1 {
+			return fail(field+".source.util", "target utilization %g outside [0,1)", src.Util)
+		}
+		if src.Path != "" || src.Generator != "" {
+			return fail(field+".source", "synth source takes no path or generator")
+		}
+	case "swf":
+		if src.Path == "" {
+			return fail(field+".source.path", "swf source needs a trace file path")
+		}
+		if src.Model != "" || src.Generator != "" {
+			return fail(field+".source", "swf source takes no model or generator")
+		}
+	case "workflow":
+		if (src.Generator == "") == (src.Path == "") {
+			return fail(field+".source", "workflow source needs exactly one of generator or path")
+		}
+		if src.Generator != "" && !contains(KnownGenerators, src.Generator) {
+			return fail(field+".source.generator", "unknown generator %q (known: %s)",
+				src.Generator, strings.Join(KnownGenerators, ", "))
+		}
+		if src.Tasks < 0 {
+			return fail(field+".source.tasks", "tasks %d < 0", src.Tasks)
+		}
+		if src.SubmitAt < 0 {
+			return fail(field+".source.submit_at", "submit time %d < 0", src.SubmitAt)
+		}
+	default:
+		return fail(field+".source.kind", "unknown source kind %q (known: %s)",
+			src.Kind, strings.Join(KnownSourceKinds, ", "))
+	}
+	return nil
+}
+
+func (s *Spec) validateSweep(fail func(string, string, ...any) error) error {
+	if g := s.Sweep.Grid; g != nil {
+		if g.Provider == "" {
+			return fail("sweep.grid.provider", "must name the provider to sweep")
+		}
+		if !s.hasExpandedProvider(g.Provider) {
+			return fail("sweep.grid.provider", "unknown provider %q", g.Provider)
+		}
+		if len(g.B) == 0 || len(g.R) == 0 {
+			return fail("sweep.grid", "needs at least one B and one R value")
+		}
+		for i, b := range g.B {
+			if b < 1 {
+				return fail(fmt.Sprintf("sweep.grid.b[%d]", i), "initial nodes %d < 1", b)
+			}
+		}
+		for i, r := range g.R {
+			if r <= 0 {
+				return fail(fmt.Sprintf("sweep.grid.r[%d]", i), "threshold ratio %g <= 0", r)
+			}
+		}
+	}
+	if s.Sweep.Scale {
+		for _, want := range []string{"DCS", "DawningCloud"} {
+			if !contains(s.Systems, want) {
+				return fail("sweep.scale", "needs both DCS and DawningCloud in systems (missing %s)", want)
+			}
+		}
+	}
+	return nil
+}
+
+// ExpandedNames lists the provider names after count expansion, in
+// compile order.
+func (s *Spec) ExpandedNames() []string {
+	var out []string
+	for i := range s.Providers {
+		p := &s.Providers[i]
+		if p.Count <= 1 {
+			out = append(out, p.Name)
+			continue
+		}
+		for k := 1; k <= p.Count; k++ {
+			out = append(out, fmt.Sprintf("%s-%02d", p.Name, k))
+		}
+	}
+	return out
+}
+
+func (s *Spec) hasExpandedProvider(name string) bool {
+	return contains(s.ExpandedNames(), name)
+}
+
+func knownSystem(name string) bool { return contains(KnownSystems, name) }
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

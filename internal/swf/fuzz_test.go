@@ -1,0 +1,133 @@
+package swf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// validLine is a well-formed SWF record used as a mutation base.
+const validLine = "1 0 10 600 4 2.5 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n"
+
+// TestParseMalformedInputs is the table companion of FuzzParse: every
+// class of corrupt input must produce a line-numbered error, never a
+// panic or a silently wrong record.
+func TestParseMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string
+	}{
+		{"too few fields", "1 0 10 600 4\n", "expected 18 fields, got 5"},
+		{"too many fields", strings.TrimSuffix(validLine, "\n") + " 99\n", "expected 18 fields, got 19"},
+		{"non-numeric int field", "x 0 10 600 4 2.5 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n", "field 1"},
+		{"non-numeric float field", "1 0 10 600 4 abc 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n", "field 6"},
+		{"int64 overflow", "99999999999999999999 0 10 600 4 2.5 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n", "field 1"},
+		{"huge processor count", "1 0 10 600 4294967296 2.5 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n", "out of range"},
+		{"huge negative processor count", "1 0 10 600 -4294967296 2.5 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n", "out of range"},
+		{"huge submit time", "1 99999999999999 10 600 4 2.5 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n", "out of range"},
+		{"error names the line", validLine + "bad line here\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseNegativeFieldsDropped: archive traces use -1 for unknown
+// values; such records parse fine but convert to no simulation job.
+func TestParseNegativeFieldsDropped(t *testing.T) {
+	input := "1 0 -1 -1 -1 -1 -1 -1 -1 -1 0 -1 -1 -1 -1 -1 -1 -1\n" + // unknown runtime/procs
+		"2 0 -1 600 -5 -1 -1 -3 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n" + // negative proc counts
+		"3 10 -1 600 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n" // good
+	trace, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(trace.Records))
+	}
+	jobs := trace.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != 3 {
+		t.Fatalf("jobs = %+v, want only record 3", jobs)
+	}
+	stats := trace.Summarize(128, 0)
+	if stats.Jobs != 1 || stats.NodeSeconds != 2400 {
+		t.Errorf("stats = %+v, want 1 job / 2400 node-seconds", stats)
+	}
+}
+
+// TestSummarizeSaturatesInsteadOfWrapping pins the overflow fix: at the
+// field bounds, accumulated node-seconds saturate at MaxInt64 rather than
+// wrapping to a negative total (which used to yield negative utilization).
+func TestSummarizeSaturatesInsteadOfWrapping(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 4; i++ {
+		b.WriteString("1 0 -1 4294967296 1073741824 -1 -1 1073741824 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	}
+	trace, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("bound-sized records rejected: %v", err)
+	}
+	stats := trace.Summarize(128, 0)
+	if stats.NodeSeconds != math.MaxInt64 {
+		t.Errorf("NodeSeconds = %d, want saturation at MaxInt64", stats.NodeSeconds)
+	}
+	if stats.Utilization < 0 {
+		t.Errorf("utilization went negative: %g", stats.Utilization)
+	}
+}
+
+// FuzzParse hammers the parser with arbitrary bytes: it must never
+// panic, and whatever it accepts must survive a Write/Parse round trip
+// with identical records.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("; Computer: iPSC/860\n; MaxNodes: 128\n" + validLine))
+	f.Add([]byte(validLine + validLine))
+	f.Add([]byte("1 0 10 600 4 NaN -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 4294967296 0 0 1073741824 1e308 0 0 0 0 0 0 0 0 0 0 0 0\n"))
+	f.Add([]byte(";\n\n  \n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trace, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted traces must be usable by every consumer.
+		jobs := trace.Jobs()
+		for i := range jobs {
+			if jobs[i].Nodes <= 0 || jobs[i].Runtime < 0 || jobs[i].Submit < 0 {
+				t.Fatalf("Jobs() emitted invalid job %+v", jobs[i])
+			}
+		}
+		stats := trace.Summarize(128, 0)
+		if stats.NodeSeconds < 0 {
+			t.Fatalf("negative node-seconds %d from %q", stats.NodeSeconds, data)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, trace); err != nil {
+			t.Fatalf("Write failed on accepted trace: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\nwritten:\n%s", err, buf.String())
+		}
+		if len(again.Records) != len(trace.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(trace.Records), len(again.Records))
+		}
+		for i := range trace.Records {
+			a, b := trace.Records[i], again.Records[i]
+			if a.Submit != b.Submit || a.Run != b.Run || a.UsedProcs != b.UsedProcs || a.ReqProcs != b.ReqProcs {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}

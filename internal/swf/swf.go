@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -94,6 +95,25 @@ func Parse(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// Sanity bounds on parsed fields. Archive traces use -1 for unknown
+// values; anything wildly beyond a physical machine or a trace's lifetime
+// is corruption, and letting it through would overflow the node-second
+// accounting downstream (procs * seconds must fit in int64).
+const (
+	maxCountField = 1 << 30 // processor/job counts
+	maxTimeField  = 1 << 32 // seconds (~136 years)
+)
+
+// fieldBound returns the magnitude bound for field index i (0-based).
+func fieldBound(i int) int64 {
+	switch i {
+	case 1, 2, 3, 8, 17: // submit, wait, run, requested time, think time
+		return maxTimeField
+	default: // job number, processor counts, ids, memory, status, queue
+		return maxCountField
+	}
+}
+
 func parseRecord(line string) (Record, error) {
 	fields := strings.Fields(line)
 	if len(fields) != 18 {
@@ -113,6 +133,9 @@ func parseRecord(line string) (Record, error) {
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("field %d %q: %w", i+1, f, err)
+		}
+		if bound := fieldBound(i); v > bound || v < -bound {
+			return Record{}, fmt.Errorf("field %d %q: out of range (|value| > %d)", i+1, f, bound)
 		}
 		ints[i] = v
 	}
@@ -158,6 +181,16 @@ func Write(w io.Writer, t *Trace) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// satAdd adds non-negative node-second quantities, saturating at the
+// int64 maximum instead of wrapping: parseRecord bounds each term, but a
+// long trace can still accumulate past 2^63.
+func satAdd(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxInt64
 }
 
 // procs picks the effective processor demand of a record: used processors
@@ -255,7 +288,7 @@ func (t *Trace) Summarize(machineNodes int, period int64) Stats {
 			continue
 		}
 		s.Jobs++
-		s.NodeSeconds += int64(p) * r.Run
+		s.NodeSeconds = satAdd(s.NodeSeconds, int64(p)*r.Run)
 		if p > s.MaxProcs {
 			s.MaxProcs = p
 		}

@@ -321,6 +321,20 @@ func (m *Model) sampleSize(rng *rand.Rand) int {
 	return m.SizeWeights[len(m.SizeWeights)-1].Nodes
 }
 
+// SDSCBlueWindowed returns the BLUE model truncated to days. Windows
+// shorter than the full two weeks compress the week factors so the
+// quiet-then-busy shape survives the truncation; both the experiment
+// suite and the scenario compiler build shortened BLUE traces through
+// this single helper.
+func SDSCBlueWindowed(seed int64, days int) *Model {
+	m := SDSCBlue(seed)
+	m.Days = days
+	if days < 14 {
+		m.WeekFactors = []float64{0.55, 1.45, 1.45}
+	}
+	return m
+}
+
 // poisson draws a Poisson variate by inversion (Knuth); adequate for the
 // small per-hour rates used here.
 func poisson(rng *rand.Rand, lambda float64) int {

@@ -1,6 +1,7 @@
 package dawningcloud
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -67,49 +68,49 @@ func BenchmarkTable1UsageModels(b *testing.B) {
 
 // BenchmarkFigure9ParamSweepBLUE regenerates the BLUE B x R sweep.
 func BenchmarkFigure9ParamSweepBLUE(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure9() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure9(context.Background()) })
 }
 
 // BenchmarkFigure10ParamSweepNASA regenerates the NASA B x R sweep.
 func BenchmarkFigure10ParamSweepNASA(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure10() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure10(context.Background()) })
 }
 
 // BenchmarkFigure11ParamSweepMontage regenerates the Montage B x R sweep.
 func BenchmarkFigure11ParamSweepMontage(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure11() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure11(context.Background()) })
 }
 
 // BenchmarkTable2NASA regenerates the NASA service-provider table.
 func BenchmarkTable2NASA(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Table2() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Table2(context.Background()) })
 }
 
 // BenchmarkTable3BLUE regenerates the BLUE service-provider table.
 func BenchmarkTable3BLUE(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Table3() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Table3(context.Background()) })
 }
 
 // BenchmarkTable4Montage regenerates the Montage service-provider table.
 func BenchmarkTable4Montage(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Table4() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Table4(context.Background()) })
 }
 
 // BenchmarkFigure12TotalConsumption regenerates the resource provider's
 // total consumption comparison.
 func BenchmarkFigure12TotalConsumption(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure12() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure12(context.Background()) })
 }
 
 // BenchmarkFigure13PeakConsumption regenerates the peak comparison.
 func BenchmarkFigure13PeakConsumption(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure13() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure13(context.Background()) })
 }
 
 // BenchmarkFigure14AdjustmentOverhead regenerates the management-overhead
 // comparison.
 func BenchmarkFigure14AdjustmentOverhead(b *testing.B) {
-	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure14() })
+	benchArtifact(b, func(s *experiments.Suite) (experiments.Artifact, error) { return s.Figure14(context.Background()) })
 }
 
 // BenchmarkTCOAnalysis regenerates the Section 4.5.5 cost comparison.
@@ -137,7 +138,7 @@ func BenchmarkAblationEasyBackfill(b *testing.B) {
 	}
 	opts := Options{Horizon: TwoWeeks, Provision: policy.GrantOrReject}
 	for i := 0; i < b.N; i++ {
-		ff, err := Run(DawningCloud, []Workload{nasa}, opts)
+		ff, err := DefaultEngine().Run(context.Background(), "DawningCloud", []Workload{nasa}, WithOptions(opts))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,13 +164,13 @@ func BenchmarkAblationProvisionPolicy(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		strict, err := Run(DawningCloud, []Workload{nasa},
-			Options{Horizon: TwoWeeks, PoolCapacity: 160, Provision: policy.GrantOrReject})
+		strict, err := DefaultEngine().Run(context.Background(), "DawningCloud", []Workload{nasa},
+			WithOptions(Options{Horizon: TwoWeeks, PoolCapacity: 160, Provision: policy.GrantOrReject}))
 		if err != nil {
 			b.Fatal(err)
 		}
-		effort, err := Run(DawningCloud, []Workload{nasa},
-			Options{Horizon: TwoWeeks, PoolCapacity: 160, Provision: policy.BestEffort})
+		effort, err := DefaultEngine().Run(context.Background(), "DawningCloud", []Workload{nasa},
+			WithOptions(Options{Horizon: TwoWeeks, PoolCapacity: 160, Provision: policy.BestEffort}))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func BenchmarkDawningCloudSimulation(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(DawningCloud, wls, opts); err != nil {
+		if _, err := DefaultEngine().Run(context.Background(), "DawningCloud", wls, WithOptions(opts)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -241,7 +242,7 @@ func BenchmarkDawningCloudSimulationParallel(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := Run(DawningCloud, CloneWorkloads(wls), opts); err != nil {
+			if _, err := DefaultEngine().Run(context.Background(), "DawningCloud", CloneWorkloads(wls), WithOptions(opts)); err != nil {
 				b.Error(err)
 				return
 			}
@@ -249,8 +250,8 @@ func BenchmarkDawningCloudSimulationParallel(b *testing.B) {
 	})
 }
 
-// BenchmarkRunSystemsAllFour measures the public fan-out runner over the
-// four compared systems on all CPUs.
+// BenchmarkRunSystemsAllFour measures the Engine's fan-out runner over
+// the four compared systems on all CPUs.
 func BenchmarkRunSystemsAllFour(b *testing.B) {
 	wls, err := PaperWorkloads(benchSeed)
 	if err != nil {
@@ -259,7 +260,8 @@ func BenchmarkRunSystemsAllFour(b *testing.B) {
 	opts := Options{Horizon: TwoWeeks}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunSystems(AllSystems(), wls, opts, 0); err != nil {
+		if _, err := DefaultEngine().RunAll(context.Background(),
+			[]string{"DCS", "SSP", "DRP", "DawningCloud"}, wls, WithOptions(opts)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,15 +11,19 @@
 // Independent simulations (the four system runs and every sweep grid
 // point) fan out over up to -workers concurrent workers; 0 uses all CPUs
 // and 1 restores the serial reference behaviour. Artifact content is
-// identical at any worker count.
+// identical at any worker count. -progress streams run/cell/table events
+// to stderr; an interrupt (Ctrl-C) cancels in-flight simulations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
+	"repro/internal/events"
 	"repro/internal/experiments"
 )
 
@@ -30,14 +34,21 @@ func main() {
 		days       = flag.Int("days", 14, "trace window in days (the paper uses 14)")
 		outDir     = flag.String("out", "", "directory for .txt/.svg artifacts (optional)")
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
+		progress   = flag.Bool("progress", false, "stream run/cell/table progress events to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	suite := experiments.NewSuite(*seed)
 	suite.Days = *days
 	suite.Workers = *workers
+	if *progress {
+		suite.Events = events.WriterSink(os.Stderr, "dawningbench:")
+	}
 
-	artifacts, err := collect(suite, *experiment)
+	artifacts, err := collect(ctx, suite, *experiment)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dawningbench: %v\n", err)
 		os.Exit(1)
@@ -60,14 +71,14 @@ func main() {
 	}
 }
 
-func collect(suite *experiments.Suite, which string) ([]experiments.Artifact, error) {
+func collect(ctx context.Context, suite *experiments.Suite, which string) ([]experiments.Artifact, error) {
 	if which == "all" {
-		return suite.Artifacts()
+		return suite.ArtifactsContext(ctx)
 	}
 	if which == "extensions" {
 		var out []experiments.Artifact
 		for _, id := range []string{"ext-scale", "ext-backfill", "ext-provision"} {
-			arts, err := collect(suite, id)
+			arts, err := collect(ctx, suite, id)
 			if err != nil {
 				return nil, err
 			}
@@ -75,8 +86,8 @@ func collect(suite *experiments.Suite, which string) ([]experiments.Artifact, er
 		}
 		return out, nil
 	}
-	steps := map[string]func() (experiments.Artifact, error){
-		"table1": func() (experiments.Artifact, error) { return experiments.Table1(), nil },
+	steps := map[string]func(context.Context) (experiments.Artifact, error){
+		"table1": func(context.Context) (experiments.Artifact, error) { return experiments.Table1(), nil },
 		"fig9":   suite.Figure9,
 		"fig10":  suite.Figure10,
 		"fig11":  suite.Figure11,
@@ -86,22 +97,22 @@ func collect(suite *experiments.Suite, which string) ([]experiments.Artifact, er
 		"fig12":  suite.Figure12,
 		"fig13":  suite.Figure13,
 		"fig14":  suite.Figure14,
-		"tco":    experiments.TCO,
-		"ext-scale": func() (experiments.Artifact, error) {
-			return suite.ScaleArtifact(5)
+		"tco":    func(context.Context) (experiments.Artifact, error) { return experiments.TCO() },
+		"ext-scale": func(ctx context.Context) (experiments.Artifact, error) {
+			return suite.ScaleArtifact(ctx, 5)
 		},
-		"ext-backfill": func() (experiments.Artifact, error) {
-			return suite.AblationBackfill(experiments.NASAProvider)
+		"ext-backfill": func(ctx context.Context) (experiments.Artifact, error) {
+			return suite.AblationBackfill(ctx, experiments.NASAProvider)
 		},
-		"ext-provision": func() (experiments.Artifact, error) {
-			return suite.AblationProvision(experiments.NASAProvider, 160)
+		"ext-provision": func(ctx context.Context) (experiments.Artifact, error) {
+			return suite.AblationProvision(ctx, experiments.NASAProvider, 160)
 		},
 	}
 	step, ok := steps[which]
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q", which)
 	}
-	a, err := step()
+	a, err := step(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -6,24 +6,31 @@
 //
 // Usage:
 //
-//	dcscen -scenario paper-baseline [-workers 0] [-out report.txt]
+//	dcscen -scenario paper-baseline [-workers 0] [-out report.txt] [-progress]
 //	dcscen -scenario my-study.json -workers 4
 //	dcscen -list
 //	dcscen -dump scale-10 > my-study.json
 //
 // Built-in scenarios: paper-baseline (the paper's evaluation; reproduces
 // Tables 2-4 exactly), scale-10 (ten-provider economies-of-scale curve),
-// blue-heavy, mtc-burst and mixed-federation.
+// blue-heavy, mtc-burst and mixed-federation. A spec's "systems" list
+// may name any registered system (including extensions like "ssp-spot");
+// unknown names fail validation with the registry's list. -progress
+// streams cell-completion events to stderr as the study runs, and an
+// interrupt (Ctrl-C) cancels in-flight simulations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	dawningcloud "repro"
+	"repro/internal/events"
 )
 
 func main() {
@@ -34,14 +41,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dcscen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		ref     = fs.String("scenario", "", "scenario to run: a built-in name or a JSON spec file path")
-		workers = fs.Int("workers", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
-		out     = fs.String("out", "", "also write the report to this file")
-		list    = fs.Bool("list", false, "list built-in scenarios and exit")
-		dump    = fs.String("dump", "", "print a built-in scenario's JSON spec and exit")
+		ref      = fs.String("scenario", "", "scenario to run: a built-in name or a JSON spec file path")
+		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
+		out      = fs.String("out", "", "also write the report to this file")
+		list     = fs.Bool("list", false, "list built-in scenarios and exit")
+		dump     = fs.String("dump", "", "print a built-in scenario's JSON spec and exit")
+		progress = fs.Bool("progress", false, "stream cell/run progress events to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: dcscen -scenario name|file.json [-workers N] [-out report.txt]\n")
+		fmt.Fprintf(stderr, "usage: dcscen -scenario name|file.json [-workers N] [-out report.txt] [-progress]\n")
 		fmt.Fprintf(stderr, "       dcscen -list | -dump name\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, "\nbuilt-in scenarios: %s\n", strings.Join(dawningcloud.ScenarioNames(), ", "))
@@ -74,12 +82,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	spec, err := dawningcloud.LoadScenario(*ref)
 	if err != nil {
 		fmt.Fprintf(stderr, "dcscen: %v\n", err)
 		return 1
 	}
-	report, err := dawningcloud.RunScenario(spec, *workers)
+	var sink func(dawningcloud.Event)
+	if *progress {
+		write := events.WriterSink(stderr, "dcscen:")
+		sink = func(ev dawningcloud.Event) {
+			if _, ok := ev.(dawningcloud.RunStartedEvent); ok {
+				return // cell completions carry the useful signal
+			}
+			write(ev)
+		}
+	}
+	report, err := dawningcloud.RunScenarioContext(ctx, spec, *workers, sink)
 	if err != nil {
 		fmt.Fprintf(stderr, "dcscen: %v\n", err)
 		return 1

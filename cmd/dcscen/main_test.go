@@ -105,3 +105,126 @@ func TestRunWritesReportFile(t *testing.T) {
 		t.Errorf("stdout missing confirmation:\n%s", out)
 	}
 }
+
+// TestOutUnwritablePathFailsAfterRun pins the -out error path: a report
+// that cannot be written exits non-zero with the OS error, and the
+// rendered report still reaches stdout so the run is not lost.
+func TestOutUnwritablePathFails(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "mini.json")
+	src := `{"name":"mini","days":1,"systems":["DCS"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "missing-subdir", "report.txt")
+	code, out, errOut := runCLI(t, "-scenario", spec, "-workers", "1", "-out", target)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "missing-subdir") {
+		t.Errorf("stderr missing the failing path:\n%s", errOut)
+	}
+	if !strings.Contains(out, "scenario: mini") {
+		t.Errorf("stdout lost the rendered report:\n%s", out)
+	}
+	if strings.Contains(out, "report written to") {
+		t.Errorf("stdout claims success despite write failure:\n%s", out)
+	}
+}
+
+// TestOutOverwritesExistingFile: -out replaces a pre-existing report
+// wholesale instead of appending or refusing.
+func TestOutOverwritesExistingFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "mini.json")
+	report := filepath.Join(dir, "report.txt")
+	src := `{"name":"mini","days":1,"systems":["DCS"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(report, []byte("STALE PREVIOUS CONTENT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "-scenario", spec, "-workers", "1", "-out", report)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "STALE PREVIOUS CONTENT") {
+		t.Errorf("old report content survived the overwrite:\n%s", data)
+	}
+	if !strings.Contains(string(data), "scenario: mini") {
+		t.Errorf("new report content missing:\n%s", data)
+	}
+}
+
+// TestUnknownSystemInSpecListsRegistry: a spec naming an unregistered
+// system fails validation with the registry's available-names list.
+func TestUnknownSystemInSpecListsRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad-system.json")
+	src := `{"name":"bad-system","days":1,"systems":["DCS","warp-drive"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-scenario", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, `unknown system "warp-drive"`) {
+		t.Errorf("stderr missing the unknown-system error:\n%s", errOut)
+	}
+	for _, want := range []string{"DCS", "SSP", "DRP", "DawningCloud", "ssp-spot"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing registered system %q:\n%s", want, errOut)
+		}
+	}
+	if out != "" {
+		t.Errorf("failed validation produced stdout output:\n%s", out)
+	}
+}
+
+// TestSpecCanRunSpotExtension: scenario specs reach registered
+// extensions by name — here the shipped ssp-spot system.
+func TestSpecCanRunSpotExtension(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spot.json")
+	src := `{"name":"spot-study","days":1,"seed":7,"systems":["SSP","ssp-spot"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-scenario", path, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(out, "ssp-spot") {
+		t.Errorf("report missing ssp-spot results:\n%s", out)
+	}
+}
+
+// TestProgressStreamsCellEvents: -progress reports cell completions on
+// stderr while stdout stays a clean report.
+func TestProgressStreamsCellEvents(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "mini.json")
+	src := `{"name":"mini","days":1,"systems":["DCS","DawningCloud"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-scenario", spec, "-workers", "1", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "cell 1/2 done") || !strings.Contains(errOut, "cell 2/2 done") {
+		t.Errorf("stderr missing cell progress:\n%s", errOut)
+	}
+	if strings.Contains(out, "cell 1/2") {
+		t.Errorf("progress leaked to stdout:\n%s", out)
+	}
+}

@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	dcsim -system dawningcloud|ssp|dcs|drp|all -workload nasa|blue|montage
+//	dcsim -system dawningcloud|ssp|dcs|drp|ssp-spot|...|all -workload nasa|blue|montage
 //	      [-b 40] [-r 1.2] [-seed 42] [-days 14] [-capacity 0] [-workers 0]
+//	      [-timeout 0] [-progress]
 //
-// With -system all, every compared system runs over the workload
-// concurrently on up to -workers simulations (0 = all CPUs).
+// -system resolves case-insensitively against the system registry, so
+// every registered system — including extensions registered at runtime —
+// is runnable by name; with -system all, every registered system runs
+// over the workload concurrently on up to -workers simulations (0 = all
+// CPUs). -timeout bounds the wall-clock run time and an interrupt
+// (Ctrl-C) cancels in-flight simulations; -progress streams run events
+// to stderr.
 //
 // It can also replay an external trace:
 //
@@ -17,12 +23,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
 
 	dawningcloud "repro"
+	"repro/internal/events"
 	"repro/internal/job"
 	"repro/internal/sim"
 	"repro/internal/swf"
@@ -32,8 +42,9 @@ import (
 
 // knownWorkloads is the accepted -workload vocabulary (keep in sync with
 // buildWorkload's builtin cases); unknown names are rejected up front
-// with usage text and a non-zero exit. -system values are validated by
-// parseSystem itself so the vocabulary has a single source of truth.
+// with usage text and a non-zero exit. -system values are validated
+// against the system registry so the vocabulary has a single source of
+// truth.
 var knownWorkloads = []string{"nasa", "blue", "montage"}
 
 func main() {
@@ -44,14 +55,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dcsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		system   = fs.String("system", "dawningcloud", "system: dawningcloud, ssp, dcs, drp or all")
+		system   = fs.String("system", "dawningcloud", "registered system name (case-insensitive) or all")
 		workers  = fs.Int("workers", 0, "max concurrent simulations for -system all (0 = all CPUs)")
 		load     = fs.String("workload", "nasa", "builtin workload: nasa, blue or montage")
 		b        = fs.Int("b", 0, "initial nodes B (0 = paper default for the workload)")
 		r        = fs.Float64("r", 0, "threshold ratio R (0 = paper default)")
-		seed     = fs.Int64("seed", 42, "generation seed")
+		seed     = fs.Int64("seed", 42, "generation seed (also drives stochastic systems like ssp-spot)")
 		days     = fs.Int("days", 14, "trace window in days")
 		capacity = fs.Int("capacity", 0, "cloud pool capacity (0 = unconstrained)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock simulation budget (0 = none); an exceeded budget cancels the runs")
+		progress = fs.Bool("progress", false, "stream run progress events to stderr")
 		swfPath  = fs.String("swf", "", "replay an SWF trace file instead of a builtin workload")
 		dagPath  = fs.String("dag", "", "run a workflow JSON file instead of a builtin workload")
 		fixed    = fs.Int("fixed", 0, "fixed RE size for DCS/SSP when replaying external files")
@@ -60,16 +73,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	engine := dawningcloud.DefaultEngine()
+
 	// Reject unknown names before any (potentially slow) workload
-	// generation, with the usage text alongside the specific error.
-	var sys dawningcloud.System
-	if *system != "all" {
-		var err error
-		if sys, err = parseSystem(*system); err != nil {
-			fmt.Fprintf(stderr, "dcsim: %v\n", err)
-			fs.Usage()
-			return 2
-		}
+	// generation, with the usage text alongside the specific error. The
+	// registry owns the vocabulary: its error lists every registered
+	// system.
+	if *system != "all" && !engine.Has(*system) {
+		fmt.Fprintf(stderr, "dcsim: unknown system %q (registered: %s; or all)\n",
+			*system, strings.Join(engine.Systems(), ", "))
+		fs.Usage()
+		return 2
 	}
 	if *swfPath == "" && *dagPath == "" && !knownName(knownWorkloads, *load) {
 		fmt.Fprintf(stderr, "dcsim: unknown workload %q (known: nasa, blue, montage)\n", *load)
@@ -82,6 +96,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dcsim: %v\n", err)
 		return 1
 	}
+
+	// The timeout clock starts here, after workload generation/parsing
+	// (which is not context-aware), so -timeout budgets the simulation
+	// itself.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *b > 0 {
 		wl.Params.InitialNodes = *b
 	}
@@ -89,9 +114,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wl.Params.ThresholdRatio = *r
 	}
 
-	opts := dawningcloud.Options{Horizon: horizon, PoolCapacity: *capacity}
+	runOpts := []dawningcloud.RunOption{
+		dawningcloud.WithOptions(dawningcloud.Options{Horizon: horizon, PoolCapacity: *capacity}),
+		dawningcloud.WithSeed(*seed),
+		dawningcloud.WithWorkers(*workers),
+	}
+	if *progress {
+		runOpts = append(runOpts, dawningcloud.WithEvents(events.WriterSink(stderr, "dcsim:")))
+	}
+
 	if *system == "all" {
-		results, err := dawningcloud.RunSystems(dawningcloud.AllSystems(), []dawningcloud.Workload{wl}, opts, *workers)
+		results, err := engine.RunAll(ctx, nil, []dawningcloud.Workload{wl}, runOpts...)
 		if err != nil {
 			fmt.Fprintf(stderr, "dcsim: %v\n", err)
 			return 1
@@ -101,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	res, err := dawningcloud.Run(sys, []dawningcloud.Workload{wl}, opts)
+	res, err := engine.Run(ctx, *system, []dawningcloud.Workload{wl}, runOpts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "dcsim: %v\n", err)
 		return 1
@@ -204,20 +237,5 @@ func buildWorkload(load string, seed int64, days int, swfPath, dagPath string, f
 		return wl, 0, err
 	default:
 		return dawningcloud.Workload{}, 0, fmt.Errorf("unknown workload %q", load)
-	}
-}
-
-func parseSystem(s string) (dawningcloud.System, error) {
-	switch s {
-	case "dawningcloud":
-		return dawningcloud.DawningCloud, nil
-	case "ssp":
-		return dawningcloud.SSP, nil
-	case "dcs":
-		return dawningcloud.DCS, nil
-	case "drp":
-		return dawningcloud.DRP, nil
-	default:
-		return 0, fmt.Errorf("unknown system %q (known: dawningcloud, ssp, dcs, drp, all)", s)
 	}
 }

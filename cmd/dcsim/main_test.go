@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	dawningcloud "repro"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -22,7 +25,6 @@ func TestCLIRejectsUnknownNames(t *testing.T) {
 		wantErr string
 	}{
 		{"unknown system", []string{"-system", "vms", "-workload", "nasa"}, `unknown system "vms"`},
-		{"case-sensitive system", []string{"-system", "DawningCloud"}, "unknown system"},
 		{"unknown workload", []string{"-system", "dcs", "-workload", "mosaic"}, `unknown workload "mosaic"`},
 		{"empty workload", []string{"-workload", ""}, "unknown workload"},
 		{"undefined flag", []string{"-sustem", "dcs"}, "flag provided but not defined"},
@@ -66,6 +68,105 @@ func TestCLIRunsKnownSystemAndWorkload(t *testing.T) {
 	for _, want := range []string{"system: DCS", "workload: nasa-htc", "completed jobs", "resource provider"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIUnknownSystemListsRegistry pins the error contract: the
+// unknown-system message enumerates the registered names (including the
+// ssp-spot extension), so the CLI vocabulary is visibly the registry.
+func TestCLIUnknownSystemListsRegistry(t *testing.T) {
+	code, _, errOut := runCLI(t, "-system", "vms", "-workload", "nasa")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	for _, want := range []string{"DCS", "SSP", "DRP", "DawningCloud", "ssp-spot", "registered:"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestCLISystemNameCaseInsensitive: -system resolves through the
+// registry case-insensitively but reports the canonical spelling.
+func TestCLISystemNameCaseInsensitive(t *testing.T) {
+	code, out, errOut := runCLI(t, "-system", "DawningCloud", "-workload", "montage")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(out, "system: DawningCloud") {
+		t.Errorf("output missing canonical system name:\n%s", out)
+	}
+}
+
+// TestCLIRunsSpotExtension runs the shipped registry extension by name —
+// no enum value or switch case exists for it anywhere.
+func TestCLIRunsSpotExtension(t *testing.T) {
+	code, out, errOut := runCLI(t, "-system", "ssp-spot", "-workload", "montage", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	for _, want := range []string{"system: ssp-spot", "workload: montage-mtc", "resource provider"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIRunsTestRegisteredSystem is the extensibility acceptance test
+// at the CLI layer: a system registered from this test file — with no
+// edits to any dispatch code — is immediately runnable via -system.
+func TestCLIRunsTestRegisteredSystem(t *testing.T) {
+	name := "cli-echo-test"
+	if !dawningcloud.DefaultEngine().Has(name) {
+		dawningcloud.DefaultEngine().MustRegister(name, dawningcloud.RunnerFunc(
+			func(ctx context.Context, wls []dawningcloud.Workload, opts dawningcloud.Options) (dawningcloud.Result, error) {
+				res := dawningcloud.Result{System: name, Horizon: opts.HorizonFor(wls)}
+				for _, wl := range wls {
+					res.Providers = append(res.Providers, dawningcloud.ProviderResult{
+						Name: wl.Name, Class: wl.Class, Submitted: len(wl.Jobs), Completed: len(wl.Jobs),
+					})
+				}
+				return res, nil
+			}))
+	}
+	code, out, errOut := runCLI(t, "-system", name, "-workload", "montage")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(out, "system: "+name) {
+		t.Errorf("output missing registered system:\n%s", out)
+	}
+	if !strings.Contains(out, "completed jobs:        1000 / 1000") {
+		t.Errorf("echo runner result not rendered:\n%s", out)
+	}
+}
+
+// TestCLIProgressStreamsEvents: -progress writes run started/completed
+// lines to stderr without polluting stdout.
+func TestCLIProgressStreamsEvents(t *testing.T) {
+	code, out, errOut := runCLI(t, "-system", "drp", "-workload", "montage", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "run started: DRP") || !strings.Contains(errOut, "run completed: DRP") {
+		t.Errorf("stderr missing progress events:\n%s", errOut)
+	}
+	if strings.Contains(out, "run started") {
+		t.Errorf("progress events leaked to stdout:\n%s", out)
+	}
+}
+
+// TestCLIRunAllIncludesRegisteredSystems: -system all runs every
+// registered system, not a hardcoded four.
+func TestCLIRunAllIncludesRegisteredSystems(t *testing.T) {
+	code, out, errOut := runCLI(t, "-system", "all", "-workload", "montage")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	for _, want := range []string{"system: DCS", "system: SSP", "system: DRP", "system: DawningCloud", "system: ssp-spot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-system all output missing %q", want)
 		}
 	}
 }

@@ -1,0 +1,95 @@
+package dawningcloud
+
+// This file is the compatibility shim for the pre-Engine enum API. The
+// System enum closed the world at exactly four systems; the Engine's
+// string-keyed registry replaced it (see engine.go). Everything here is
+// a thin delegate kept so existing callers and golden tests continue to
+// work; new code should use Engine.Run with a system name. This shim and
+// its tests are the only places in the repository allowed to use the
+// deprecated identifiers (CI enforces this with staticcheck's SA1019).
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/registry"
+)
+
+// System identifies one of the four originally compared systems.
+//
+// Deprecated: systems are identified by registered name now. Use
+// Engine.Run (for example DefaultEngine().Run(ctx, "DawningCloud", ...))
+// so registered extensions like "ssp-spot" are reachable too.
+type System int
+
+// The four usage models the paper evaluates.
+//
+// Deprecated: use the registered system names "DawningCloud", "SSP",
+// "DCS" and "DRP" with Engine.Run.
+const (
+	// DawningCloud is the paper's DSP-model enabling system.
+	DawningCloud System = iota
+	// SSP is static service provision: a fixed-size leased cluster.
+	SSP
+	// DCS is a dedicated, owned cluster system.
+	DCS
+	// DRP is direct resource provision: per-job end-user VM leases.
+	DRP
+)
+
+// enumNames maps the legacy enum values to their registered names.
+var enumNames = [...]string{
+	DawningCloud: "DawningCloud",
+	SSP:          "SSP",
+	DCS:          "DCS",
+	DRP:          "DRP",
+}
+
+// String implements fmt.Stringer, resolving through the system registry
+// so the enum and every name-keyed surface agree on spelling.
+func (s System) String() string {
+	if s < 0 || int(s) >= len(enumNames) {
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+	if canonical, ok := registry.Default.Canonical(enumNames[s]); ok {
+		return canonical
+	}
+	return enumNames[s]
+}
+
+// Run simulates the chosen system over the workloads.
+//
+// Deprecated: use DefaultEngine().Run with a context and the system's
+// registered name; it supports cancellation, events and registered
+// extensions.
+func Run(system System, workloads []Workload, opts Options) (Result, error) {
+	return DefaultEngine().Run(context.Background(), system.String(), workloads, WithOptions(opts))
+}
+
+// RunSystems simulates several systems over the same workloads
+// concurrently, bounded by workers (0 means all CPUs). Each run receives
+// a deep clone of the workloads and results come back indexed like the
+// input regardless of completion order.
+//
+// Deprecated: use DefaultEngine().RunAll with a context, system names
+// and WithWorkers.
+func RunSystems(sys []System, workloads []Workload, opts Options, workers int) ([]Result, error) {
+	if len(sys) == 0 {
+		// Preserve the historical contract: an empty input runs nothing
+		// (Engine.RunAll would interpret it as "all registered systems").
+		return []Result{}, nil
+	}
+	names := make([]string, len(sys))
+	for i, s := range sys {
+		names[i] = s.String()
+	}
+	return DefaultEngine().RunAll(context.Background(), names, workloads,
+		WithOptions(opts), WithWorkers(workers))
+}
+
+// AllSystems lists the four originally compared systems in presentation
+// order.
+//
+// Deprecated: use DefaultEngine().Systems(), which also includes
+// registered extensions.
+func AllSystems() []System { return []System{DCS, SSP, DRP, DawningCloud} }

@@ -1,0 +1,125 @@
+package dawningcloud
+
+// Tests of the deprecated enum API. Together with compat.go these are
+// the only places in the repository allowed to use the deprecated
+// identifiers (the CI staticcheck gate enforces it); they pin the
+// contract that the shim delegates faithfully to the Engine.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSystemString(t *testing.T) {
+	tests := []struct {
+		s    System
+		want string
+	}{
+		{DawningCloud, "DawningCloud"},
+		{SSP, "SSP"},
+		{DCS, "DCS"},
+		{DRP, "DRP"},
+		{System(9), "System(9)"},
+		{System(-1), "System(-1)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRunAllSystemsEndToEnd(t *testing.T) {
+	montage, err := MontageWorkload(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Horizon: 6 * 3600}
+	for _, system := range []System{DawningCloud, SSP, DCS, DRP} {
+		res, err := Run(system, []Workload{montage}, opts)
+		if err != nil {
+			t.Fatalf("Run(%v): %v", system, err)
+		}
+		p, ok := res.Provider("montage-mtc")
+		if !ok {
+			t.Fatalf("%v: provider missing", system)
+		}
+		if p.Completed != 1000 {
+			t.Errorf("%v: completed = %d, want 1000", system, p.Completed)
+		}
+		if p.TasksPerSecond <= 0 {
+			t.Errorf("%v: tasks/s = %g", system, p.TasksPerSecond)
+		}
+	}
+}
+
+func TestRunUnknownSystem(t *testing.T) {
+	if _, err := Run(System(42), nil, Options{}); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+// TestRunSystemsMatchesSequentialRuns checks the concurrent fan-out
+// runner: input-ordered results, identical to one-at-a-time Run calls,
+// and no mutation of the caller's workloads.
+func TestRunSystemsMatchesSequentialRuns(t *testing.T) {
+	montage, err := MontageWorkload(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls := []Workload{montage}
+	opts := Options{Horizon: 6 * 3600}
+	parallel, err := RunSystems(AllSystems(), wls, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != 4 {
+		t.Fatalf("results = %d, want 4", len(parallel))
+	}
+	for i, system := range AllSystems() {
+		res, err := Run(system, CloneWorkloads(wls), opts)
+		if err != nil {
+			t.Fatalf("Run(%v): %v", system, err)
+		}
+		if parallel[i].System != res.System {
+			t.Errorf("result %d = %s, want %s (input order)", i, parallel[i].System, res.System)
+		}
+		if parallel[i].TotalNodeHours != res.TotalNodeHours || parallel[i].PeakNodes != res.PeakNodes {
+			t.Errorf("%v diverged from sequential run: %.0f/%d vs %.0f/%d", system,
+				parallel[i].TotalNodeHours, parallel[i].PeakNodes, res.TotalNodeHours, res.PeakNodes)
+		}
+	}
+	if wls[0].Params.InitialNodes != montage.Params.InitialNodes || len(wls[0].Jobs) != len(montage.Jobs) {
+		t.Error("RunSystems mutated the caller's workloads")
+	}
+}
+
+func TestRunSystemsPropagatesErrors(t *testing.T) {
+	if _, err := RunSystems([]System{DawningCloud, System(42)}, nil, Options{}, 2); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+// TestCompatMatchesEngine pins the shim's delegation contract: the
+// deprecated Run and the Engine produce identical results for the same
+// system and inputs.
+func TestCompatMatchesEngine(t *testing.T) {
+	montage, err := MontageWorkload(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Horizon: 6 * 3600}
+	old, err := Run(SSP, []Workload{montage}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	via, err := DefaultEngine().Run(context.Background(), "SSP",
+		CloneWorkloads([]Workload{montage}), WithOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.TotalNodeHours != via.TotalNodeHours || old.PeakNodes != via.PeakNodes {
+		t.Errorf("shim diverged from Engine: %.0f/%d vs %.0f/%d",
+			old.TotalNodeHours, old.PeakNodes, via.TotalNodeHours, via.PeakNodes)
+	}
+}

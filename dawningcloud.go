@@ -5,14 +5,16 @@
 //
 // The package exposes:
 //
+//   - the Engine: a string-keyed system registry with context-aware,
+//     observable runs. The paper's four systems (DawningCloud, SSP, DCS,
+//     DRP) and the spot-priced extension ("ssp-spot") ship registered;
+//     new usage models plug in with Engine.Register — no enum or switch
+//     to edit — and become runnable by name from Engine.Run,
+//     `dcsim -system` and scenario spec files;
 //   - workload constructors for the paper's three service providers (the
 //     synthetic NASA iPSC and SDSC BLUE traces and the 1,000-task Montage
 //     workflow), plus custom workload building from SWF files or workflow
 //     JSON;
-//   - runners for the four compared systems — DawningCloud (the paper's
-//     DSP-model enabling system), SSP, DCS and DRP — all reporting the
-//     paper's metrics (completed jobs, tasks/second, node*hour consumption,
-//     peaks and node-adjustment counts);
 //   - the experiment suite regenerating every table and figure of the
 //     paper's evaluation;
 //   - the Section 4.5.5 TCO calculator.
@@ -20,19 +22,34 @@
 // Quick start:
 //
 //	wls, _ := dawningcloud.PaperWorkloads(42)
-//	res, _ := dawningcloud.Run(dawningcloud.DawningCloud, wls, dawningcloud.Options{})
+//	eng := dawningcloud.DefaultEngine()
+//	res, _ := eng.Run(ctx, "DawningCloud", wls,
+//	    dawningcloud.WithOptions(dawningcloud.Options{Horizon: dawningcloud.TwoWeeks}))
 //	fmt.Println(res.TotalNodeHours)
+//
+// Extending the registry with a new system:
+//
+//	eng.MustRegister("my-model", dawningcloud.RunnerFunc(
+//	    func(ctx context.Context, wls []dawningcloud.Workload, opts dawningcloud.Options) (dawningcloud.Result, error) {
+//	        ... // build and run a simulation; honor ctx
+//	    }))
+//	res, _ = eng.Run(ctx, "my-model", wls)
+//
+// Runs accept a context and honor cancellation end-to-end;
+// WithEvents subscribes to the typed progress stream (run started, cell
+// completed, table rendered). The pre-Engine enum API (System, Run,
+// RunSystems, AllSystems) remains as deprecated wrappers in compat.go.
 package dawningcloud
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/job"
-	"repro/internal/par"
 	"repro/internal/policy"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -60,6 +77,8 @@ type (
 	Suite = experiments.Suite
 	// Artifact is one rendered table or figure.
 	Artifact = experiments.Artifact
+	// SweepPoint is one B×R parameter combination's outcome in a Sweep.
+	SweepPoint = experiments.SweepPoint
 	// Scenario is a declarative n-provider × m-system simulation spec
 	// (JSON, with validation and defaults).
 	Scenario = scenario.Spec
@@ -73,85 +92,25 @@ const (
 	MTC = job.MTC
 )
 
-// System identifies one of the four compared systems.
-type System int
-
-// The four usage models the paper evaluates.
-const (
-	// DawningCloud is the paper's DSP-model enabling system.
-	DawningCloud System = iota
-	// SSP is static service provision: a fixed-size leased cluster.
-	SSP
-	// DCS is a dedicated, owned cluster system.
-	DCS
-	// DRP is direct resource provision: per-job end-user VM leases.
-	DRP
-)
-
-// String implements fmt.Stringer.
-func (s System) String() string {
-	switch s {
-	case DawningCloud:
-		return "DawningCloud"
-	case SSP:
-		return "SSP"
-	case DCS:
-		return "DCS"
-	case DRP:
-		return "DRP"
-	default:
-		return fmt.Sprintf("System(%d)", int(s))
-	}
-}
-
-// Run simulates the chosen system over the workloads.
-func Run(system System, workloads []Workload, opts Options) (Result, error) {
-	switch system {
-	case DawningCloud:
-		return core.Run(workloads, core.Config{Options: opts})
-	case SSP:
-		return systems.RunSSP(workloads, opts)
-	case DCS:
-		return systems.RunDCS(workloads, opts)
-	case DRP:
-		return systems.RunDRP(workloads, opts)
-	default:
-		return Result{}, fmt.Errorf("dawningcloud: unknown system %v", system)
-	}
-}
-
 // RunWithBackfill runs DawningCloud with EASY backfilling in place of the
-// paper's First-Fit HTC dispatch (the scheduler ablation).
+// paper's First-Fit HTC dispatch (the scheduler ablation). See
+// RunWithBackfillContext; RunWithBackfill uses the background context.
 func RunWithBackfill(workloads []Workload, opts Options) (Result, error) {
-	return core.Run(workloads, core.Config{Options: opts, EasyBackfill: true})
+	return RunWithBackfillContext(context.Background(), workloads, opts)
 }
 
-// RunSystems simulates several systems over the same workloads
-// concurrently, bounded by workers (0 means runtime.NumCPU()). Each run
-// receives a deep clone of the workloads so no simulation aliases
-// another's job slices, and results come back indexed like the input
-// regardless of completion order.
-func RunSystems(sys []System, workloads []Workload, opts Options, workers int) ([]Result, error) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	results := make([]Result, len(sys))
-	err := par.ForEach(workers, len(sys), func(i int) error {
-		r, err := Run(sys[i], systems.CloneWorkloads(workloads), opts)
-		if err != nil {
-			return fmt.Errorf("dawningcloud: run %v: %w", sys[i], err)
-		}
-		results[i] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+// RunWithBackfillContext is RunWithBackfill with cancellation support.
+func RunWithBackfillContext(ctx context.Context, workloads []Workload, opts Options) (Result, error) {
+	return core.Run(ctx, workloads, core.Config{Options: opts, EasyBackfill: true})
 }
 
-// AllSystems lists the four compared systems in presentation order.
-func AllSystems() []System { return []System{DCS, SSP, DRP, DawningCloud} }
+// workers resolves a worker-count option (0 = all CPUs).
+func workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
 
 // CloneWorkloads deep-copies a workload set (job slices and their Deps
 // included) so concurrent runs never alias each other's state.
@@ -251,6 +210,13 @@ func ParseScenario(data []byte) (*Scenario, error) {
 // count.
 func RunScenario(s *Scenario, workers int) (*ScenarioReport, error) {
 	return scenario.Run(s, workers)
+}
+
+// RunScenarioContext is RunScenario with cancellation support and a
+// progress event sink (nil discards events). fn may be called
+// concurrently from worker goroutines.
+func RunScenarioContext(ctx context.Context, s *Scenario, workers int, fn func(Event)) (*ScenarioReport, error) {
+	return scenario.RunContext(ctx, s, workers, events.Sink(fn))
 }
 
 // ScenarioNames lists the built-in scenarios: paper-baseline (the

@@ -1,29 +1,12 @@
 package dawningcloud
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"repro/internal/job"
 )
-
-func TestSystemString(t *testing.T) {
-	tests := []struct {
-		s    System
-		want string
-	}{
-		{DawningCloud, "DawningCloud"},
-		{SSP, "SSP"},
-		{DCS, "DCS"},
-		{DRP, "DRP"},
-		{System(9), "System(9)"},
-	}
-	for _, tt := range tests {
-		if got := tt.s.String(); got != tt.want {
-			t.Errorf("String() = %q, want %q", got, tt.want)
-		}
-	}
-}
 
 func TestWorkloadConstructors(t *testing.T) {
 	nasa, err := NASATrace(1)
@@ -72,77 +55,6 @@ func TestPaperWorkloads(t *testing.T) {
 	}
 }
 
-func TestRunAllSystemsEndToEnd(t *testing.T) {
-	montage, err := MontageWorkload(3, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := Options{Horizon: 6 * 3600}
-	for _, system := range []System{DawningCloud, SSP, DCS, DRP} {
-		res, err := Run(system, []Workload{montage}, opts)
-		if err != nil {
-			t.Fatalf("Run(%v): %v", system, err)
-		}
-		p, ok := res.Provider("montage-mtc")
-		if !ok {
-			t.Fatalf("%v: provider missing", system)
-		}
-		if p.Completed != 1000 {
-			t.Errorf("%v: completed = %d, want 1000", system, p.Completed)
-		}
-		if p.TasksPerSecond <= 0 {
-			t.Errorf("%v: tasks/s = %g", system, p.TasksPerSecond)
-		}
-	}
-}
-
-func TestRunUnknownSystem(t *testing.T) {
-	if _, err := Run(System(42), nil, Options{}); err == nil {
-		t.Error("unknown system accepted")
-	}
-}
-
-// TestRunSystemsMatchesSequentialRuns checks the concurrent fan-out
-// runner: input-ordered results, identical to one-at-a-time Run calls,
-// and no mutation of the caller's workloads.
-func TestRunSystemsMatchesSequentialRuns(t *testing.T) {
-	montage, err := MontageWorkload(3, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wls := []Workload{montage}
-	opts := Options{Horizon: 6 * 3600}
-	parallel, err := RunSystems(AllSystems(), wls, opts, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(parallel) != 4 {
-		t.Fatalf("results = %d, want 4", len(parallel))
-	}
-	for i, system := range AllSystems() {
-		res, err := Run(system, CloneWorkloads(wls), opts)
-		if err != nil {
-			t.Fatalf("Run(%v): %v", system, err)
-		}
-		if parallel[i].System != res.System {
-			t.Errorf("result %d = %s, want %s (input order)", i, parallel[i].System, res.System)
-		}
-		if parallel[i].TotalNodeHours != res.TotalNodeHours || parallel[i].PeakNodes != res.PeakNodes {
-			t.Errorf("%v diverged from sequential run: %.0f/%d vs %.0f/%d", system,
-				parallel[i].TotalNodeHours, parallel[i].PeakNodes, res.TotalNodeHours, res.PeakNodes)
-		}
-	}
-	if wls[0].Params.InitialNodes != montage.Params.InitialNodes || len(wls[0].Jobs) != len(montage.Jobs) {
-		t.Error("RunSystems mutated the caller's workloads")
-	}
-}
-
-func TestRunSystemsPropagatesErrors(t *testing.T) {
-	if _, err := RunSystems([]System{DawningCloud, System(42)}, nil, Options{}, 2); err == nil {
-		t.Error("invalid input accepted")
-	}
-}
-
 func TestRunWithBackfillCompletesWork(t *testing.T) {
 	nasa, err := NASATrace(9)
 	if err != nil {
@@ -187,7 +99,7 @@ func TestTCOComparison(t *testing.T) {
 
 func TestNewSuiteProducesArtifacts(t *testing.T) {
 	s := NewSuite(11)
-	a, err := s.Table4()
+	a, err := s.Table4(context.Background())
 	if err != nil {
 		t.Fatalf("Table4: %v", err)
 	}

@@ -1,0 +1,225 @@
+package dawningcloud
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/events"
+	"repro/internal/par"
+	"repro/internal/registry"
+	"repro/internal/systems"
+
+	// The shipped registry extension: registers the "ssp-spot" system.
+	_ "repro/internal/spot"
+)
+
+// Runner simulates one system over a workload set; implementing it is
+// how new usage models plug into the Engine. Implementations must treat
+// workloads as read-only, honor context cancellation (an aborted run
+// returns an error wrapping ctx.Err()), and be safe for concurrent use.
+type Runner = registry.Runner
+
+// RunnerFunc adapts a plain function to the Runner interface.
+type RunnerFunc = registry.Func
+
+// Event is one progress notification from an observable run. The
+// concrete types are RunStartedEvent, RunCompletedEvent,
+// CellCompletedEvent and TableRenderedEvent.
+type Event = events.Event
+
+// The typed events an Engine (and the experiment suite and scenario
+// runner) emit.
+type (
+	// RunStartedEvent announces one simulation starting.
+	RunStartedEvent = events.RunStarted
+	// RunCompletedEvent announces one simulation finishing.
+	RunCompletedEvent = events.RunCompleted
+	// CellCompletedEvent reports progress through a multi-cell study.
+	CellCompletedEvent = events.CellCompleted
+	// TableRenderedEvent announces a finished table or figure.
+	TableRenderedEvent = events.TableRendered
+)
+
+// Engine runs registered systems by name. It wraps a system registry —
+// DefaultEngine shares the process-wide one; NewEngine snapshots it —
+// and executes runs with per-call functional options for simulation
+// options, worker counts, seeds and event sinks.
+type Engine struct {
+	reg *registry.Registry
+}
+
+var defaultEngine = &Engine{reg: registry.Default}
+
+// DefaultEngine returns the engine over the process-wide registry: the
+// four paper systems, ssp-spot, and anything registered afterwards.
+// Systems registered on it are visible to `dcsim -system` and scenario
+// specs in the same process.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// NewEngine returns an engine over an independent snapshot of the
+// default registry: it starts with every currently registered system,
+// and later registrations on either side stay isolated.
+func NewEngine() *Engine { return &Engine{reg: registry.Default.Snapshot()} }
+
+// Register adds a system under name (case-insensitively unique). The
+// system is immediately runnable via Run, RunAll and Sweep; on the
+// default engine it also becomes available to the CLIs and to scenario
+// specs by name.
+func (e *Engine) Register(name string, r Runner) error { return e.reg.Register(name, r) }
+
+// MustRegister is Register, panicking on error.
+func (e *Engine) MustRegister(name string, r Runner) { e.reg.MustRegister(name, r) }
+
+// Systems lists the registered system names in registration order (the
+// four paper systems first, in presentation order).
+func (e *Engine) Systems() []string { return e.reg.Names() }
+
+// Has reports whether name (case-insensitive) is registered.
+func (e *Engine) Has(name string) bool { return e.reg.Has(name) }
+
+// RunOption configures one Engine run. Options apply in order, so a
+// later WithOptions overrides an earlier WithSeed's field and vice
+// versa.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	opts    Options
+	workers int
+	sink    events.Sink
+}
+
+// WithOptions sets the simulation options (horizon, pool capacity,
+// provision policy, setup cost, seed) for the run.
+func WithOptions(opts Options) RunOption {
+	return func(c *runConfig) { c.opts = opts }
+}
+
+// WithWorkers bounds how many simulations run concurrently in RunAll and
+// Sweep (0 = all CPUs). Single runs ignore it.
+func WithWorkers(n int) RunOption {
+	return func(c *runConfig) { c.workers = n }
+}
+
+// WithSeed sets the seed stochastic runners (e.g. ssp-spot's price
+// process) derive their random state from. The four paper systems are
+// deterministic and ignore it.
+func WithSeed(seed int64) RunOption {
+	return func(c *runConfig) { c.opts.Seed = seed }
+}
+
+// WithEvents subscribes fn to the run's progress stream (run started /
+// completed, cell completed). fn may be called concurrently from worker
+// goroutines and must be safe for concurrent use.
+func WithEvents(fn func(Event)) RunOption {
+	return func(c *runConfig) { c.sink = events.Sink(fn) }
+}
+
+func newRunConfig(opts []RunOption) runConfig {
+	var c runConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Run simulates the named system over the workloads. The context cancels
+// the simulation mid-run (an aborted run's error wraps ctx.Err());
+// unknown names fail with the registry's available-system list.
+// Workloads are treated as read-only; clone first (CloneWorkloads) if
+// the caller mutates them concurrently.
+func (e *Engine) Run(ctx context.Context, system string, workloads []Workload, opts ...RunOption) (Result, error) {
+	cfg := newRunConfig(opts)
+	return e.runOne(ctx, system, workloads, cfg, "")
+}
+
+// runOne resolves and executes a single simulation, emitting its
+// start/completion events.
+func (e *Engine) runOne(ctx context.Context, system string, workloads []Workload, cfg runConfig, cell string) (Result, error) {
+	runner, canonical, err := e.reg.Resolve(system)
+	if err != nil {
+		return Result{}, fmt.Errorf("dawningcloud: %w", err)
+	}
+	cfg.sink.Emit(events.RunStarted{System: canonical, Providers: len(workloads), Cell: cell})
+	res, err := runner.Run(ctx, workloads, cfg.opts)
+	cfg.sink.Emit(events.RunCompleted{System: canonical, Cell: cell, Err: err, TotalNodeHours: res.TotalNodeHours})
+	if err != nil {
+		return Result{}, fmt.Errorf("dawningcloud: run %s: %w", canonical, err)
+	}
+	return res, nil
+}
+
+// RunAll simulates several systems over the same workloads concurrently,
+// bounded by WithWorkers. A nil or empty system list runs every
+// registered system. Each run receives a deep clone of the workloads so
+// no simulation aliases another's job slices, and results come back
+// indexed like the (resolved) input regardless of completion order.
+func (e *Engine) RunAll(ctx context.Context, sys []string, workloads []Workload, opts ...RunOption) ([]Result, error) {
+	cfg := newRunConfig(opts)
+	if len(sys) == 0 {
+		sys = e.Systems()
+	}
+	results := make([]Result, len(sys))
+	var done atomic.Int64
+	err := par.ForEach(workers(cfg.workers), len(sys), func(i int) error {
+		r, err := e.runOne(ctx, sys[i], systems.CloneWorkloads(workloads), cfg, "")
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		cfg.sink.Emit(events.CellCompleted{Index: int(done.Add(1)), Total: len(sys), Key: r.System})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Sweep runs one system over the B×R policy grid for a single provider's
+// workload in isolation — the paper's parameter-tuning methodology,
+// generalized to any registered system. Grid points are independent
+// simulations fanning out over WithWorkers; the returned slice is in
+// b-major, r-minor order regardless of scheduling, and each point clones
+// the base workload before retuning it.
+func (e *Engine) Sweep(ctx context.Context, system string, base Workload, bs []int, rs []float64, opts ...RunOption) ([]SweepPoint, error) {
+	cfg := newRunConfig(opts)
+	if len(bs) == 0 || len(rs) == 0 {
+		return nil, fmt.Errorf("dawningcloud: sweep needs at least one B and one R value")
+	}
+	points := make([]SweepPoint, len(bs)*len(rs))
+	var done atomic.Int64
+	err := par.ForEach(workers(cfg.workers), len(points), func(i int) error {
+		b, r := bs[i/len(rs)], rs[i%len(rs)]
+		wl := base.Clone()
+		wl.Params.InitialNodes = b
+		wl.Params.ThresholdRatio = r
+		cell := fmt.Sprintf("B%d|R%g", b, r)
+		res, err := e.runOne(ctx, system, []Workload{wl}, cfg, cell)
+		if err != nil {
+			return fmt.Errorf("dawningcloud: sweep %s B%d R%g: %w", base.Name, b, r, err)
+		}
+		p, ok := res.Provider(base.Name)
+		if !ok {
+			return fmt.Errorf("dawningcloud: sweep %s B%d R%g: provider missing from result", base.Name, b, r)
+		}
+		pt := SweepPoint{
+			B:              b,
+			R:              r,
+			NodeHours:      p.NodeHours,
+			Completed:      p.Completed,
+			TasksPerSecond: p.TasksPerSecond,
+			Perf:           float64(p.Completed),
+		}
+		if base.Class == MTC {
+			pt.Perf = p.TasksPerSecond
+		}
+		points[i] = pt
+		cfg.sink.Emit(events.CellCompleted{Index: int(done.Add(1)), Total: len(points), Key: cell})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,14 +14,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	suite := dawningcloud.NewSuite(42)
 
-	steps := []func() (dawningcloud.Artifact, error){
+	steps := []func(context.Context) (dawningcloud.Artifact, error){
 		suite.Table2, suite.Table3, suite.Table4,
 		suite.Figure12, suite.Figure13, suite.Figure14,
 	}
 	for _, step := range steps {
-		a, err := step()
+		a, err := step(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

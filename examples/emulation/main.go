@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,8 +46,9 @@ func main() {
 		FixedNodes: 6,
 		Params:     dawningcloud.HTCPolicy(6, 1.5),
 	}
-	res, err := dawningcloud.Run(dawningcloud.DawningCloud,
-		[]dawningcloud.Workload{wl}, dawningcloud.Options{Horizon: 4 * 3600})
+	res, err := dawningcloud.DefaultEngine().Run(context.Background(), "DawningCloud",
+		[]dawningcloud.Workload{wl},
+		dawningcloud.WithOptions(dawningcloud.Options{Horizon: 4 * 3600}))
 	if err != nil {
 		log.Fatal(err)
 	}

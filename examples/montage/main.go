@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,14 +46,16 @@ func main() {
 	}
 	opts := dawningcloud.Options{Horizon: 6 * 3600}
 	fmt.Println("\nexecution:")
-	for _, system := range []dawningcloud.System{dawningcloud.DawningCloud, dawningcloud.DRP} {
-		res, err := dawningcloud.Run(system, []dawningcloud.Workload{wl}, opts)
+	eng := dawningcloud.DefaultEngine()
+	for _, system := range []string{"DawningCloud", "DRP"} {
+		res, err := eng.Run(context.Background(), system,
+			[]dawningcloud.Workload{wl}, dawningcloud.WithOptions(opts))
 		if err != nil {
 			log.Fatal(err)
 		}
 		p, _ := res.Provider("montage")
 		fmt.Printf("  %-13s %.2f tasks/s at %.0f node*hours (peak %d nodes)\n",
-			system.String()+":", p.TasksPerSecond, p.NodeHours, p.PeakNodes)
+			system+":", p.TasksPerSecond, p.NodeHours, p.PeakNodes)
 	}
 	fmt.Println("\nDRP buys a node per ready task and peaks at the widest level;")
 	fmt.Println("the DSP policy converges to the steady 166-node working set.")

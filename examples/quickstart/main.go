@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,14 +32,16 @@ func main() {
 	}
 	opts := dawningcloud.Options{Horizon: 24 * 3600}
 
-	for _, system := range []dawningcloud.System{dawningcloud.DCS, dawningcloud.DawningCloud} {
-		res, err := dawningcloud.Run(system, []dawningcloud.Workload{wl}, opts)
+	eng := dawningcloud.DefaultEngine()
+	for _, system := range []string{"DCS", "DawningCloud"} {
+		res, err := eng.Run(context.Background(), system,
+			[]dawningcloud.Workload{wl}, dawningcloud.WithOptions(opts))
 		if err != nil {
 			log.Fatalf("run %v: %v", system, err)
 		}
 		p, _ := res.Provider("quickstart-htc")
 		fmt.Printf("%-13s completed %d/%d jobs, consumed %.0f node*hours (peak %d nodes)\n",
-			system.String()+":", p.Completed, p.Submitted, p.NodeHours, p.PeakNodes)
+			system+":", p.Completed, p.Submitted, p.NodeHours, p.PeakNodes)
 	}
 	fmt.Println("\nDawningCloud leases nodes only while the queue needs them;")
 	fmt.Println("the dedicated cluster pays for 32 nodes around the clock.")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -43,8 +44,9 @@ func main() {
 			FixedNodes: width,
 			Params:     dawningcloud.MTCPolicy(10, 8),
 		}
-		res, err := dawningcloud.Run(dawningcloud.DawningCloud,
-			[]dawningcloud.Workload{wl}, dawningcloud.Options{Horizon: 12 * 3600})
+		res, err := dawningcloud.DefaultEngine().Run(context.Background(), "DawningCloud",
+			[]dawningcloud.Workload{wl},
+			dawningcloud.WithOptions(dawningcloud.Options{Horizon: 12 * 3600}))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -40,14 +41,15 @@ type Config struct {
 }
 
 // Run simulates DawningCloud over the given workloads and returns the
-// shared Result type for comparison with the baseline systems.
+// shared Result type for comparison with the baseline systems. The context
+// cancels the simulation mid-run; an aborted run returns ctx.Err().
 //
 // Run is safe to call from concurrent goroutines: every piece of mutable
 // state (engine, pool, accountant, provision service, servers) is
 // constructed per call, and workloads are only read — jobs are immutable
 // by contract (see job.Job). Callers that retune or resort workloads
 // between concurrent runs must pass clones (systems.CloneWorkloads).
-func Run(workloads []systems.Workload, cfg Config) (systems.Result, error) {
+func Run(ctx context.Context, workloads []systems.Workload, cfg Config) (systems.Result, error) {
 	if err := systems.ValidateWorkloads(workloads); err != nil {
 		return systems.Result{}, err
 	}
@@ -115,7 +117,9 @@ func Run(workloads []systems.Workload, cfg Config) (systems.Result, error) {
 		}
 	}
 
-	engine.Run(horizon)
+	if err := engine.RunContext(ctx, horizon); err != nil {
+		return systems.Result{}, fmt.Errorf("core: DawningCloud run aborted: %w", err)
+	}
 	acct.CloseAll(horizon, true)
 
 	aggs := make([]systems.ProviderAgg, 0, len(slots))

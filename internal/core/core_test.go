@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/job"
@@ -37,7 +38,7 @@ func mtcWorkload() systems.Workload {
 }
 
 func TestRunCompletesBothClasses(t *testing.T) {
-	res, err := Run([]systems.Workload{htcWorkload(), mtcWorkload()},
+	res, err := Run(context.Background(), []systems.Workload{htcWorkload(), mtcWorkload()},
 		Config{Options: systems.Options{Horizon: 6 * 3600}})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -61,7 +62,7 @@ func TestRunCompletesBothClasses(t *testing.T) {
 // The MTC TRE starts with B=1 and expands via the policy; after the chain
 // finishes it destroys itself, so its lease is bounded by a billed hour.
 func TestMTCTREElasticityAndSelfDestroy(t *testing.T) {
-	res, err := Run([]systems.Workload{mtcWorkload()},
+	res, err := Run(context.Background(), []systems.Workload{mtcWorkload()},
 		Config{Options: systems.Options{Horizon: 24 * 3600}})
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +80,7 @@ func TestMTCTREElasticityAndSelfDestroy(t *testing.T) {
 
 func TestDeployDelaysShiftStartup(t *testing.T) {
 	wl := htcWorkload()
-	res, err := Run([]systems.Workload{wl}, Config{
+	res, err := Run(context.Background(), []systems.Workload{wl}, Config{
 		Options:     systems.Options{Horizon: 6 * 3600},
 		DeployDelay: 300,
 		StartDelay:  60,
@@ -98,7 +99,7 @@ func TestCapacityConstrainedCloudRejectsGrowth(t *testing.T) {
 	wl := htcWorkload()
 	// Pool of 6: B=2 fits, but the 8-node job can never run and DR
 	// requests beyond 6 are rejected.
-	res, err := Run([]systems.Workload{wl},
+	res, err := Run(context.Background(), []systems.Workload{wl},
 		Config{Options: systems.Options{Horizon: 6 * 3600, PoolCapacity: 6}})
 	if err != nil {
 		t.Fatal(err)
@@ -115,16 +116,16 @@ func TestCapacityConstrainedCloudRejectsGrowth(t *testing.T) {
 func TestRunValidatesWorkloads(t *testing.T) {
 	bad := htcWorkload()
 	bad.Name = ""
-	if _, err := Run([]systems.Workload{bad}, Config{}); err == nil {
+	if _, err := Run(context.Background(), []systems.Workload{bad}, Config{}); err == nil {
 		t.Error("invalid workload accepted")
 	}
-	if _, err := Run(nil, Config{}); err == nil {
+	if _, err := Run(context.Background(), nil, Config{}); err == nil {
 		t.Error("empty workloads accepted")
 	}
 }
 
 func TestEasyBackfillConfig(t *testing.T) {
-	res, err := Run([]systems.Workload{htcWorkload()}, Config{
+	res, err := Run(context.Background(), []systems.Workload{htcWorkload()}, Config{
 		Options:      systems.Options{Horizon: 6 * 3600},
 		EasyBackfill: true,
 	})
@@ -141,15 +142,15 @@ func TestEasyBackfillConfig(t *testing.T) {
 // isolated runs on an unconstrained pool (no interference).
 func TestConsolidationAdditivity(t *testing.T) {
 	opts := systems.Options{Horizon: 6 * 3600}
-	both, err := Run([]systems.Workload{htcWorkload(), mtcWorkload()}, Config{Options: opts})
+	both, err := Run(context.Background(), []systems.Workload{htcWorkload(), mtcWorkload()}, Config{Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := Run([]systems.Workload{htcWorkload()}, Config{Options: opts})
+	h, err := Run(context.Background(), []systems.Workload{htcWorkload()}, Config{Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Run([]systems.Workload{mtcWorkload()}, Config{Options: opts})
+	m, err := Run(context.Background(), []systems.Workload{mtcWorkload()}, Config{Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}

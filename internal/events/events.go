@@ -1,0 +1,126 @@
+// Package events defines the typed progress stream emitted by observable
+// runs: the public Engine, the experiment suite and the scenario engine
+// publish events as simulations start and finish, grid/scale cells
+// complete, and tables render. dcsim and dcscen turn the stream into live
+// progress output; library callers subscribe with a Sink.
+package events
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one progress notification. The concrete types below are the
+// full vocabulary; a String form is always available for plain logging.
+type Event interface {
+	fmt.Stringer
+	// event restricts implementations to this package so consumers can
+	// switch exhaustively over the concrete types.
+	event()
+}
+
+// Sink consumes events. Sinks may be invoked concurrently from worker
+// goroutines and must be safe for concurrent use; a nil Sink discards
+// everything (see Emit).
+type Sink func(Event)
+
+// Emit sends ev to the sink; a nil sink drops it. Emit exists so
+// producers never need a nil check at the call site.
+func (s Sink) Emit(ev Event) {
+	if s != nil {
+		s(ev)
+	}
+}
+
+// WriterSink returns a Sink rendering each event as one prefixed line
+// with seconds elapsed since the sink's creation, serialized by an
+// internal mutex so concurrent emitters never interleave lines. It is
+// the shared progress renderer of the dcsim/dcscen/dawningbench
+// -progress flags.
+func WriterSink(w io.Writer, prefix string) Sink {
+	var mu sync.Mutex
+	start := time.Now()
+	return func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "%s %6.2fs %s\n", prefix, time.Since(start).Seconds(), ev)
+	}
+}
+
+// RunStarted announces one simulation starting: a system over a workload
+// set.
+type RunStarted struct {
+	// System is the canonical registered system name.
+	System string
+	// Providers is the number of service providers in the run.
+	Providers int
+	// Cell identifies the run within a larger study (a sweep point or
+	// scale prefix key); empty for a standalone run.
+	Cell string
+}
+
+func (e RunStarted) event() {}
+
+func (e RunStarted) String() string {
+	if e.Cell != "" {
+		return fmt.Sprintf("run started: %s [%s] (%d providers)", e.System, e.Cell, e.Providers)
+	}
+	return fmt.Sprintf("run started: %s (%d providers)", e.System, e.Providers)
+}
+
+// RunCompleted announces one simulation finishing (successfully or not).
+type RunCompleted struct {
+	System string
+	Cell   string
+	// Err is non-nil when the run failed or was cancelled.
+	Err error
+	// TotalNodeHours is the run's headline metric (0 on failure).
+	TotalNodeHours float64
+}
+
+func (e RunCompleted) event() {}
+
+func (e RunCompleted) String() string {
+	label := e.System
+	if e.Cell != "" {
+		label = fmt.Sprintf("%s [%s]", e.System, e.Cell)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("run failed: %s: %v", label, e.Err)
+	}
+	return fmt.Sprintf("run completed: %s (%.0f node*hours)", label, e.TotalNodeHours)
+}
+
+// CellCompleted reports progress through a multi-cell study: one
+// system × provider-count × sweep cell out of a known total.
+type CellCompleted struct {
+	// Index is the 1-based number of completed cells so far.
+	Index int
+	// Total is the study's cell count.
+	Total int
+	// Key identifies the cell ("DawningCloud|n=3", "grid|org|B40|R1.2").
+	Key string
+}
+
+func (e CellCompleted) event() {}
+
+func (e CellCompleted) String() string {
+	return fmt.Sprintf("cell %d/%d done: %s", e.Index, e.Total, e.Key)
+}
+
+// TableRendered announces a finished artifact: a table or figure rendered
+// from completed simulations.
+type TableRendered struct {
+	// ID is the artifact identifier ("table2", "fig12", ...).
+	ID string
+	// Title is the artifact's human-readable title.
+	Title string
+}
+
+func (e TableRendered) event() {}
+
+func (e TableRendered) String() string {
+	return fmt.Sprintf("rendered %s: %s", e.ID, e.Title)
+}

@@ -1,0 +1,40 @@
+package events
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want []string
+	}{
+		{RunStarted{System: "SSP", Providers: 3}, []string{"run started", "SSP", "3 providers"}},
+		{RunStarted{System: "SSP", Providers: 1, Cell: "n=1"}, []string{"[n=1]"}},
+		{RunCompleted{System: "DCS", TotalNodeHours: 120}, []string{"run completed", "DCS", "120 node*hours"}},
+		{RunCompleted{System: "DCS", Err: errors.New("boom")}, []string{"run failed", "boom"}},
+		{CellCompleted{Index: 2, Total: 7, Key: "DCS|n=2"}, []string{"cell 2/7 done", "DCS|n=2"}},
+		{TableRendered{ID: "table2", Title: "NASA"}, []string{"rendered table2", "NASA"}},
+	}
+	for _, tc := range cases {
+		got := tc.ev.String()
+		for _, want := range tc.want {
+			if !strings.Contains(got, want) {
+				t.Errorf("%T.String() = %q, missing %q", tc.ev, got, want)
+			}
+		}
+	}
+}
+
+func TestNilSinkEmitIsSafe(t *testing.T) {
+	var s Sink
+	s.Emit(RunStarted{System: "x"}) // must not panic
+	var got Event
+	s = func(ev Event) { got = ev }
+	s.Emit(TableRendered{ID: "t"})
+	if got == nil {
+		t.Error("sink did not receive the event")
+	}
+}

@@ -8,16 +8,19 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/job"
 	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/policy"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/systems"
@@ -67,6 +70,11 @@ type Suite struct {
 	// forces the serial reference behaviour. Set it before the first
 	// run.
 	Workers int
+	// Events receives the suite's progress stream (run started/completed
+	// and table rendered). The sink is called from worker goroutines and
+	// must be safe for concurrent use; nil discards events. Set it
+	// before the first run.
+	Events events.Sink
 
 	workloadsOnce sync.Once
 	workloads     []systems.Workload
@@ -190,65 +198,91 @@ func (s *Suite) buildWorkloads() ([]systems.Workload, error) {
 	}, nil
 }
 
-// SystemNames lists the four compared systems in presentation order.
+// SystemNames lists the four systems the paper compares, in presentation
+// order. The registry may hold more (registered extensions such as
+// ssp-spot); the paper's tables and figures only ever run these four.
 var SystemNames = []string{"DCS", "SSP", "DRP", "DawningCloud"}
 
 // Run simulates one system over the consolidated three-provider workload,
-// caching the result. The lock guards only the cache check/fill, never a
-// simulation; concurrent callers asking for the same system share one
-// in-flight run instead of repeating it.
+// caching the result. See RunContext; Run uses the background context.
 func (s *Suite) Run(system string) (systems.Result, error) {
-	s.mu.Lock()
-	if r, ok := s.results[system]; ok {
+	return s.RunContext(context.Background(), system)
+}
+
+// RunContext simulates one registered system over the consolidated
+// workload, caching the result. The lock guards only the cache
+// check/fill, never a simulation; concurrent callers asking for the same
+// system share one in-flight run instead of repeating it. A caller
+// waiting on another caller's in-flight run retries with its own context
+// if that run is abandoned by cancellation, so one caller's cancelled
+// context never poisons another's result.
+func (s *Suite) RunContext(ctx context.Context, system string) (systems.Result, error) {
+	for {
+		s.mu.Lock()
+		if r, ok := s.results[system]; ok {
+			s.mu.Unlock()
+			return r, nil
+		}
+		if c, ok := s.inflight[system]; ok {
+			s.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				// Honor the waiter's own deadline instead of blocking
+				// behind another caller's simulation.
+				return systems.Result{}, fmt.Errorf("experiments: run %s: %w", system, ctx.Err())
+			}
+			if c.err != nil && context.Cause(ctx) == nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				continue // the other caller gave up; run it ourselves
+			}
+			return c.res, c.err
+		}
+		c := &runCall{done: make(chan struct{})}
+		if s.inflight == nil {
+			s.inflight = make(map[string]*runCall)
+		}
+		s.inflight[system] = c
 		s.mu.Unlock()
-		return r, nil
-	}
-	if c, ok := s.inflight[system]; ok {
+
+		c.res, c.err = s.runSystem(ctx, system)
+
+		s.mu.Lock()
+		delete(s.inflight, system)
+		if c.err == nil {
+			if s.results == nil {
+				s.results = make(map[string]systems.Result)
+			}
+			s.results[system] = c.res
+		}
 		s.mu.Unlock()
-		<-c.done
+		close(c.done)
 		return c.res, c.err
 	}
-	c := &runCall{done: make(chan struct{})}
-	if s.inflight == nil {
-		s.inflight = make(map[string]*runCall)
-	}
-	s.inflight[system] = c
-	s.mu.Unlock()
-
-	c.res, c.err = s.runSystem(system)
-
-	s.mu.Lock()
-	delete(s.inflight, system)
-	if c.err == nil {
-		if s.results == nil {
-			s.results = make(map[string]systems.Result)
-		}
-		s.results[system] = c.res
-	}
-	s.mu.Unlock()
-	close(c.done)
-	return c.res, c.err
 }
 
 // runSystem executes one full simulation on a cloned workload set. The
 // baseline runners and core.Run only read their workloads, but cloning
 // makes the isolation unconditional: no concurrent run can observe
 // another's job slices no matter how a future runner evolves.
-func (s *Suite) runSystem(system string) (systems.Result, error) {
-	runner, ok := systemRunners[system]
-	if !ok {
-		return systems.Result{}, fmt.Errorf("experiments: unknown system %q", system)
+func (s *Suite) runSystem(ctx context.Context, system string) (systems.Result, error) {
+	runner, canonical, err := registry.Default.Resolve(system)
+	if err != nil {
+		return systems.Result{}, fmt.Errorf("experiments: %w", err)
 	}
 	workloads, err := s.Workloads()
 	if err != nil {
 		return systems.Result{}, err
 	}
 	opts := s.Options()
+	opts.Seed = s.Seed
 	var r systems.Result
 	err = s.simulate(func() (err error) {
-		r, err = runner(systems.CloneWorkloads(workloads), opts)
+		s.Events.Emit(events.RunStarted{System: canonical, Providers: len(workloads)})
+		r, err = runner.Run(ctx, systems.CloneWorkloads(workloads), opts)
+		s.Events.Emit(events.RunCompleted{System: canonical, Err: err, TotalNodeHours: r.TotalNodeHours})
 		if err != nil {
-			return fmt.Errorf("experiments: run %s: %w", system, err)
+			return fmt.Errorf("experiments: run %s: %w", canonical, err)
 		}
 		return nil
 	})
@@ -258,29 +292,18 @@ func (s *Suite) runSystem(system string) (systems.Result, error) {
 	return r, nil
 }
 
-// SystemRunner returns the named system's runner function. It is the
-// single name → runner mapping in the repository, shared with the
-// declarative scenario engine.
-func SystemRunner(name string) (func([]systems.Workload, systems.Options) (systems.Result, error), bool) {
-	r, ok := systemRunners[name]
-	return r, ok
-}
-
-// systemRunners maps a system name to its runner.
-var systemRunners = map[string]func([]systems.Workload, systems.Options) (systems.Result, error){
-	"DCS": systems.RunDCS,
-	"SSP": systems.RunSSP,
-	"DRP": systems.RunDRP,
-	"DawningCloud": func(wls []systems.Workload, opts systems.Options) (systems.Result, error) {
-		return core.Run(wls, core.Config{Options: opts})
-	},
-}
-
-// RunAll simulates all four systems, fanning out over the worker pool.
+// RunAll simulates the paper's four systems, fanning out over the worker
+// pool. See RunAllContext; RunAll uses the background context.
 func (s *Suite) RunAll() (map[string]systems.Result, error) {
+	return s.RunAllContext(context.Background())
+}
+
+// RunAllContext simulates the paper's four systems concurrently,
+// honoring cancellation end-to-end.
+func (s *Suite) RunAllContext(ctx context.Context) (map[string]systems.Result, error) {
 	results := make([]systems.Result, len(SystemNames))
 	err := par.ForEach(s.workers(), len(SystemNames), func(i int) error {
-		r, err := s.Run(SystemNames[i])
+		r, err := s.RunContext(ctx, SystemNames[i])
 		if err != nil {
 			return err
 		}

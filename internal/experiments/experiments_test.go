@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -213,8 +214,8 @@ func TestTable1Static(t *testing.T) {
 }
 
 func TestTablesRender(t *testing.T) {
-	for _, step := range []func() (Artifact, error){shared.Table2, shared.Table3, shared.Table4} {
-		a, err := step()
+	for _, step := range []func(context.Context) (Artifact, error){shared.Table2, shared.Table3, shared.Table4} {
+		a, err := step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,8 +234,8 @@ func TestTablesRender(t *testing.T) {
 }
 
 func TestFiguresRender(t *testing.T) {
-	for _, step := range []func() (Artifact, error){shared.Figure12, shared.Figure13, shared.Figure14} {
-		a, err := step()
+	for _, step := range []func(context.Context) (Artifact, error){shared.Figure12, shared.Figure13, shared.Figure14} {
+		a, err := step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,7 +303,7 @@ func TestSweepUnknownProvider(t *testing.T) {
 }
 
 func TestFigure9SweepRendersAllPoints(t *testing.T) {
-	a, err := shared.Figure9()
+	a, err := shared.Figure9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

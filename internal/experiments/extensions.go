@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -33,7 +34,7 @@ type ScalePoint struct {
 // resource provider's DSP savings evolve against per-organization
 // dedicated clusters: the economies-of-scale curve behind the paper's
 // title question.
-func (s *Suite) ScaleStudy(n int) ([]ScalePoint, error) {
+func (s *Suite) ScaleStudy(ctx context.Context, n int) ([]ScalePoint, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("experiments: scale study needs n >= 1")
 	}
@@ -57,11 +58,11 @@ func (s *Suite) ScaleStudy(n int) ([]ScalePoint, error) {
 		var dcs, dsp systems.Result
 		runs := []func() error{
 			func() (err error) {
-				dcs, err = systems.RunDCS(systems.CloneWorkloads(workloads), opts)
+				dcs, err = systems.RunDCS(ctx, systems.CloneWorkloads(workloads), opts)
 				return err
 			},
 			func() (err error) {
-				dsp, err = core.Run(systems.CloneWorkloads(workloads), core.Config{Options: opts})
+				dsp, err = core.Run(ctx, systems.CloneWorkloads(workloads), core.Config{Options: opts})
 				return err
 			},
 		}
@@ -83,8 +84,8 @@ func (s *Suite) ScaleStudy(n int) ([]ScalePoint, error) {
 }
 
 // ScaleArtifact renders the scale study.
-func (s *Suite) ScaleArtifact(n int) (Artifact, error) {
-	points, err := s.ScaleStudy(n)
+func (s *Suite) ScaleArtifact(ctx context.Context, n int) (Artifact, error) {
+	points, err := s.ScaleStudy(ctx, n)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -117,7 +118,7 @@ func (s *Suite) ScaleArtifact(n int) (Artifact, error) {
 
 // AblationBackfill compares the paper's First-Fit HTC dispatch with EASY
 // backfilling on one workload under DawningCloud.
-func (s *Suite) AblationBackfill(provider string) (Artifact, error) {
+func (s *Suite) AblationBackfill(ctx context.Context, provider string) (Artifact, error) {
 	wl, err := s.workloadByName(provider)
 	if err != nil {
 		return Artifact{}, err
@@ -126,11 +127,11 @@ func (s *Suite) AblationBackfill(provider string) (Artifact, error) {
 	var ff, easy systems.Result
 	runs := []func() error{
 		func() (err error) {
-			ff, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: opts})
+			ff, err = core.Run(ctx, []systems.Workload{wl.Clone()}, core.Config{Options: opts})
 			return err
 		},
 		func() (err error) {
-			easy, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: opts, EasyBackfill: true})
+			easy, err = core.Run(ctx, []systems.Workload{wl.Clone()}, core.Config{Options: opts, EasyBackfill: true})
 			return err
 		},
 	}
@@ -161,7 +162,7 @@ func (s *Suite) AblationBackfill(provider string) (Artifact, error) {
 
 // AblationProvision contrasts the paper's grant-or-reject provision policy
 // with best-effort partial grants on a capacity-constrained cloud.
-func (s *Suite) AblationProvision(provider string, capacity int) (Artifact, error) {
+func (s *Suite) AblationProvision(ctx context.Context, provider string, capacity int) (Artifact, error) {
 	wl, err := s.workloadByName(provider)
 	if err != nil {
 		return Artifact{}, err
@@ -174,11 +175,11 @@ func (s *Suite) AblationProvision(provider string, capacity int) (Artifact, erro
 	var strict, effort systems.Result
 	runs := []func() error{
 		func() (err error) {
-			strict, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: strictOpts})
+			strict, err = core.Run(ctx, []systems.Workload{wl.Clone()}, core.Config{Options: strictOpts})
 			return err
 		},
 		func() (err error) {
-			effort, err = core.Run([]systems.Workload{wl.Clone()}, core.Config{Options: effortOpts})
+			effort, err = core.Run(ctx, []systems.Workload{wl.Clone()}, core.Config{Options: effortOpts})
 			return err
 		},
 	}

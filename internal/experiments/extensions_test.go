@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 var extSuite = NewQuickSuite(42)
 
 func TestScaleStudySavingsPersist(t *testing.T) {
-	points, err := extSuite.ScaleStudy(3)
+	points, err := extSuite.ScaleStudy(context.Background(), 3)
 	if err != nil {
 		t.Fatalf("ScaleStudy: %v", err)
 	}
@@ -33,13 +34,13 @@ func TestScaleStudySavingsPersist(t *testing.T) {
 }
 
 func TestScaleStudyValidation(t *testing.T) {
-	if _, err := extSuite.ScaleStudy(0); err == nil {
+	if _, err := extSuite.ScaleStudy(context.Background(), 0); err == nil {
 		t.Error("n=0 accepted")
 	}
 }
 
 func TestScaleArtifactRenders(t *testing.T) {
-	a, err := extSuite.ScaleArtifact(2)
+	a, err := extSuite.ScaleArtifact(context.Background(), 2)
 	if err != nil {
 		t.Fatalf("ScaleArtifact: %v", err)
 	}
@@ -55,7 +56,7 @@ func TestScaleArtifactRenders(t *testing.T) {
 }
 
 func TestAblationBackfill(t *testing.T) {
-	a, err := extSuite.AblationBackfill(NASAProvider)
+	a, err := extSuite.AblationBackfill(context.Background(), NASAProvider)
 	if err != nil {
 		t.Fatalf("AblationBackfill: %v", err)
 	}
@@ -74,7 +75,7 @@ func TestAblationBackfill(t *testing.T) {
 }
 
 func TestAblationBackfillUnknownProvider(t *testing.T) {
-	if _, err := extSuite.AblationBackfill("ghost"); err == nil {
+	if _, err := extSuite.AblationBackfill(context.Background(), "ghost"); err == nil {
 		t.Error("unknown provider accepted")
 	}
 }
@@ -90,11 +91,11 @@ func TestScaleStudySingleProviderEdge(t *testing.T) {
 	parallel := NewQuickSuite(42)
 	parallel.Workers = 4
 
-	sp, err := serial.ScaleStudy(1)
+	sp, err := serial.ScaleStudy(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("serial ScaleStudy(1): %v", err)
 	}
-	pp, err := parallel.ScaleStudy(1)
+	pp, err := parallel.ScaleStudy(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("parallel ScaleStudy(1): %v", err)
 	}
@@ -119,11 +120,11 @@ func TestAblationProvisionTwoPointDeterminism(t *testing.T) {
 	parallel := NewQuickSuite(42)
 	parallel.Workers = 4
 
-	sa, err := serial.AblationProvision(NASAProvider, 160)
+	sa, err := serial.AblationProvision(context.Background(), NASAProvider, 160)
 	if err != nil {
 		t.Fatalf("serial AblationProvision: %v", err)
 	}
-	pa, err := parallel.AblationProvision(NASAProvider, 160)
+	pa, err := parallel.AblationProvision(context.Background(), NASAProvider, 160)
 	if err != nil {
 		t.Fatalf("parallel AblationProvision: %v", err)
 	}
@@ -141,7 +142,7 @@ func TestAblationProvisionTwoPointDeterminism(t *testing.T) {
 func TestAblationProvisionConstrainedPool(t *testing.T) {
 	// 160 nodes: B=40 fits but large DR requests are rejected outright
 	// under grant-or-reject while best-effort takes partial grants.
-	a, err := extSuite.AblationProvision(NASAProvider, 160)
+	a, err := extSuite.AblationProvision(context.Background(), NASAProvider, 160)
 	if err != nil {
 		t.Fatalf("AblationProvision: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"sync"
@@ -212,12 +213,12 @@ func TestArtifactsConcurrentWithExtensions(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
-		_, err := s.AblationBackfill(NASAProvider)
+		_, err := s.AblationBackfill(context.Background(), NASAProvider)
 		errCh <- err
 	}()
 	go func() {
 		defer wg.Done()
-		_, err := s.ScaleStudy(2)
+		_, err := s.ScaleStudy(context.Background(), 2)
 		errCh <- err
 	}()
 	wg.Wait()

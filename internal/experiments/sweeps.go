@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/job"
 	"repro/internal/par"
 	"repro/internal/plot"
@@ -39,18 +42,26 @@ type SweepPoint struct {
 }
 
 // Sweep runs DawningCloud over the B x R grid for one provider's workload
-// in isolation, the paper's parameter-tuning methodology. Grid points are
-// independent simulations, so they fan out over the suite's worker pool;
-// the returned slice is always in b-major, r-minor grid order regardless
-// of scheduling. Each point deep-clones the base workload before retuning
-// it, so no grid point ever aliases the cached workloads or another point.
+// in isolation, the paper's parameter-tuning methodology. See
+// SweepContext; Sweep uses the background context.
 func (s *Suite) Sweep(provider string, bs []int, rs []float64) ([]SweepPoint, error) {
+	return s.SweepContext(context.Background(), provider, bs, rs)
+}
+
+// SweepContext runs the B x R grid with cancellation support. Grid points
+// are independent simulations, so they fan out over the suite's worker
+// pool; the returned slice is always in b-major, r-minor grid order
+// regardless of scheduling. Each point deep-clones the base workload
+// before retuning it, so no grid point ever aliases the cached workloads
+// or another point.
+func (s *Suite) SweepContext(ctx context.Context, provider string, bs []int, rs []float64) ([]SweepPoint, error) {
 	base, err := s.workloadByName(provider)
 	if err != nil {
 		return nil, err
 	}
 	opts := s.Options()
 	points := make([]SweepPoint, len(bs)*len(rs))
+	var done atomic.Int64
 	err = par.ForEach(s.workers(), len(points), func(i int) error {
 		b, r := bs[i/len(rs)], rs[i%len(rs)]
 		var res systems.Result
@@ -58,12 +69,17 @@ func (s *Suite) Sweep(provider string, bs []int, rs []float64) ([]SweepPoint, er
 			wl := base.Clone()
 			wl.Params.InitialNodes = b
 			wl.Params.ThresholdRatio = r
-			res, err = core.Run([]systems.Workload{wl}, core.Config{Options: opts})
+			res, err = core.Run(ctx, []systems.Workload{wl}, core.Config{Options: opts})
 			return err
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: sweep %s B%d R%g: %w", provider, b, r, err)
 		}
+		s.Events.Emit(events.CellCompleted{
+			Index: int(done.Add(1)),
+			Total: len(points),
+			Key:   fmt.Sprintf("sweep|%s|B%d|R%g", provider, b, r),
+		})
 		p, ok := res.Provider(provider)
 		if !ok {
 			return fmt.Errorf("experiments: sweep %s B%d R%g: provider missing", provider, b, r)
@@ -123,59 +139,65 @@ func sweepArtifact(id, title, perfLabel, paperRef string, points []SweepPoint) A
 }
 
 // Figure9 sweeps B and R for the BLUE trace.
-func (s *Suite) Figure9() (Artifact, error) {
-	points, err := s.Sweep(BLUEProvider, SweepInitials, SweepRatiosHTC)
+func (s *Suite) Figure9(ctx context.Context) (Artifact, error) {
+	points, err := s.SweepContext(ctx, BLUEProvider, SweepInitials, SweepRatiosHTC)
 	if err != nil {
 		return Artifact{}, err
 	}
-	return sweepArtifact("fig9",
+	return s.emitTable(sweepArtifact("fig9",
 		"Figure 9: resource consumption and completed jobs vs parameters, BLUE trace",
 		"completed jobs",
 		"paper: chooses B80_R1.5 to save consumption while preserving throughput",
-		points), nil
+		points)), nil
 }
 
 // Figure10 sweeps B and R for the NASA trace.
-func (s *Suite) Figure10() (Artifact, error) {
-	points, err := s.Sweep(NASAProvider, SweepInitials, SweepRatiosHTC)
+func (s *Suite) Figure10(ctx context.Context) (Artifact, error) {
+	points, err := s.SweepContext(ctx, NASAProvider, SweepInitials, SweepRatiosHTC)
 	if err != nil {
 		return Artifact{}, err
 	}
-	return sweepArtifact("fig10",
+	return s.emitTable(sweepArtifact("fig10",
 		"Figure 10: resource consumption and completed jobs vs parameters, NASA trace",
 		"completed jobs",
 		"paper: chooses B40_R1.2",
-		points), nil
+		points)), nil
 }
 
 // Figure11 sweeps B and R for the Montage workload.
-func (s *Suite) Figure11() (Artifact, error) {
-	points, err := s.Sweep(MontageProvider, SweepInitials, SweepRatiosMTC)
+func (s *Suite) Figure11(ctx context.Context) (Artifact, error) {
+	points, err := s.SweepContext(ctx, MontageProvider, SweepInitials, SweepRatiosMTC)
 	if err != nil {
 		return Artifact{}, err
 	}
-	return sweepArtifact("fig11",
+	return s.emitTable(sweepArtifact("fig11",
 		"Figure 11: resource consumption and tasks/second vs parameters, Montage",
 		"tasks/second",
 		"paper: chooses B10_R8",
-		points), nil
+		points)), nil
 }
 
-// Artifacts runs every experiment and returns them in paper order. The
+// Artifacts runs every experiment and returns them in paper order. See
+// ArtifactsContext; Artifacts uses the background context.
+func (s *Suite) Artifacts() ([]Artifact, error) {
+	return s.ArtifactsContext(context.Background())
+}
+
+// ArtifactsContext runs every experiment with cancellation support. The
 // steps fan out over the worker pool: the three sweeps proceed while the
 // table and figure steps share the four deduplicated system runs, and the
 // suite-wide semaphore keeps total simulation concurrency bounded.
-func (s *Suite) Artifacts() ([]Artifact, error) {
-	steps := []func() (Artifact, error){
+func (s *Suite) ArtifactsContext(ctx context.Context) ([]Artifact, error) {
+	steps := []func(context.Context) (Artifact, error){
 		s.Figure9, s.Figure10, s.Figure11,
 		s.Table2, s.Table3, s.Table4,
 		s.Figure12, s.Figure13, s.Figure14,
-		TCO,
+		func(context.Context) (Artifact, error) { return TCO() },
 	}
 	out := make([]Artifact, 1+len(steps))
 	out[0] = Table1()
 	err := par.ForEach(s.workers(), len(steps), func(i int) error {
-		a, err := steps[i]()
+		a, err := steps[i](ctx)
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/events"
 	"repro/internal/plot"
 	"repro/internal/systems"
 )
@@ -19,8 +21,8 @@ type tableSpec struct {
 }
 
 // Table2 reproduces the NASA-trace service-provider metrics.
-func (s *Suite) Table2() (Artifact, error) {
-	return s.providerTable(tableSpec{
+func (s *Suite) Table2(ctx context.Context) (Artifact, error) {
+	return s.providerTable(ctx, tableSpec{
 		id:       "table2",
 		title:    "Table 2: metrics of the service providers for NASA trace",
 		provider: NASAProvider,
@@ -31,8 +33,8 @@ func (s *Suite) Table2() (Artifact, error) {
 }
 
 // Table3 reproduces the BLUE-trace service-provider metrics.
-func (s *Suite) Table3() (Artifact, error) {
-	return s.providerTable(tableSpec{
+func (s *Suite) Table3(ctx context.Context) (Artifact, error) {
+	return s.providerTable(ctx, tableSpec{
 		id:       "table3",
 		title:    "Table 3: metrics of the service provider for BLUE trace",
 		provider: BLUEProvider,
@@ -43,8 +45,8 @@ func (s *Suite) Table3() (Artifact, error) {
 }
 
 // Table4 reproduces the Montage service-provider metrics.
-func (s *Suite) Table4() (Artifact, error) {
-	return s.providerTable(tableSpec{
+func (s *Suite) Table4(ctx context.Context) (Artifact, error) {
+	return s.providerTable(ctx, tableSpec{
 		id:       "table4",
 		title:    "Table 4: metrics of the service provider for Montage",
 		provider: MontageProvider,
@@ -55,8 +57,8 @@ func (s *Suite) Table4() (Artifact, error) {
 	})
 }
 
-func (s *Suite) providerTable(spec tableSpec) (Artifact, error) {
-	results, err := s.RunAll()
+func (s *Suite) providerTable(ctx context.Context, spec tableSpec) (Artifact, error) {
+	results, err := s.RunAllContext(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -95,13 +97,20 @@ func (s *Suite) providerTable(spec tableSpec) (Artifact, error) {
 	}
 	text := plot.Table(spec.title, columns, rows,
 		"resource consumption in node*hour; saved resources relative to the DCS system")
-	return Artifact{
+	return s.emitTable(Artifact{
 		ID:       spec.id,
 		Title:    spec.title,
 		Text:     text,
 		PaperRef: spec.paperRef,
 		Values:   values,
-	}, nil
+	}), nil
+}
+
+// emitTable publishes a TableRendered event for a finished artifact and
+// returns it unchanged.
+func (s *Suite) emitTable(a Artifact) Artifact {
+	s.Events.Emit(events.TableRendered{ID: a.ID, Title: a.Title})
+	return a
 }
 
 // TCO reproduces Section 4.5.5: monthly total cost of ownership of a
@@ -137,8 +146,8 @@ func TCO() (Artifact, error) {
 
 // totalsFigure renders one resource-provider bar chart over the four
 // systems from a per-result metric.
-func (s *Suite) totalsFigure(id, title, unit, paperRef string, metric func(systems.Result) float64) (Artifact, error) {
-	results, err := s.RunAll()
+func (s *Suite) totalsFigure(ctx context.Context, id, title, unit, paperRef string, metric func(systems.Result) float64) (Artifact, error) {
+	results, err := s.RunAllContext(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -149,19 +158,19 @@ func (s *Suite) totalsFigure(id, title, unit, paperRef string, metric func(syste
 		bars = append(bars, plot.Bar{Label: system, Value: v})
 		values[system] = v
 	}
-	return Artifact{
+	return s.emitTable(Artifact{
 		ID:       id,
 		Title:    title,
 		Text:     plot.BarChart(title, unit, bars, 48),
 		SVG:      plot.BarChartSVG(title, unit, bars),
 		PaperRef: paperRef,
 		Values:   values,
-	}, nil
+	}), nil
 }
 
 // Figure12 reproduces the resource provider's total resource consumption.
-func (s *Suite) Figure12() (Artifact, error) {
-	return s.totalsFigure("fig12",
+func (s *Suite) Figure12(ctx context.Context) (Artifact, error) {
+	return s.totalsFigure(ctx, "fig12",
 		"Figure 12: total resource consumption of the resource provider",
 		"node*hour",
 		"paper: DawningCloud saves 29.7% of the DCS/SSP total and 29.0% of the DRP total",
@@ -169,8 +178,8 @@ func (s *Suite) Figure12() (Artifact, error) {
 }
 
 // Figure13 reproduces the resource provider's peak resource consumption.
-func (s *Suite) Figure13() (Artifact, error) {
-	return s.totalsFigure("fig13",
+func (s *Suite) Figure13(ctx context.Context) (Artifact, error) {
+	return s.totalsFigure(ctx, "fig13",
 		"Figure 13: peak resource consumption of the resource provider",
 		"nodes/hour",
 		"paper: DawningCloud peak = 1.06x DCS/SSP peak and 0.21x DRP peak",
@@ -179,8 +188,8 @@ func (s *Suite) Figure13() (Artifact, error) {
 
 // Figure14 reproduces the accumulated node-adjustment counts (management
 // overhead).
-func (s *Suite) Figure14() (Artifact, error) {
-	art, err := s.totalsFigure("fig14",
+func (s *Suite) Figure14(ctx context.Context) (Artifact, error) {
+	art, err := s.totalsFigure(ctx, "fig14",
 		"Figure 14: accumulated times of adjusting nodes",
 		"nodes adjusted",
 		"paper: SSP lowest; DawningCloud below DRP; DawningCloud overhead ~341 s/hour at 15.743 s per node",
@@ -188,7 +197,7 @@ func (s *Suite) Figure14() (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	results, err := s.RunAll()
+	results, err := s.RunAllContext(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}

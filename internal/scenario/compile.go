@@ -74,6 +74,7 @@ func (s *Spec) options() systems.Options {
 		PoolCapacity: s.Pool.Capacity,
 		Provision:    prov,
 		SetupCost:    s.Pool.SetupCostSeconds,
+		Seed:         s.Seed,
 	}
 }
 

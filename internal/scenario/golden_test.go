@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"testing"
@@ -67,8 +68,8 @@ func TestPaperBaselineMatchesSuiteGolden(t *testing.T) {
 
 	// Spot-check the Table 2-4 artifact values through the suite's own
 	// rendering path, so this test fails loudly if either side drifts.
-	for _, table := range []func() (experiments.Artifact, error){suite.Table2, suite.Table3, suite.Table4} {
-		a, err := table()
+	for _, table := range []func(context.Context) (experiments.Artifact, error){suite.Table2, suite.Table3, suite.Table4} {
+		a, err := table(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

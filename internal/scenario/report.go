@@ -56,7 +56,7 @@ type Report struct {
 	// Scale holds the provider-count sweep (empty without sweep.scale).
 	Scale []ScalePoint
 	// Grid holds the B×R sweep (empty without sweep.grid).
-	Grid []GridPoint
+	Grid    []GridPoint
 	Summary Summary
 	// Simulations counts distinct simulations executed (cache hits and
 	// deduplicated cells excluded).

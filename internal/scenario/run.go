@@ -1,25 +1,37 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/experiments"
+	"repro/internal/events"
 	"repro/internal/par"
+	"repro/internal/registry"
 	"repro/internal/systems"
 )
 
 // Run compiles and executes the scenario on up to workers concurrent
 // simulations (0 = all CPUs, 1 = serial). Results are deterministic at
-// any worker count.
+// any worker count. See RunContext; Run uses the background context and
+// no event sink.
 func Run(s *Spec, workers int) (*Report, error) {
+	return RunContext(context.Background(), s, workers, nil)
+}
+
+// RunContext compiles and executes the scenario with cancellation
+// support, publishing progress (run started/completed per simulation,
+// cell completed per finished grid/scale/base cell) to sink; a nil sink
+// discards events. A cancelled context aborts in-flight simulations
+// promptly and returns an error wrapping ctx.Err().
+func RunContext(ctx context.Context, s *Spec, workers int, sink events.Sink) (*Report, error) {
 	c, err := Compile(s)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(workers)
+	return c.RunContext(ctx, workers, sink)
 }
 
 // cell is one simulation the runner must have: a system over the first
@@ -53,13 +65,15 @@ func (c cell) key() string {
 // Compiled.Run — the engine lives for exactly one Run call, so no
 // additional suite-wide semaphore is needed.
 type engine struct {
-	c *Compiled
+	c    *Compiled
+	sink events.Sink
 
 	mu       sync.Mutex
 	results  map[string]systems.Result
 	inflight map[string]*runCall
 
 	simulations atomic.Int64
+	completed   atomic.Int64
 }
 
 type runCall struct {
@@ -70,22 +84,34 @@ type runCall struct {
 
 // Run executes every base, scale and grid cell of the compiled scenario.
 func (c *Compiled) Run(workers int) (*Report, error) {
+	return c.RunContext(context.Background(), workers, nil)
+}
+
+// RunContext executes every base, scale and grid cell of the compiled
+// scenario with cancellation and progress events.
+func (c *Compiled) RunContext(ctx context.Context, workers int, sink events.Sink) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	eng := &engine{
 		c:        c,
+		sink:     sink,
 		results:  make(map[string]systems.Result),
 		inflight: make(map[string]*runCall),
 	}
 	cells := c.cells()
 	results := make([]systems.Result, len(cells))
 	err := par.ForEach(workers, len(cells), func(i int) error {
-		r, err := eng.run(cells[i])
+		r, err := eng.run(ctx, cells[i])
 		if err != nil {
 			return err
 		}
 		results[i] = r
+		eng.sink.Emit(events.CellCompleted{
+			Index: int(eng.completed.Add(1)),
+			Total: len(cells),
+			Key:   cells[i].key(),
+		})
 		return nil
 	})
 	if err != nil {
@@ -125,7 +151,7 @@ func (c *Compiled) cells() []cell {
 }
 
 // run executes one cell through the cache/singleflight/semaphore path.
-func (e *engine) run(c cell) (systems.Result, error) {
+func (e *engine) run(ctx context.Context, c cell) (systems.Result, error) {
 	key := c.key()
 	e.mu.Lock()
 	if r, ok := e.results[key]; ok {
@@ -141,7 +167,7 @@ func (e *engine) run(c cell) (systems.Result, error) {
 	e.inflight[key] = call
 	e.mu.Unlock()
 
-	call.res, call.err = e.simulate(c)
+	call.res, call.err = e.simulate(ctx, c)
 
 	e.mu.Lock()
 	delete(e.inflight, key)
@@ -153,11 +179,12 @@ func (e *engine) run(c cell) (systems.Result, error) {
 	return call.res, call.err
 }
 
-// simulate builds the cell's isolated workload set and runs it.
-func (e *engine) simulate(c cell) (systems.Result, error) {
-	runner, ok := experiments.SystemRunner(c.system)
-	if !ok {
-		return systems.Result{}, fmt.Errorf("scenario %s: unknown system %q", e.c.Spec.Name, c.system)
+// simulate builds the cell's isolated workload set and runs it through
+// the registered system runner.
+func (e *engine) simulate(ctx context.Context, c cell) (systems.Result, error) {
+	runner, canonical, err := registry.Default.Resolve(c.system)
+	if err != nil {
+		return systems.Result{}, fmt.Errorf("scenario %s: %w", e.c.Spec.Name, err)
 	}
 	var wls []systems.Workload
 	if c.grid != nil {
@@ -174,7 +201,9 @@ func (e *engine) simulate(c cell) (systems.Result, error) {
 		wls = systems.CloneWorkloads(e.c.Workloads[:c.providers])
 	}
 	e.simulations.Add(1)
-	res, err := runner(wls, e.c.Options)
+	e.sink.Emit(events.RunStarted{System: canonical, Providers: len(wls), Cell: c.key()})
+	res, err := runner.Run(ctx, wls, e.c.Options)
+	e.sink.Emit(events.RunCompleted{System: canonical, Cell: c.key(), Err: err, TotalNodeHours: res.TotalNodeHours})
 	if err != nil {
 		return systems.Result{}, fmt.Errorf("scenario %s: run %s: %w", e.c.Spec.Name, c.key(), err)
 	}

@@ -23,14 +23,24 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/registry"
 	"repro/internal/sim"
+
+	// Shipped registry extensions must be linked in so scenario specs can
+	// name them (ssp-spot) through any entry point, not only the CLIs.
+	_ "repro/internal/spot"
 )
 
-// Known spec vocabularies.
+// Known spec vocabularies. System names are not a fixed list: a spec may
+// name any system registered in registry.Default at validation time, and
+// validation errors list exactly those.
 var (
-	// KnownSystems lists the comparable systems in presentation order,
-	// shared with the experiment suite's runner registry.
-	KnownSystems = append([]string(nil), experiments.SystemNames...)
+	// DefaultSystems is the system set a spec without a "systems" field
+	// compares: the paper's four, in presentation order. Registered
+	// extensions must be asked for explicitly so existing specs (and the
+	// paper-baseline golden numbers) never change when a new system
+	// links in.
+	DefaultSystems = append([]string(nil), experiments.SystemNames...)
 	// KnownSourceKinds lists the workload source kinds.
 	KnownSourceKinds = []string{"synth", "swf", "workflow"}
 	// KnownSynthModels lists the calibrated synthetic HTC models.
@@ -173,8 +183,11 @@ func Parse(r io.Reader) (*Spec, error) {
 // ParseBytes decodes a JSON spec from memory.
 func ParseBytes(data []byte) (*Spec, error) { return Parse(bytes.NewReader(data)) }
 
-// ApplyDefaults fills the optional fields: seed 42, a 14-day window, all
-// four systems, the grant-or-reject pool policy and per-provider count 1.
+// ApplyDefaults fills the optional fields: seed 42, a 14-day window, the
+// paper's four systems, the grant-or-reject pool policy and per-provider
+// count 1. System names are canonicalized to their registered spelling
+// ("dawningcloud" becomes "DawningCloud"); unknown names are left as
+// written for Validate to report.
 func (s *Spec) ApplyDefaults() {
 	if s.Seed == 0 {
 		s.Seed = 42
@@ -183,7 +196,12 @@ func (s *Spec) ApplyDefaults() {
 		s.Days = 14
 	}
 	if len(s.Systems) == 0 {
-		s.Systems = append([]string(nil), KnownSystems...)
+		s.Systems = append([]string(nil), DefaultSystems...)
+	}
+	for i, name := range s.Systems {
+		if canonical, ok := registry.Default.Canonical(name); ok {
+			s.Systems[i] = canonical
+		}
 	}
 	if s.Pool.Policy == "" {
 		s.Pool.Policy = "grant-or-reject"
@@ -221,9 +239,9 @@ func (s *Spec) Validate() error {
 	}
 	seenSys := make(map[string]bool)
 	for i, name := range s.Systems {
-		if !knownSystem(name) {
-			return fail(fmt.Sprintf("systems[%d]", i), "unknown system %q (known: %s)",
-				name, strings.Join(KnownSystems, ", "))
+		if !registry.Default.Has(name) {
+			return fail(fmt.Sprintf("systems[%d]", i), "unknown system %q (registered: %s)",
+				name, strings.Join(registry.Default.Names(), ", "))
 		}
 		if seenSys[name] {
 			return fail(fmt.Sprintf("systems[%d]", i), "system %q listed twice", name)
@@ -373,8 +391,6 @@ func (s *Spec) ExpandedNames() []string {
 func (s *Spec) hasExpandedProvider(name string) bool {
 	return contains(s.ExpandedNames(), name)
 }
-
-func knownSystem(name string) bool { return contains(KnownSystems, name) }
 
 func contains(list []string, v string) bool {
 	for _, x := range list {

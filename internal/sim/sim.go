@@ -13,6 +13,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -163,13 +164,50 @@ func (e *Engine) Every(interval Time, fn func()) (stop func()) {
 // Stop makes the current Run return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// cancelCheckEvery is how many events execute between context checks in
+// RunContext. Events take microseconds, so a few thousand of them keep
+// cancellation latency well under a millisecond without paying a channel
+// poll per event.
+const cancelCheckEvery = 4096
+
 // Run executes events in time order until the queue is empty or the next
 // event is later than until. The clock ends at the last executed event time
 // (or until, whichever the caller observes via Now after a Drain). Events
 // scheduled exactly at until are executed.
 func (e *Engine) Run(until Time) {
+	e.run(until, nil, nil)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every few thousand events, and a cancelled or expired context abandons
+// the remaining queue and returns ctx.Err(). A run that finishes normally
+// returns nil even if the context is cancelled immediately afterwards.
+func (e *Engine) RunContext(ctx context.Context, until Time) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.run(until, ctx, ctx.Done())
+}
+
+// run is the shared event loop. A nil done channel skips cancellation
+// polling entirely, keeping the uncancellable path allocation- and
+// select-free.
+func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) error {
 	e.stopped = false
+	executed := 0
 	for len(e.queue) > 0 && !e.stopped {
+		if done != nil {
+			if executed++; executed%cancelCheckEvery == 0 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+		}
 		next := e.queue[0]
 		if next.time > until {
 			break
@@ -182,6 +220,7 @@ func (e *Engine) Run(until Time) {
 	if e.now < until && !e.stopped {
 		e.now = until
 	}
+	return nil
 }
 
 // RunAll executes every pending event, including ones scheduled by events

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestNewEngineStartsAtZero(t *testing.T) {
@@ -328,5 +331,90 @@ func BenchmarkScheduleRun(b *testing.B) {
 			e.Schedule(Time(j%97), func() {})
 		}
 		e.RunAll()
+	}
+}
+
+func TestRunContextCompletesWithLiveContext(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() { fired++ })
+	}
+	if err := e.RunContext(context.Background(), 100); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10", fired)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %d, want 100", e.Now())
+	}
+}
+
+func TestRunContextNilContextBehavesLikeBackground(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	if err := e.RunContext(nil, 10); err != nil { //nolint:staticcheck // nil ctx tolerated by contract
+		t.Fatalf("RunContext(nil): %v", err)
+	}
+	if !fired {
+		t.Error("event did not fire")
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunContext(ctx, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired {
+		t.Error("event fired despite pre-cancelled context")
+	}
+	if e.Len() != 1 {
+		t.Errorf("pending = %d, want 1 (queue untouched)", e.Len())
+	}
+}
+
+func TestRunContextCancelsMidRun(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	// Schedule far more events than one cancellation-check interval; the
+	// first event cancels, so the loop must stop at the next poll.
+	total := 10 * cancelCheckEvery
+	for i := 0; i < total; i++ {
+		e.Schedule(Time(i), func() { fired++ })
+	}
+	e.Schedule(0, func() { cancel() })
+	err := e.RunContext(ctx, Time(total))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired >= total {
+		t.Errorf("fired = %d, want < %d (run should abandon the queue)", fired, total)
+	}
+	if fired > 2*cancelCheckEvery {
+		t.Errorf("fired = %d events after cancellation, want <= %d", fired, 2*cancelCheckEvery)
+	}
+}
+
+func TestRunContextDeadlineExceeded(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// An endless event chain: without the deadline this would never stop
+	// before the huge horizon.
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(1, tick)
+	err := e.RunContext(ctx, 1<<40)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

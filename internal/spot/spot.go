@@ -1,0 +1,358 @@
+// Package spot implements "ssp-spot", a spot-priced variant of the SSP
+// usage model: each service provider leases its fixed-size virtual
+// cluster on a spot market instead of on-demand. An hourly spot price
+// follows a seeded mean-reverting walk; while the price stays at or
+// below the provider's bid the cluster is held and jobs dispatch
+// First-Fit (the paper's HTC policy), and whenever the price rises above
+// the bid the whole lease is revoked — running jobs are killed and
+// requeued, and the provider
+// re-acquires the cluster once the price falls back. Interruptions show
+// up in the paper's own metrics: lost completions, extra node
+// adjustments and the management overhead they imply.
+//
+// The package is also the registry's worked extensibility example: it
+// registers itself into registry.Default from init — no enum, switch or
+// map in the core packages mentions it — which makes it runnable by name
+// from Engine.Run, `dcsim -system ssp-spot` and scenario spec files.
+package spot
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/csf"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/systems"
+)
+
+// Name is the system's registered name.
+const Name = "ssp-spot"
+
+// Market parameters of the simplified spot model. Prices are fractions
+// of the on-demand rate and follow a mean-reverting hourly walk
+// (discrete Ornstein-Uhlenbeck): excursions above the bid interrupt the
+// lease for a few hours and then revert, the episodic shape of real spot
+// markets. The process starts below the bid so every provider acquires
+// its cluster at first submission.
+const (
+	meanPrice  = 0.30 // long-run price level (and the starting price)
+	bidPrice   = 0.42 // the provider's standing bid
+	priceStep  = 0.06 // hourly shock standard deviation
+	meanRevert = 0.20 // pull toward meanPrice per hour
+	minPrice   = 0.05
+	maxPrice   = 1.00
+)
+
+func init() {
+	registry.Default.MustRegister(Name, registry.Func(Run))
+}
+
+// Run simulates the spot-priced SSP system. opts.Seed drives the price
+// process, so runs are reproducible given identical inputs. The context
+// cancels the simulation mid-run; an aborted run returns ctx.Err().
+func Run(ctx context.Context, workloads []systems.Workload, opts systems.Options) (systems.Result, error) {
+	if err := systems.ValidateWorkloads(workloads); err != nil {
+		return systems.Result{}, err
+	}
+	horizon := opts.HorizonFor(workloads)
+	capacity := opts.PoolCapacity
+	if capacity == 0 {
+		for i := range workloads {
+			capacity += workloads[i].FixedNodes
+		}
+	}
+	engine := sim.New()
+	pool, err := cluster.NewPool(capacity)
+	if err != nil {
+		return systems.Result{}, err
+	}
+	acct := metrics.NewAccountant(engine.Now)
+	setup := opts.SetupCost
+	if setup == 0 {
+		setup = csf.DefaultNodeSetupSeconds
+	}
+	prov := csf.NewProvisionService(pool, acct, opts.Provision, setup)
+
+	providers := make([]*spotProvider, 0, len(workloads))
+	for i := range workloads {
+		wl := &workloads[i]
+		p := &spotProvider{
+			engine:  engine,
+			prov:    prov,
+			wl:      wl,
+			size:    wl.FixedNodes,
+			price:   meanPrice,
+			rng:     rand.New(rand.NewSource(opts.Seed + int64(i)*7919 + 1)),
+			running: make(map[int]runningTask),
+		}
+		if err := p.schedule(); err != nil {
+			return systems.Result{}, fmt.Errorf("spot: workload %s: %w", wl.Name, err)
+		}
+		providers = append(providers, p)
+	}
+
+	if err := engine.RunContext(ctx, horizon); err != nil {
+		return systems.Result{}, fmt.Errorf("spot: %s run aborted: %w", Name, err)
+	}
+	acct.CloseAll(horizon, true)
+
+	aggs := make([]systems.ProviderAgg, 0, len(providers))
+	for _, p := range providers {
+		a := systems.ProviderAgg{
+			Name:      p.wl.Name,
+			Class:     p.wl.Class,
+			Owners:    []string{p.wl.Name},
+			Submitted: p.submitted,
+			Completed: p.completed,
+			Adjusted:  -1,
+		}
+		if p.wl.Class == job.MTC {
+			if span := p.lastDone - p.firstSubmit; span > 0 {
+				a.TPS = float64(p.completed) / float64(span)
+			}
+		}
+		aggs = append(aggs, a)
+	}
+	return systems.BuildResult(Name, horizon, acct, setup, prov.RejectedRequests(), aggs), nil
+}
+
+// runningTask tracks one dispatched job so an interruption can cancel its
+// completion and requeue it.
+type runningTask struct {
+	j  *job.Job
+	ev sim.EventID
+}
+
+// spotProvider is one service provider's spot cluster: a First-Fit
+// queue over FixedNodes nodes that exist only while the market price is
+// at or below the bid.
+type spotProvider struct {
+	engine *sim.Engine
+	prov   *csf.ProvisionService
+	wl     *systems.Workload
+	size   int
+
+	price float64
+	rng   *rand.Rand
+	held  bool
+	free  int
+
+	queue   []*job.Job
+	running map[int]runningTask
+
+	// MTC dependency state.
+	unmet      map[int]int
+	dependents map[int][]*job.Job
+
+	submitted   int
+	completed   int
+	dropped     int // jobs wider than the cluster, never runnable
+	finished    bool
+	stopTick    func()
+	firstSubmit sim.Time
+	lastDone    sim.Time
+}
+
+// schedule wires the provider's market ticks, cluster acquisition and job
+// arrivals onto the virtual clock.
+func (p *spotProvider) schedule() error {
+	wl := p.wl
+	p.firstSubmit = wl.FirstSubmit()
+	p.engine.At(p.firstSubmit, func() {
+		p.tryAcquire()
+		p.stopTick = p.engine.Every(sim.Hour, p.tick)
+	})
+	switch wl.Class {
+	case job.HTC:
+		p.submitted = len(wl.Jobs)
+		for i := range wl.Jobs {
+			j := &wl.Jobs[i]
+			p.engine.At(j.Submit, func() { p.enqueue(j) })
+		}
+	case job.MTC:
+		p.submitted = len(wl.Jobs)
+		p.unmet = make(map[int]int)
+		p.dependents = make(map[int][]*job.Job)
+		byWorkflow := make(map[string][]*job.Job)
+		var order []string
+		for i := range wl.Jobs {
+			j := &wl.Jobs[i]
+			if _, seen := byWorkflow[j.Workflow]; !seen {
+				order = append(order, j.Workflow)
+			}
+			byWorkflow[j.Workflow] = append(byWorkflow[j.Workflow], j)
+		}
+		for _, key := range order {
+			tasks := byWorkflow[key]
+			at := tasks[0].Submit
+			for _, t := range tasks {
+				if t.Submit < at {
+					at = t.Submit
+				}
+			}
+			p.engine.At(at, func() {
+				for _, t := range tasks {
+					if len(t.Deps) == 0 {
+						continue
+					}
+					p.unmet[t.ID] = len(t.Deps)
+					for _, d := range t.Deps {
+						p.dependents[d] = append(p.dependents[d], t)
+					}
+				}
+				for _, t := range tasks {
+					if len(t.Deps) == 0 {
+						p.enqueue(t)
+					}
+				}
+			})
+		}
+	default:
+		return fmt.Errorf("unknown class %v", wl.Class)
+	}
+	return nil
+}
+
+// tick advances the hourly price walk and flips the lease state across
+// the bid boundary.
+func (p *spotProvider) tick() {
+	p.price += meanRevert*(meanPrice-p.price) + p.rng.NormFloat64()*priceStep
+	if p.price < minPrice {
+		p.price = minPrice
+	}
+	if p.price > maxPrice {
+		p.price = maxPrice
+	}
+	switch {
+	case p.held && p.price > bidPrice:
+		p.interrupt()
+	case !p.held && p.price <= bidPrice:
+		p.tryAcquire()
+	}
+}
+
+// tryAcquire leases the whole cluster when the price allows; a rejected
+// request (capacity-bound pool) is retried at the next tick.
+func (p *spotProvider) tryAcquire() {
+	if p.held || p.finished || p.price > bidPrice {
+		return
+	}
+	granted := p.prov.RequestDynamic(p.wl.Name, p.size)
+	if granted < p.size {
+		// Grant-or-reject yields 0 here; a best-effort partial grant is
+		// returned — spot instances are all-or-nothing.
+		if granted > 0 {
+			if err := p.prov.Release(p.wl.Name, granted); err != nil {
+				panic(fmt.Sprintf("spot: partial release %s: %v", p.wl.Name, err))
+			}
+		}
+		return
+	}
+	p.held = true
+	p.free = p.size
+	p.dispatch()
+}
+
+// interrupt revokes the lease: running jobs are killed and requeued ahead
+// of the waiting queue (they restart from scratch when the cluster comes
+// back — no checkpointing).
+func (p *spotProvider) interrupt() {
+	ids := make([]int, 0, len(p.running))
+	for id := range p.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	requeued := make([]*job.Job, 0, len(ids))
+	for _, id := range ids {
+		rt := p.running[id]
+		p.engine.Cancel(rt.ev)
+		requeued = append(requeued, rt.j)
+	}
+	p.running = make(map[int]runningTask)
+	p.queue = append(requeued, p.queue...)
+	p.held = false
+	p.free = 0
+	if err := p.prov.Release(p.wl.Name, p.size); err != nil {
+		panic(fmt.Sprintf("spot: interrupt release %s: %v", p.wl.Name, err))
+	}
+}
+
+// enqueue admits a ready job and tries to dispatch. Jobs wider than the
+// cluster can never run and are dropped (they stay submitted-but-never-
+// completed rather than waiting forever).
+func (p *spotProvider) enqueue(j *job.Job) {
+	if j.Nodes > p.size {
+		p.dropped++
+		return
+	}
+	p.queue = append(p.queue, j)
+	p.dispatch()
+}
+
+// dispatch starts queued jobs First-Fit — walk the queue in order and
+// start everything that fits, the paper's HTC dispatch policy — while
+// the cluster is held.
+func (p *spotProvider) dispatch() {
+	if !p.held || p.free == 0 || len(p.queue) == 0 {
+		return
+	}
+	kept := p.queue[:0]
+	for _, j := range p.queue {
+		if j.Nodes <= p.free {
+			p.free -= j.Nodes
+			ev := p.engine.Schedule(j.Runtime, func() { p.complete(j) })
+			p.running[j.ID] = runningTask{j: j, ev: ev}
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	p.queue = kept
+}
+
+// complete finishes a job, releases dependents (MTC) and keeps the queue
+// draining.
+func (p *spotProvider) complete(j *job.Job) {
+	delete(p.running, j.ID)
+	p.free += j.Nodes
+	p.completed++
+	p.lastDone = p.engine.Now()
+	for _, dep := range p.dependents[j.ID] {
+		p.unmet[dep.ID]--
+		if p.unmet[dep.ID] == 0 {
+			delete(p.unmet, dep.ID)
+			p.enqueue(dep)
+		}
+	}
+	delete(p.dependents, j.ID)
+	if p.wl.Class == job.MTC && p.completed+p.dropped == p.submitted {
+		// Mirror SSP's DestroyOnCompletion: a finished MTC runtime
+		// environment releases its lease instead of billing an idle spot
+		// cluster to the horizon (tasks stranded behind a dropped
+		// dependency keep the environment alive, like a stalled RE).
+		p.finish()
+		return
+	}
+	p.dispatch()
+}
+
+// finish tears the provider down: the market ticks stop and any held
+// lease is returned.
+func (p *spotProvider) finish() {
+	p.finished = true
+	if p.stopTick != nil {
+		p.stopTick()
+	}
+	if p.held {
+		p.held = false
+		p.free = 0
+		if err := p.prov.Release(p.wl.Name, p.size); err != nil {
+			panic(fmt.Sprintf("spot: finish release %s: %v", p.wl.Name, err))
+		}
+	}
+}

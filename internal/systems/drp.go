@@ -1,6 +1,7 @@
 package systems
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -20,7 +21,9 @@ const defaultDRPPoolCapacity = 1 << 20
 // provider for exactly one job, with no runtime environment, no queuing and
 // hourly billing. MTC workflows execute with unbounded parallelism, reusing
 // a leased node for sequential tasks and releasing everything at the end.
-func RunDRP(workloads []Workload, opts Options) (Result, error) {
+// The context cancels the simulation mid-run; an aborted run returns
+// ctx.Err().
+func RunDRP(ctx context.Context, workloads []Workload, opts Options) (Result, error) {
 	if err := ValidateWorkloads(workloads); err != nil {
 		return Result{}, err
 	}
@@ -52,7 +55,9 @@ func RunDRP(workloads []Workload, opts Options) (Result, error) {
 		}
 	}
 
-	engine.Run(horizon)
+	if err := engine.RunContext(ctx, horizon); err != nil {
+		return Result{}, fmt.Errorf("systems: DRP run aborted: %w", err)
+	}
 	acct.CloseAll(horizon, true)
 	for _, collect := range runners {
 		aggs = append(aggs, collect())

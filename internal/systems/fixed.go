@@ -1,6 +1,7 @@
 package systems
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -19,23 +20,25 @@ const neverRatio = 1e18
 // RunDCS simulates the dedicated cluster system model: every service
 // provider owns a fixed-size cluster sized by FixedNodes, with the same
 // queueing behaviour as SSP. Consumption is size x period; no adjustments
-// are counted because the provider owns the machines.
-func RunDCS(workloads []Workload, opts Options) (Result, error) {
-	return runFixed("DCS", true, workloads, opts)
+// are counted because the provider owns the machines. The context cancels
+// the simulation mid-run; an aborted run returns ctx.Err().
+func RunDCS(ctx context.Context, workloads []Workload, opts Options) (Result, error) {
+	return runFixed(ctx, "DCS", true, workloads, opts)
 }
 
 // RunSSP simulates the static service provision model (Evangelinos et al.):
 // each provider leases a fixed-size virtual cluster from the cloud for the
 // whole period and runs a queuing system on it. Performance matches DCS by
-// construction; only ownership (TCO, adjustments) differs.
-func RunSSP(workloads []Workload, opts Options) (Result, error) {
-	return runFixed("SSP", false, workloads, opts)
+// construction; only ownership (TCO, adjustments) differs. The context
+// cancels the simulation mid-run; an aborted run returns ctx.Err().
+func RunSSP(ctx context.Context, workloads []Workload, opts Options) (Result, error) {
+	return runFixed(ctx, "SSP", false, workloads, opts)
 }
 
 // runFixed drives the DCS/SSP emulated system of Figure 8: per-provider
 // servers and schedulers with fixed resources and no resource provision
 // service interaction after startup.
-func runFixed(system string, owned bool, workloads []Workload, opts Options) (Result, error) {
+func runFixed(ctx context.Context, system string, owned bool, workloads []Workload, opts Options) (Result, error) {
 	if err := ValidateWorkloads(workloads); err != nil {
 		return Result{}, err
 	}
@@ -102,7 +105,9 @@ func runFixed(system string, owned bool, workloads []Workload, opts Options) (Re
 		}
 	}
 
-	engine.Run(horizon)
+	if err := engine.RunContext(ctx, horizon); err != nil {
+		return Result{}, fmt.Errorf("systems: %s run aborted: %w", system, err)
+	}
 	acct.CloseAll(horizon, !owned)
 
 	aggs := make([]ProviderAgg, 0, len(slots))

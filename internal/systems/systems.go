@@ -111,6 +111,11 @@ type Options struct {
 	// SetupCost is the per-node adjustment cost in seconds; zero uses
 	// the paper's measured 15.743 s.
 	SetupCost float64
+	// Seed drives any stochastic behaviour inside a runner — the four
+	// paper systems are deterministic and ignore it, but registered
+	// extensions (e.g. the ssp-spot price process) derive their random
+	// state from it so a run is reproducible given the same options.
+	Seed int64
 }
 
 // HorizonFor resolves the accounting window for a workload set.

@@ -1,6 +1,7 @@
 package systems
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/job"
@@ -87,11 +88,11 @@ func TestHorizonForDefaults(t *testing.T) {
 
 func TestDCSAndSSPIdenticalPerformance(t *testing.T) {
 	opts := Options{Horizon: 4 * 3600}
-	dcs, err := RunDCS([]Workload{tinyHTC(), tinyMTC()}, opts)
+	dcs, err := RunDCS(context.Background(), []Workload{tinyHTC(), tinyMTC()}, opts)
 	if err != nil {
 		t.Fatalf("RunDCS: %v", err)
 	}
-	ssp, err := RunSSP([]Workload{tinyHTC(), tinyMTC()}, opts)
+	ssp, err := RunSSP(context.Background(), []Workload{tinyHTC(), tinyMTC()}, opts)
 	if err != nil {
 		t.Fatalf("RunSSP: %v", err)
 	}
@@ -115,7 +116,7 @@ func TestDCSAndSSPIdenticalPerformance(t *testing.T) {
 
 func TestFixedBillsSizeTimesPeriod(t *testing.T) {
 	opts := Options{Horizon: 10 * 3600}
-	res, err := RunDCS([]Workload{tinyHTC()}, opts)
+	res, err := RunDCS(context.Background(), []Workload{tinyHTC()}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFixedBillsSizeTimesPeriod(t *testing.T) {
 
 func TestMTCFixedSelfDestroysAndBillsOneHour(t *testing.T) {
 	opts := Options{Horizon: 24 * 3600}
-	res, err := RunSSP([]Workload{tinyMTC()}, opts)
+	res, err := RunSSP(context.Background(), []Workload{tinyMTC()}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestMTCFixedSelfDestroysAndBillsOneHour(t *testing.T) {
 
 func TestDRPRunsJobsImmediately(t *testing.T) {
 	opts := Options{Horizon: 4 * 3600}
-	res, err := RunDRP([]Workload{tinyHTC()}, opts)
+	res, err := RunDRP(context.Background(), []Workload{tinyHTC()}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestDRPRunsJobsImmediately(t *testing.T) {
 
 func TestDRPMTCReusesNodes(t *testing.T) {
 	opts := Options{Horizon: 24 * 3600}
-	res, err := RunDRP([]Workload{tinyMTC()}, opts)
+	res, err := RunDRP(context.Background(), []Workload{tinyMTC()}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestDRPMTCReusesNodes(t *testing.T) {
 func TestDRPCapacityBoundWalksAway(t *testing.T) {
 	w := tinyHTC()
 	opts := Options{Horizon: 4 * 3600, PoolCapacity: 4}
-	res, err := RunDRP([]Workload{w}, opts)
+	res, err := RunDRP(context.Background(), []Workload{w}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,8 +232,8 @@ func TestUnknownProviderLookup(t *testing.T) {
 func TestRunRejectsInvalidWorkloads(t *testing.T) {
 	bad := tinyHTC()
 	bad.Name = ""
-	for _, run := range []func([]Workload, Options) (Result, error){RunDCS, RunSSP, RunDRP} {
-		if _, err := run([]Workload{bad}, Options{Horizon: 3600}); err == nil {
+	for _, run := range []func(context.Context, []Workload, Options) (Result, error){RunDCS, RunSSP, RunDRP} {
+		if _, err := run(context.Background(), []Workload{bad}, Options{Horizon: 3600}); err == nil {
 			t.Error("runner accepted invalid workload")
 		}
 	}

@@ -5,14 +5,23 @@
 // Usage:
 //
 //	dawningbench [-experiment all|table1|fig9|fig10|fig11|table2|table3|table4|fig12|fig13|fig14|tco
-//	              |ext-scale|ext-backfill|ext-provision|extensions]
-//	             [-seed N] [-days N] [-out DIR] [-workers N]
+//	              |ext-scale|ext-backfill|ext-provision|extensions|kernel]
+//	             [-seed N] [-days N] [-out DIR] [-workers N] [-json FILE]
 //
 // Independent simulations (the four system runs and every sweep grid
 // point) fan out over up to -workers concurrent workers; 0 uses all CPUs
 // and 1 restores the serial reference behaviour. Artifact content is
 // identical at any worker count. -progress streams run/cell/table events
 // to stderr; an interrupt (Ctrl-C) cancels in-flight simulations.
+//
+// The kernel experiment is not a paper artifact: it drives one million
+// events through the fast indexed kernel and the refheap reference kernel
+// on the identical seeded workload and prints ns/event, allocs/event and
+// events/sec for both. With -json FILE the same numbers are written as
+// machine-readable JSON (conventionally BENCH_kernel.json, the format CI
+// tracks):
+//
+//	dawningbench -experiment kernel -json BENCH_kernel.json
 package main
 
 import (
@@ -22,24 +31,62 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/events"
 	"repro/internal/experiments"
+	"repro/internal/kernelbench"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, fig9..fig14, table2..table4, tco, ext-scale, ext-backfill, ext-provision, extensions)")
+		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, fig9..fig14, table2..table4, tco, ext-scale, ext-backfill, ext-provision, extensions, kernel)")
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		days       = flag.Int("days", 14, "trace window in days (the paper uses 14)")
 		outDir     = flag.String("out", "", "directory for .txt/.svg artifacts (optional)")
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
 		progress   = flag.Bool("progress", false, "stream run/cell/table progress events to stderr")
+		jsonOut    = flag.String("json", "", "write the kernel experiment's report as JSON to this file (e.g. BENCH_kernel.json)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *experiment == "kernel" {
+		// The kernel microbenchmark has a fixed seeded workload; reject
+		// explicitly-set flags it would otherwise silently ignore.
+		var inapplicable []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed", "days", "out", "workers", "progress":
+				inapplicable = append(inapplicable, "-"+f.Name)
+			}
+		})
+		if len(inapplicable) > 0 {
+			fmt.Fprintf(os.Stderr, "dawningbench: %s do(es) not apply to -experiment kernel\n",
+				strings.Join(inapplicable, ", "))
+			os.Exit(2)
+		}
+		report, err := kernelbench.RunContext(ctx, kernelbench.DefaultEvents)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dawningbench: kernel benchmark aborted: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== Kernel throughput: fast vs reference ==\n%s\n", report.Text())
+		if *jsonOut != "" {
+			if err := report.WriteJSON(*jsonOut); err != nil {
+				fmt.Fprintf(os.Stderr, "dawningbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("kernel report written to %s\n", *jsonOut)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		fmt.Fprintf(os.Stderr, "dawningbench: -json applies only to -experiment kernel\n")
+		os.Exit(2)
+	}
 
 	suite := experiments.NewSuite(*seed)
 	suite.Days = *days

@@ -13,7 +13,9 @@
 //
 // Built-in scenarios: paper-baseline (the paper's evaluation; reproduces
 // Tables 2-4 exactly), scale-10 (ten-provider economies-of-scale curve),
-// blue-heavy, mtc-burst and mixed-federation. A spec's "systems" list
+// scale-100 (one hundred providers consolidated in one run), million-task
+// (a single ≈10⁶-task organization stressing the event loop), blue-heavy,
+// mtc-burst and mixed-federation. A spec's "systems" list
 // may name any registered system (including extensions like "ssp-spot");
 // unknown names fail validation with the registry's list. -progress
 // streams cell-completion events to stderr as the study runs, and an

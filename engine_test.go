@@ -256,13 +256,18 @@ func TestEngineEventsStream(t *testing.T) {
 func TestEngineRunCancellation(t *testing.T) {
 	wl := longHTCWorkload()
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(5 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
 	start := time.Now()
+	// Cancel on the run's own start event rather than a wall-clock timer:
+	// the fast kernel finishes this workload in tens of milliseconds, so
+	// any sleep-based cancellation would race the simulation.
 	_, err := DefaultEngine().Run(ctx, "DawningCloud", []Workload{wl},
-		WithOptions(Options{Horizon: TwoWeeks}))
+		WithOptions(Options{Horizon: TwoWeeks}),
+		WithEvents(func(ev Event) {
+			if _, ok := ev.(RunStartedEvent); ok {
+				cancel()
+			}
+		}))
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)

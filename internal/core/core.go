@@ -154,10 +154,10 @@ func createAndFeedHTC(engine *sim.Engine, fw *csf.Framework, srv *tre.Server, wl
 			panic(fmt.Sprintf("core: create TRE %s: %v", wl.Name, err))
 		}
 	})
-	for i := range wl.Jobs {
+	engine.ScheduleBatch(len(wl.Jobs), func(i int) (sim.Time, func()) {
 		j := &wl.Jobs[i]
-		engine.At(j.Submit, func() { srv.Submit(j) })
-	}
+		return j.Submit, func() { srv.Submit(j) }
+	})
 	return nil
 }
 

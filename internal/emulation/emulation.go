@@ -151,7 +151,7 @@ func Run(cfg Config) (Report, error) {
 			return
 		}
 		snapshot := queue.Snapshot()
-		picked := scheduler.Select(snapshot, free)
+		picked := scheduler.Select(nil, snapshot, free)
 		queue.RemoveAll(picked)
 		for _, idx := range picked {
 			j := snapshot[idx]

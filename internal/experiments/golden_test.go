@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPaperTablesGoldenBytes is the scheduling stack's byte-level
+// regression pin: the rendered Tables 2-4 must match
+// testdata/table{2,3,4}.golden exactly. The golden files were captured
+// under the original container/heap kernel before the indexed fast-path
+// kernel (and the allocation-free scheduling rework in internal/sched and
+// internal/tre) replaced it, so byte-identical output here proves the new
+// kernel and schedulers replay the paper evaluation event-for-event.
+//
+// The suite runs with Workers = 4 — more than one worker on every CI
+// machine — and the full test job runs under -race, so this also pins
+// that parallel table regeneration is deterministic and race-free.
+func TestPaperTablesGoldenBytes(t *testing.T) {
+	suite := NewSuite(42)
+	suite.Workers = 4
+	for _, tb := range []struct {
+		id string
+		fn func(context.Context) (Artifact, error)
+	}{
+		{"table2", suite.Table2},
+		{"table3", suite.Table3},
+		{"table4", suite.Table4},
+	} {
+		a, err := tb.fn(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", tb.id, err)
+		}
+		path := filepath.Join("testdata", tb.id+".golden")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", tb.id, err)
+		}
+		if a.Text != string(want) {
+			t.Errorf("%s drifted from the reference-kernel golden %s:\n got:\n%s\nwant:\n%s",
+				tb.id, path, a.Text, want)
+		}
+	}
+}
+
+// TestPaperTablesGoldenBytesAnyWorkerCount re-renders one table at three
+// worker counts and requires identical bytes: worker scheduling must not
+// leak into artifact content.
+func TestPaperTablesGoldenBytesAnyWorkerCount(t *testing.T) {
+	render := func(workers int) string {
+		suite := NewSuite(42)
+		suite.Workers = workers
+		a, err := suite.Table2(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return a.Text
+	}
+	serial := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != serial {
+			t.Errorf("table2 differs between workers=1 and workers=%d", w)
+		}
+	}
+}

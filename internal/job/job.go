@@ -241,10 +241,17 @@ func (q *Queue) LargestDemand() int {
 	return m
 }
 
-// Snapshot returns the queued jobs in order. The caller must not mutate
-// the returned jobs.
+// Snapshot returns a copy of the queued jobs in order. The caller must
+// not mutate the returned jobs.
 func (q *Queue) Snapshot() []*Job {
 	out := make([]*Job, len(q.entries))
 	copy(out, q.entries)
 	return out
 }
+
+// View returns the queue's backing slice in arrival order, valid only
+// until the next queue mutation (Push/Remove/RemoveAll): the hot
+// scheduling path reads it in place instead of copying a Snapshot per
+// scan. Callers that remove selected entries must copy the selected jobs
+// out before calling RemoveAll, which compacts this slice.
+func (q *Queue) View() []*Job { return q.entries }

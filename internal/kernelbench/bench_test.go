@@ -1,0 +1,100 @@
+package kernelbench
+
+import (
+	"os"
+	"testing"
+)
+
+// BenchmarkKernel is the kernel's tracked performance gate. It drives the
+// comparative workload (DefaultEvents executed events per kernel) through
+// the fast and reference kernels, reports the headline metrics, writes
+// BENCH_kernel.json (to $BENCH_KERNEL_JSON when set, else the package
+// directory) and fails when the fast kernel breaks the checked-in budget
+// in testdata/bench_budget.json. CI runs it with -benchtime 1x and
+// uploads the JSON as an artifact, so the perf trajectory has data.
+func BenchmarkKernel(b *testing.B) {
+	var report Report
+	for i := 0; i < b.N; i++ {
+		report = Run(DefaultEvents)
+	}
+	b.ReportMetric(report.Fast.NsPerEvent, "fast-ns/event")
+	b.ReportMetric(report.Fast.AllocsPerEvent, "fast-allocs/event")
+	b.ReportMetric(report.Fast.EventsPerSec, "fast-events/sec")
+	b.ReportMetric(report.Ref.NsPerEvent, "ref-ns/event")
+	b.ReportMetric(report.Ref.AllocsPerEvent, "ref-allocs/event")
+	b.ReportMetric(report.Speedup, "speedup-x")
+
+	path := os.Getenv("BENCH_KERNEL_JSON")
+	if path == "" {
+		path = "BENCH_kernel.json"
+	}
+	if err := report.WriteJSON(path); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("kernel report written to %s\n%s", path, report.Text())
+
+	budget, err := LoadBudget("testdata/bench_budget.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := budget.Check(report); err != nil {
+		b.Fatalf("budget regression: %v", err)
+	}
+}
+
+// TestRunSmokesBothKernels keeps the harness itself covered by plain `go
+// test`: a small run must execute the same event count on both kernels,
+// make progress on each, and allocate less per event on the fast one.
+func TestRunSmokesBothKernels(t *testing.T) {
+	r := Run(30_000)
+	if r.Fast.Events != r.Ref.Events {
+		t.Fatalf("kernels executed different event counts: fast %d, ref %d", r.Fast.Events, r.Ref.Events)
+	}
+	if r.Fast.Events < 30_000 {
+		t.Fatalf("executed %d events, want >= 30000", r.Fast.Events)
+	}
+	if r.Fast.EventsPerSec <= 0 || r.Ref.EventsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", r)
+	}
+	if r.Fast.AllocsPerEvent >= r.Ref.AllocsPerEvent {
+		t.Errorf("fast kernel allocates %.3f/event, reference %.3f/event — no reduction",
+			r.Fast.AllocsPerEvent, r.Ref.AllocsPerEvent)
+	}
+}
+
+// TestBudgetFileParsesAndIsEnforceable pins the checked-in budget: it
+// must parse, demand a positive allocation ceiling, and reject an
+// obviously regressed report.
+func TestBudgetFileParsesAndIsEnforceable(t *testing.T) {
+	b, err := LoadBudget("testdata/bench_budget.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Report{
+		Fast: Kernel{AllocsPerEvent: b.MaxAllocsPerEvent + 1},
+		Ref:  Kernel{AllocsPerEvent: 1},
+	}
+	if err := b.Check(bad); err == nil {
+		t.Error("budget accepted a report over the allocation ceiling")
+	}
+	slow := Report{Speedup: b.MinSpeedup / 2}
+	if b.MinSpeedup > 0 {
+		if err := b.Check(slow); err == nil {
+			t.Error("budget accepted a report under the speedup floor")
+		}
+	}
+}
+
+// TestLoadBudgetRejectsMissingOrInvalid covers the error paths.
+func TestLoadBudgetRejectsMissingOrInvalid(t *testing.T) {
+	if _, err := LoadBudget("testdata/no-such-file.json"); err == nil {
+		t.Error("missing budget file accepted")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{"max_allocs_per_event": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBudget(bad); err == nil {
+		t.Error("zero allocation ceiling accepted")
+	}
+}

@@ -99,6 +99,8 @@ func buildSynth(s *Spec, p *ProviderSpec, name string, seed int64) (systems.Work
 		model.Days = s.Days
 	case "blue":
 		model = synth.SDSCBlueWindowed(seed, s.Days)
+	case "million":
+		model = synth.MillionTaskWindowed(seed, s.Days)
 	default:
 		return systems.Workload{}, fmt.Errorf("unknown synth model %q", p.Source.Model)
 	}

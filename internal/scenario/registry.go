@@ -42,6 +42,35 @@ var builtins = map[string]string{
   "sweep": {"scale": true}
 }`,
 
+	// scale-100 is the kernel's target scale: one hundred distinct-seed
+	// NASA-like organizations consolidated at once (no per-prefix sweep —
+	// that is scale-10's job), several hundred thousand jobs through one
+	// event loop per system. Together with the "million" synth model it
+	// lets dcscen drive 10⁶-task runs from a spec file.
+	"scale-100": `{
+  "name": "scale-100",
+  "description": "kernel stress at the ROADMAP scale: 100 distinct-seed NASA-like HTC organizations consolidated in one run",
+  "seed": 42,
+  "days": 14,
+  "systems": ["DCS", "DawningCloud"],
+  "providers": [
+    {"name": "org", "count": 100, "source": {"kind": "synth", "model": "nasa"}}
+  ]
+}`,
+
+	// million-task drives ≈1e6 tasks through a single provider's event
+	// loop: the kernel throughput scenario.
+	"million-task": `{
+  "name": "million-task",
+  "description": "a single million-task HTC organization on a 1024-node machine: the event-loop stress run",
+  "seed": 42,
+  "days": 14,
+  "systems": ["DawningCloud"],
+  "providers": [
+    {"name": "org-million", "source": {"kind": "synth", "model": "million"}}
+  ]
+}`,
+
 	// blue-heavy skews the mix toward heavily loaded, bursty machines.
 	"blue-heavy": `{
   "name": "blue-heavy",
@@ -92,7 +121,7 @@ var builtins = map[string]string{
 
 // Names lists the built-in scenarios in presentation order.
 func Names() []string {
-	return []string{"paper-baseline", "scale-10", "blue-heavy", "mtc-burst", "mixed-federation"}
+	return []string{"paper-baseline", "scale-10", "scale-100", "million-task", "blue-heavy", "mtc-burst", "mixed-federation"}
 }
 
 // Builtin returns the named built-in scenario, parsed and validated.

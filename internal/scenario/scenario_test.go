@@ -144,6 +144,11 @@ func TestCompileWorkflowDefaults(t *testing.T) {
 }
 
 func TestBuiltinsParseAndCompile(t *testing.T) {
+	// The stress builtins generate hundreds of thousands of jobs at their
+	// declared window; compiling them over one day exercises the same
+	// code path at test-friendly cost (full-size runs are on-demand via
+	// dcscen).
+	heavy := map[string]bool{"scale-100": true, "million-task": true}
 	for _, name := range Names() {
 		s, err := Builtin(name)
 		if err != nil {
@@ -152,12 +157,37 @@ func TestBuiltinsParseAndCompile(t *testing.T) {
 		if s.Name != name {
 			t.Errorf("builtin %s declares name %q", name, s.Name)
 		}
+		if heavy[name] {
+			s.Days = 1
+		}
 		if _, err := Compile(s); err != nil {
 			t.Errorf("builtin %s does not compile: %v", name, err)
 		}
 	}
 	if _, err := Builtin("ghost"); err == nil {
 		t.Error("unknown builtin accepted")
+	}
+}
+
+// TestMillionSynthSourceCompiles pins the "million" synth model's spec
+// wiring: a one-day window still yields tens of thousands of tasks and a
+// valid workload sized to the stress machine.
+func TestMillionSynthSourceCompiles(t *testing.T) {
+	s, err := ParseBytes([]byte(`{"name":"stress","days":1,"systems":["DawningCloud"],
+		"providers":[{"name":"m","source":{"kind":"synth","model":"million"}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := c.Workloads[0]
+	if len(wl.Jobs) < 50_000 {
+		t.Errorf("1-day million workload has %d jobs, want >= 50k", len(wl.Jobs))
+	}
+	if wl.FixedNodes != 1024 {
+		t.Errorf("derived fixed nodes = %d, want 1024 (the stress machine)", wl.FixedNodes)
 	}
 }
 

@@ -43,8 +43,9 @@ var (
 	DefaultSystems = append([]string(nil), experiments.SystemNames...)
 	// KnownSourceKinds lists the workload source kinds.
 	KnownSourceKinds = []string{"synth", "swf", "workflow"}
-	// KnownSynthModels lists the calibrated synthetic HTC models.
-	KnownSynthModels = []string{"nasa", "blue"}
+	// KnownSynthModels lists the synthetic HTC models: the two
+	// paper-calibrated traces plus the million-task kernel stress model.
+	KnownSynthModels = []string{"nasa", "blue", "million"}
 	// KnownGenerators lists the workflow generators.
 	KnownGenerators = []string{"paper-montage", "montage", "cybershake", "epigenomics", "ligo"}
 )

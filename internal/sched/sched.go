@@ -13,9 +13,12 @@ import "repro/internal/job"
 
 // Policy selects queued jobs to start given free node capacity.
 type Policy interface {
-	// Select returns indices into queue (ascending) of jobs to start
-	// now. The total demand of selected jobs never exceeds free.
-	Select(queue []*job.Job, free int) []int
+	// Select appends indices into queue (ascending) of jobs to start now
+	// onto dst and returns the extended slice. The total demand of
+	// selected jobs never exceeds free. Callers on the simulation hot
+	// path pass a reused scratch buffer as dst[:0] so selection is
+	// allocation-free; dst may be nil.
+	Select(dst []int, queue []*job.Job, free int) []int
 	// Name identifies the policy in reports.
 	Name() string
 }
@@ -28,15 +31,14 @@ type FirstFit struct{}
 func (FirstFit) Name() string { return "first-fit" }
 
 // Select implements Policy.
-func (FirstFit) Select(queue []*job.Job, free int) []int {
-	var picked []int
+func (FirstFit) Select(dst []int, queue []*job.Job, free int) []int {
 	for i, j := range queue {
 		if j.Nodes <= free {
-			picked = append(picked, i)
+			dst = append(dst, i)
 			free -= j.Nodes
 		}
 	}
-	return picked
+	return dst
 }
 
 // FCFS starts jobs strictly in arrival order, stopping at the first job
@@ -48,16 +50,15 @@ type FCFS struct{}
 func (FCFS) Name() string { return "fcfs" }
 
 // Select implements Policy.
-func (FCFS) Select(queue []*job.Job, free int) []int {
-	var picked []int
+func (FCFS) Select(dst []int, queue []*job.Job, free int) []int {
 	for i, j := range queue {
 		if j.Nodes > free {
 			break
 		}
-		picked = append(picked, i)
+		dst = append(dst, i)
 		free -= j.Nodes
 	}
-	return picked
+	return dst
 }
 
 // EasyBackfill runs FCFS but lets later jobs jump ahead when they cannot
@@ -82,23 +83,22 @@ type RunningJob struct {
 func (e EasyBackfill) Name() string { return "easy-backfill" }
 
 // Select implements Policy.
-func (e EasyBackfill) Select(queue []*job.Job, free int) []int {
-	var picked []int
+func (e EasyBackfill) Select(dst []int, queue []*job.Job, free int) []int {
 	i := 0
 	// Start jobs in order while they fit.
 	for i < len(queue) && queue[i].Nodes <= free {
-		picked = append(picked, i)
+		dst = append(dst, i)
 		free -= queue[i].Nodes
 		i++
 	}
 	if i >= len(queue) {
-		return picked
+		return dst
 	}
 	head := queue[i]
 	// Compute the shadow time: when enough nodes free up for the head.
 	shadow, extra := e.shadow(head.Nodes - free)
 	if shadow < 0 {
-		return picked // cannot place the head at all; no safe backfill
+		return dst // cannot place the head at all; no safe backfill
 	}
 	now := int64(0)
 	if e.Now != nil {
@@ -112,14 +112,14 @@ func (e EasyBackfill) Select(queue []*job.Job, free int) []int {
 		// Safe if it finishes before the shadow time, or fits in the
 		// nodes left over once the head starts.
 		if now+cand.Runtime <= shadow || cand.Nodes <= extra {
-			picked = append(picked, k)
+			dst = append(dst, k)
 			free -= cand.Nodes
 			if cand.Nodes <= extra {
 				extra -= cand.Nodes
 			}
 		}
 	}
-	return picked
+	return dst
 }
 
 // shadow returns the time when `need` more nodes will be free given the

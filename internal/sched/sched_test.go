@@ -17,7 +17,7 @@ func mkQueue(sizes ...int) []*job.Job {
 
 func TestFirstFitSkipsBigJobs(t *testing.T) {
 	q := mkQueue(8, 2, 4, 1)
-	picked := FirstFit{}.Select(q, 7)
+	picked := FirstFit{}.Select(nil, q, 7)
 	// 8 does not fit; 2, 4, 1 all fit (total 7).
 	want := []int{1, 2, 3}
 	if len(picked) != len(want) {
@@ -32,7 +32,7 @@ func TestFirstFitSkipsBigJobs(t *testing.T) {
 
 func TestFirstFitRespectsCapacity(t *testing.T) {
 	q := mkQueue(4, 4, 4)
-	picked := FirstFit{}.Select(q, 8)
+	picked := FirstFit{}.Select(nil, q, 8)
 	if len(picked) != 2 {
 		t.Fatalf("picked %d jobs, want 2", len(picked))
 	}
@@ -42,17 +42,17 @@ func TestFirstFitRespectsCapacity(t *testing.T) {
 }
 
 func TestFirstFitEmptyQueueAndNoCapacity(t *testing.T) {
-	if got := (FirstFit{}).Select(nil, 10); got != nil {
+	if got := (FirstFit{}).Select(nil, nil, 10); got != nil {
 		t.Errorf("Select(nil) = %v, want nil", got)
 	}
-	if got := (FirstFit{}).Select(mkQueue(1), 0); got != nil {
+	if got := (FirstFit{}).Select(nil, mkQueue(1), 0); got != nil {
 		t.Errorf("Select with 0 free = %v, want nil", got)
 	}
 }
 
 func TestFCFSBlocksAtHead(t *testing.T) {
 	q := mkQueue(8, 2, 1)
-	picked := FCFS{}.Select(q, 7)
+	picked := FCFS{}.Select(nil, q, 7)
 	// Head needs 8 > 7: nothing starts even though 2 and 1 would fit.
 	if len(picked) != 0 {
 		t.Fatalf("picked = %v, want empty (head blocks)", picked)
@@ -61,7 +61,7 @@ func TestFCFSBlocksAtHead(t *testing.T) {
 
 func TestFCFSRunsPrefix(t *testing.T) {
 	q := mkQueue(2, 3, 4)
-	picked := FCFS{}.Select(q, 5)
+	picked := FCFS{}.Select(nil, q, 5)
 	want := []int{0, 1}
 	if len(picked) != len(want) {
 		t.Fatalf("picked = %v, want %v", picked, want)
@@ -95,7 +95,7 @@ func TestEasyBackfillFillsShadowWindow(t *testing.T) {
 			return []RunningJob{{End: 100, Nodes: 6}}
 		},
 	}
-	picked := e.Select(q, 4)
+	picked := e.Select(nil, q, 4)
 	if len(picked) != 1 || picked[0] != 2 {
 		t.Fatalf("picked = %v, want [2] (only the short job backfills)", picked)
 	}
@@ -115,7 +115,7 @@ func TestEasyBackfillExtraNodesPath(t *testing.T) {
 			return []RunningJob{{End: 100, Nodes: 3}}
 		},
 	}
-	picked := e.Select(q, 4)
+	picked := e.Select(nil, q, 4)
 	if len(picked) != 1 || picked[0] != 1 {
 		t.Fatalf("picked = %v, want [1]", picked)
 	}
@@ -124,7 +124,7 @@ func TestEasyBackfillExtraNodesPath(t *testing.T) {
 func TestEasyBackfillStartsPrefixLikeFCFS(t *testing.T) {
 	q := mkQueue(2, 3, 9)
 	e := EasyBackfill{Now: func() int64 { return 0 }}
-	picked := e.Select(q, 6)
+	picked := e.Select(nil, q, 6)
 	// 2 and 3 start; 9 blocks with nothing running -> no shadow -> stop.
 	if len(picked) != 2 {
 		t.Fatalf("picked = %v, want 2 prefix jobs", picked)
@@ -152,7 +152,7 @@ func TestPropertySelectionsRespectCapacity(t *testing.T) {
 		}
 		free := int(freeRaw)
 		for _, p := range policies {
-			picked := p.Select(q, free)
+			picked := p.Select(nil, q, free)
 			if TotalDemand(q, picked) > free {
 				return false
 			}
@@ -183,8 +183,8 @@ func TestPropertyFirstFitDominatesFCFS(t *testing.T) {
 			q[i] = &job.Job{ID: i, Nodes: int(s%32) + 1, Runtime: 10}
 		}
 		free := int(freeRaw)
-		ff := FirstFit{}.Select(q, free)
-		fc := FCFS{}.Select(q, free)
+		ff := FirstFit{}.Select(nil, q, free)
+		fc := FCFS{}.Select(nil, q, free)
 		if len(fc) > len(ff) {
 			return false
 		}
@@ -198,5 +198,51 @@ func TestPropertyFirstFitDominatesFCFS(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSelectAppendsToScratchBuffer pins the allocation-free contract of
+// the dst parameter: passing a reused buffer as dst[:0] yields the same
+// selection as a nil dst without growing a new slice each call, and the
+// returned slice aliases the scratch buffer's backing array.
+func TestSelectAppendsToScratchBuffer(t *testing.T) {
+	q := mkQueue(4, 2, 8, 1, 3)
+	for _, p := range []Policy{FirstFit{}, FCFS{}} {
+		fresh := p.Select(nil, q, 9)
+		scratch := make([]int, 0, 16)
+		reused := p.Select(scratch, q, 9)
+		if len(fresh) != len(reused) {
+			t.Fatalf("%s: scratch selection %v != fresh %v", p.Name(), reused, fresh)
+		}
+		for i := range fresh {
+			if fresh[i] != reused[i] {
+				t.Fatalf("%s: scratch selection %v != fresh %v", p.Name(), reused, fresh)
+			}
+		}
+		if len(reused) > 0 && &reused[0] != &scratch[:1][0] {
+			t.Errorf("%s: result does not alias the scratch buffer", p.Name())
+		}
+		// A second call over the same scratch must not leak the previous
+		// selection into the result.
+		again := p.Select(reused[:0], q, 9)
+		if len(again) != len(fresh) {
+			t.Fatalf("%s: reuse changed the selection: %v vs %v", p.Name(), again, fresh)
+		}
+	}
+}
+
+// TestSelectScratchDoesNotAllocate measures the steady-state allocation
+// count of both paper policies over a warm scratch buffer.
+func TestSelectScratchDoesNotAllocate(t *testing.T) {
+	q := mkQueue(4, 2, 8, 1, 3, 5, 2, 2)
+	scratch := make([]int, 0, len(q))
+	for _, p := range []Policy{FirstFit{}, FCFS{}} {
+		p := p
+		allocs := testing.AllocsPerRun(100, func() {
+			scratch = p.Select(scratch[:0], q, 12)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per Select over a warm scratch buffer, want 0", p.Name(), allocs)
+		}
 	}
 }

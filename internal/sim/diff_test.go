@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim/refheap"
+)
+
+// kernelOps is the least common denominator of the fast kernel and the
+// refheap reference kernel, expressed over plain int64s so one seeded
+// script drives both implementations identically.
+type kernelOps struct {
+	name     string
+	now      func() int64
+	length   func() int
+	at       func(t int64, fn func()) int64
+	schedule func(d int64, fn func()) int64
+	cancel   func(id int64) bool
+	every    func(interval int64, fn func()) func()
+	stop     func()
+	run      func(until int64)
+	runAll   func()
+}
+
+func fastOps(e *Engine) kernelOps {
+	return kernelOps{
+		name:     "fast",
+		now:      e.Now,
+		length:   e.Len,
+		at:       func(t int64, fn func()) int64 { return int64(e.At(t, fn)) },
+		schedule: func(d int64, fn func()) int64 { return int64(e.Schedule(d, fn)) },
+		cancel:   func(id int64) bool { return e.Cancel(EventID(id)) },
+		every:    e.Every,
+		stop:     e.Stop,
+		run:      e.Run,
+		runAll:   e.RunAll,
+	}
+}
+
+func refOps(e *refheap.Engine) kernelOps {
+	return kernelOps{
+		name:     "ref",
+		now:      e.Now,
+		length:   e.Len,
+		at:       e.At,
+		schedule: e.Schedule,
+		cancel:   e.Cancel,
+		every:    e.Every,
+		stop:     e.Stop,
+		run:      e.Run,
+		runAll:   e.RunAll,
+	}
+}
+
+// traceEntry is one observable effect: an event executing (kind "fire"),
+// a tick of an Every timer, or the boolean outcome of a Cancel.
+type traceEntry struct {
+	kind string
+	tag  int64
+	now  int64
+	ok   bool
+}
+
+// script replays one seeded schedule — initial events that spawn children
+// and cancel peers, periodic timers that stop themselves, mid-run Stop
+// calls, segmented Run windows — against a kernel, returning the full
+// observable trace. Every random draw comes from generator state advanced
+// identically on both kernels as long as their execution orders agree;
+// any divergence shows up as differing traces.
+func script(seed int64, ops kernelOps) []traceEntry {
+	rng := rand.New(rand.NewSource(seed))
+	var trace []traceEntry
+	var ids []int64
+
+	record := func(kind string, tag int64, ok bool) {
+		trace = append(trace, traceEntry{kind: kind, tag: tag, now: ops.now(), ok: ok})
+	}
+
+	// Event behavior: record the firing, then (depth permitting) spawn
+	// children at future instants, cancel a random earlier id (which may
+	// be pending, fired or cancelled — the result bool is part of the
+	// trace), or stop the whole run.
+	var fire func(tag int64, depth int, behavior int64) func()
+	fire = func(tag int64, depth int, behavior int64) func() {
+		return func() {
+			record("fire", tag, false)
+			r := rand.New(rand.NewSource(behavior))
+			if depth < 3 {
+				for c := 0; c < int(r.Int63n(3)); c++ {
+					childTag := tag*31 + int64(c) + 1
+					id := ops.schedule(r.Int63n(500), fire(childTag, depth+1, behavior*131+int64(c)))
+					ids = append(ids, id)
+				}
+			}
+			if r.Int63n(4) == 0 && len(ids) > 0 {
+				// Record the victim's issue index, not the raw id: the two
+				// kernels issue different (but equally valid) id encodings.
+				victim := r.Int63n(int64(len(ids)))
+				record("cancel", victim, ops.cancel(ids[victim]))
+			}
+			if r.Int63n(64) == 0 {
+				record("stop", tag, false)
+				ops.stop()
+			}
+		}
+	}
+
+	const initial = 200
+	for i := 0; i < initial; i++ {
+		at := rng.Int63n(4000)
+		id := ops.at(at, fire(int64(i), 0, seed*977+int64(i)))
+		ids = append(ids, id)
+	}
+
+	// Periodic timers that stop themselves after a few ticks, plus one
+	// stopped externally mid-run and one stopped twice (a no-op).
+	for k := 0; k < 4; k++ {
+		interval := rng.Int63n(400) + 50
+		limit := rng.Int63n(6) + 1
+		tag := int64(10_000 + k)
+		ticks := int64(0)
+		var stopTick func()
+		stopTick = ops.every(interval, func() {
+			ticks++
+			record("tick", tag, false)
+			if ticks >= limit {
+				stopTick()
+			}
+		})
+	}
+	extTag := int64(20_000)
+	stopExt := ops.every(rng.Int63n(300)+100, func() { record("tick", extTag, false) })
+
+	// Cancel a random subset up front, plus foreign and malformed ids.
+	for i, id := range ids {
+		if rng.Int63n(3) == 0 {
+			record("cancel", int64(i), ops.cancel(id))
+		}
+	}
+	record("cancel", -1, ops.cancel(0))
+	record("cancel", -2, ops.cancel(1<<40))
+	record("cancel", -3, ops.cancel(-77))
+
+	// Run in segments with scheduling between windows; Stop events inside
+	// the windows interrupt and the next segment resumes.
+	for _, until := range []int64{500, 1200, 1201, 2600} {
+		ops.run(until)
+		record("segment", until, false)
+		id := ops.at(ops.now()+rng.Int63n(200), fire(30_000+until, 1, seed+until))
+		ids = append(ids, id)
+	}
+	ops.run(3_000)
+	stopExt()
+	stopExt() // second stop must be a no-op
+	ops.runAll()
+	record("end", int64(ops.length()), false)
+	return trace
+}
+
+// TestKernelDifferentialTrace replays seeded schedules — random
+// Cancel/Every/Stop/At interleavings included — through the fast kernel
+// and the refheap reference kernel and requires identical observable
+// traces: same events, same order, same virtual timestamps, same Cancel
+// outcomes, same final clock and queue length.
+func TestKernelDifferentialTrace(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		fast := script(seed, fastOps(New()))
+		ref := script(seed, refOps(refheap.New()))
+		if len(fast) != len(ref) {
+			t.Fatalf("seed %d: trace lengths differ: fast %d, ref %d", seed, len(fast), len(ref))
+		}
+		for i := range fast {
+			if fast[i] != ref[i] {
+				t.Fatalf("seed %d: trace[%d] differs:\n fast %+v\n ref  %+v", seed, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialFIFOBurst pins the tie-break contract on a pure
+// same-instant burst: thousands of events at one timestamp must pop in
+// schedule order on both kernels.
+func TestKernelDifferentialFIFOBurst(t *testing.T) {
+	burst := func(ops kernelOps) []traceEntry {
+		var trace []traceEntry
+		for i := 0; i < 5000; i++ {
+			tag := int64(i)
+			ops.at(100, func() {
+				trace = append(trace, traceEntry{kind: "fire", tag: tag, now: ops.now()})
+			})
+		}
+		ops.runAll()
+		return trace
+	}
+	fast := burst(fastOps(New()))
+	ref := burst(refOps(refheap.New()))
+	if len(fast) != len(ref) {
+		t.Fatalf("trace lengths differ: fast %d, ref %d", len(fast), len(ref))
+	}
+	for i := range fast {
+		if fast[i] != ref[i] {
+			t.Fatalf("trace[%d] differs: fast %+v, ref %+v", i, fast[i], ref[i])
+		}
+		if fast[i].tag != int64(i) {
+			t.Fatalf("burst order broken at %d: tag %d", i, fast[i].tag)
+		}
+	}
+}

@@ -9,12 +9,45 @@
 // provision service, the job emulator) is written against this engine, so
 // a two-week workload trace simulates in milliseconds while exercising the
 // exact decision code the paper's emulated system runs.
+//
+// # Kernel design and invariants
+//
+// The event queue is an index-addressed 4-ary min-heap over a flat event
+// slab, built for million-event runs (see the ROADMAP north star and the
+// scale-100 scenario):
+//
+//   - heap holds slab slot numbers ordered by (time, seq); seq is a
+//     monotonically increasing issue number, so ties at the same instant
+//     pop in schedule order (FIFO) and the comparator is a total order —
+//     pop order is independent of the heap's internal shape.
+//   - slab entries are reused through a free list, so steady-state
+//     scheduling performs no per-event allocation; Reserve/ScheduleBatch
+//     pre-size both arrays for bulk feeds.
+//   - EventIDs pack (slot+1, generation). The generation increments every
+//     time a slot is freed, so a stale ID — already fired, already
+//     cancelled, or from another engine — can never reach a reused slot:
+//     Cancel of such an ID reports false and touches nothing.
+//   - Cancel is O(1) and lazy: the entry is marked dead in place and
+//     skipped when it surfaces at the heap top. When dead entries
+//     outnumber live ones (and exceed a small floor), the heap compacts,
+//     dropping every dead entry in one O(n) heapify, so a
+//     schedule-many/cancel-many workload cannot leak queue space.
+//   - Every runs on timer nodes recycled through a sync.Pool; a
+//     long-lived periodic scan allocates once, not once per simulated
+//     provider per run.
+//
+// Invariants checked by the property/fuzz suite (see fuzz_test.go and
+// diff_test.go): pops are nondecreasing in time and FIFO-stable per
+// timestamp; Len equals scheduled minus fired minus cancelled; and any
+// seeded schedule replays on this kernel with event order, timestamps and
+// side effects identical to the original container/heap kernel preserved
+// in internal/sim/refheap.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"sync"
 )
 
 // Time is a point in virtual time, in seconds since the simulation epoch.
@@ -29,72 +62,199 @@ const (
 	Week   Time = 7 * Day
 )
 
-// EventID identifies a scheduled event so it can be cancelled.
-// The zero EventID is never issued.
+// EventID identifies a scheduled event so it can be cancelled. IDs pack
+// the event's slab slot and the slot's generation; they are opaque to
+// callers. The zero EventID is never issued.
 type EventID int64
 
-// event is a single pending callback.
-type event struct {
-	time Time
-	seq  EventID // issue order; breaks ties deterministically
-	fn   func()
-	idx  int // heap index, -1 once popped or cancelled
+// genMask keeps generations in 31 bits so packed IDs stay positive.
+const genMask = 1<<31 - 1
+
+// packID builds the external ID for a slot at a generation. Slot numbers
+// are offset by one so the zero EventID is never produced.
+func packID(slot int32, gen uint32) EventID {
+	return EventID(int64(gen)<<32 | int64(slot+1))
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// unpackID splits an ID back into slot and generation. ok is false for
+// the zero ID and for IDs whose slot field underflows; out-of-range slots
+// and generation mismatches are caught against the slab by the caller.
+func unpackID(id EventID) (slot int, gen uint32, ok bool) {
+	slotPlus1 := uint32(uint64(id) & 0xffffffff)
+	if slotPlus1 == 0 {
+		return 0, 0, false
 	}
-	return h[i].seq < h[j].seq
+	return int(slotPlus1) - 1, uint32(uint64(id)>>32) & 0xffffffff, true
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+// event is one slab entry. A live entry is scheduled and uncancelled; a
+// dead entry either waits at its heap position to be skipped (cancelled)
+// or sits on the free list (fired/compacted/skipped).
+type event struct {
+	fn   func()
+	gen  uint32 // bumped on every free; stale-ID guard
+	live bool
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
+// heapNode is one heap entry. The ordering key (time, seq) lives in the
+// node itself, so sift comparisons walk the contiguous heap array without
+// dereferencing the slab — the slab is only touched at push, pop and
+// cancel.
+type heapNode struct {
+	time Time
+	seq  int64 // issue order; breaks same-time ties deterministically
+	slot int32
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+// before orders heap nodes by (time, seq).
+func (n heapNode) before(m heapNode) bool {
+	if n.time != m.time {
+		return n.time < m.time
+	}
+	return n.seq < m.seq
 }
+
+// heapArity is the heap fan-out. Four children per node halve the tree
+// depth of the binary heap and keep each node's children in one or two
+// cache lines of the int32 heap array.
+const heapArity = 4
+
+// compactMinDead is the floor below which dead entries are never worth
+// compacting away.
+const compactMinDead = 64
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with New.
 type Engine struct {
 	now     Time
-	queue   eventHeap
-	pending map[EventID]*event
-	nextSeq EventID
+	heap    []heapNode // 4-ary min-heap by (time, seq)
+	slab    []event
+	free    []int32 // slab slots ready for reuse
+	nextSeq int64
+	live    int // scheduled and not cancelled
+	dead    int // cancelled but still occupying a heap position
 	stopped bool
 }
 
 // New returns an engine whose clock starts at time zero.
-func New() *Engine {
-	return &Engine{pending: make(map[EventID]*event)}
-}
+func New() *Engine { return &Engine{} }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len reports the number of pending events.
-func (e *Engine) Len() int { return len(e.queue) }
+// Len reports the number of pending (scheduled, uncancelled) events.
+func (e *Engine) Len() int { return e.live }
+
+// siftUp restores the heap property for a new entry at index i.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	node := h[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !node.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = node
+}
+
+// siftDown restores the heap property for the entry at index i.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	node := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(node) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = node
+}
+
+// popTop removes the heap's minimum entry (the caller has already decided
+// its fate) and repairs the heap.
+func (e *Engine) popTop() {
+	h := e.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+}
+
+// freeSlot recycles a slab slot: the closure is dropped so it can be
+// collected, and the generation bump invalidates any ID still pointing
+// here.
+func (e *Engine) freeSlot(slot int32) {
+	ev := &e.slab[slot]
+	ev.fn = nil
+	ev.live = false
+	ev.gen = (ev.gen + 1) & genMask
+	e.free = append(e.free, slot)
+}
+
+// peekLive surfaces the earliest live entry, discarding any cancelled
+// entries that have reached the top. On ok, e.heap[0] is that entry.
+func (e *Engine) peekLive() (node heapNode, ok bool) {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if e.slab[top.slot].live {
+			return top, true
+		}
+		e.popTop()
+		e.freeSlot(top.slot)
+		e.dead--
+	}
+	return heapNode{}, false
+}
+
+// maybeCompact rebuilds the heap without its dead entries once they
+// outnumber the live ones, bounding queue growth under schedule-heavy
+// cancel-heavy workloads. Compaction cannot change pop order: the
+// comparator is a total order, so the pop sequence is independent of the
+// heap's internal arrangement.
+func (e *Engine) maybeCompact() {
+	if e.dead < compactMinDead || e.dead <= e.live {
+		return
+	}
+	kept := e.heap[:0]
+	for _, n := range e.heap {
+		if e.slab[n.slot].live {
+			kept = append(kept, n)
+		} else {
+			e.freeSlot(n.slot)
+		}
+	}
+	e.heap = kept
+	e.dead = 0
+	// Heapify from the last parent. Guard the small cases: with zero or
+	// one survivor there is nothing to sift (and Go's truncation toward
+	// zero would map len 0 to parent index 0, indexing an empty heap).
+	if n := len(kept); n > 1 {
+		for i := (n - 2) / heapArity; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
+}
 
 // Schedule runs fn after delay seconds of virtual time. A negative delay is
 // an error in the caller; Schedule panics to surface the bug immediately.
@@ -114,50 +274,160 @@ func (e *Engine) At(t Time, fn func()) EventID {
 		panic("sim: nil event function")
 	}
 	e.nextSeq++
-	ev := &event{time: t, seq: e.nextSeq, fn: fn}
-	heap.Push(&e.queue, ev)
-	e.pending[ev.seq] = ev
-	return ev.seq
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slab = append(e.slab, event{})
+		slot = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[slot]
+	ev.fn = fn
+	ev.live = true
+	e.heap = append(e.heap, heapNode{time: t, seq: e.nextSeq, slot: slot})
+	e.siftUp(len(e.heap) - 1)
+	e.live++
+	return packID(slot, ev.gen)
+}
+
+// Reserve pre-grows the queue for n upcoming events, so a bulk feed (a
+// workload's every job submission, say) triggers at most one allocation
+// for the heap and one for the slab instead of O(log n) progressive
+// growths.
+func (e *Engine) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(e.heap) + n; cap(e.heap) < need {
+		grown := make([]heapNode, len(e.heap), need)
+		copy(grown, e.heap)
+		e.heap = grown
+	}
+	// Free slots will be reused first; only the remainder needs new slab
+	// capacity.
+	if extra := n - len(e.free); extra > 0 {
+		if need := len(e.slab) + extra; cap(e.slab) < need {
+			grown := make([]event, len(e.slab), need)
+			copy(grown, e.slab)
+			e.slab = grown
+		}
+	}
+}
+
+// ScheduleBatch schedules n events in one pre-sized operation. item(i)
+// must return the i-th event's absolute time and callback; items receive
+// consecutive issue numbers in index order, so same-time events fire in
+// item order exactly as n individual At calls would.
+func (e *Engine) ScheduleBatch(n int, item func(i int) (at Time, fn func())) {
+	if n <= 0 {
+		return
+	}
+	e.Reserve(n)
+	for i := 0; i < n; i++ {
+		at, fn := item(i)
+		e.At(at, fn)
+	}
 }
 
 // Cancel removes a pending event. It reports whether the event was still
-// pending; cancelling an already-fired or unknown event is a harmless no-op.
+// pending; cancelling an already-fired, foreign or unknown event is a
+// harmless no-op. Cancellation is O(1): the entry is marked dead in place
+// and skipped when it reaches the heap top (or dropped by compaction).
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.pending[id]
-	if !ok {
+	slot, gen, ok := unpackID(id)
+	if !ok || slot >= len(e.slab) {
 		return false
 	}
-	delete(e.pending, id)
-	if ev.idx >= 0 {
-		heap.Remove(&e.queue, ev.idx)
+	ev := &e.slab[slot]
+	if !ev.live || ev.gen != gen {
+		return false
 	}
+	ev.live = false
+	ev.fn = nil
+	e.live--
+	e.dead++
+	e.maybeCompact()
 	return true
+}
+
+// ticker is a pooled timer node backing Every. The node carries its own
+// bound tick function, so rescheduling a periodic timer allocates
+// nothing; nodes recycle through tickerPool across engines.
+//
+// Ownership: a node can only reach the pool through its own stop
+// function (directly, or via the tick tail when stop ran from inside the
+// callback). The stop closure nils its node reference after its first
+// call, so a retained stop function never reads or writes a node that
+// another engine — possibly on another goroutine — has since recycled.
+// The epoch is a second, belt-and-braces guard for the same hazard.
+type ticker struct {
+	e        *Engine
+	interval Time
+	fn       func()
+	tickFn   func() // t.tick, bound once per node
+	id       EventID
+	epoch    uint64
+	stopped  bool
+	inFlight bool
+}
+
+var tickerPool = sync.Pool{New: func() any { return new(ticker) }}
+
+func (t *ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.inFlight = true
+	t.fn()
+	t.inFlight = false
+	if t.stopped {
+		t.release()
+		return
+	}
+	t.id = t.e.Schedule(t.interval, t.tickFn)
+}
+
+// release returns the node to the pool. The epoch is deliberately kept:
+// it must keep growing across reuses so stale stop functions stay inert.
+func (t *ticker) release() {
+	t.e = nil
+	t.fn = nil
+	tickerPool.Put(t)
 }
 
 // Every schedules fn to run now+interval, now+2*interval, ... until the
 // returned stop function is called or the engine run window ends. The
-// callback may call stop from within itself.
+// callback may call stop from within itself; calling stop more than once
+// is a no-op.
 func (e *Engine) Every(interval Time, fn func()) (stop func()) {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
 	}
-	stopped := false
-	var id EventID
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if stopped {
-			return
-		}
-		id = e.Schedule(interval, tick)
+	t := tickerPool.Get().(*ticker)
+	t.e = e
+	t.interval = interval
+	t.fn = fn
+	t.stopped = false
+	t.inFlight = false
+	t.epoch++
+	if t.tickFn == nil {
+		t.tickFn = t.tick
 	}
-	id = e.Schedule(interval, tick)
+	epoch := t.epoch
+	t.id = e.Schedule(interval, t.tickFn)
 	return func() {
-		stopped = true
-		e.Cancel(id)
+		if t == nil {
+			return // second call: the node is gone, possibly recycled
+		}
+		if t.epoch == epoch && !t.stopped {
+			t.stopped = true
+			t.e.Cancel(t.id)
+			if !t.inFlight {
+				t.release()
+			}
+		}
+		t = nil
 	}
 }
 
@@ -198,7 +468,11 @@ func (e *Engine) RunContext(ctx context.Context, until Time) error {
 func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) error {
 	e.stopped = false
 	executed := 0
-	for len(e.queue) > 0 && !e.stopped {
+	for !e.stopped {
+		top, ok := e.peekLive()
+		if !ok {
+			break
+		}
 		if done != nil {
 			if executed++; executed%cancelCheckEvery == 0 {
 				select {
@@ -208,14 +482,15 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 				}
 			}
 		}
-		next := e.queue[0]
-		if next.time > until {
+		if top.time > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		delete(e.pending, next.seq)
-		e.now = next.time
-		next.fn()
+		fn := e.slab[top.slot].fn
+		e.popTop()
+		e.live--
+		e.freeSlot(top.slot)
+		e.now = top.time
+		fn()
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -227,11 +502,17 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 // that fire during the call, until the queue drains.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := heap.Pop(&e.queue).(*event)
-		delete(e.pending, next.seq)
-		e.now = next.time
-		next.fn()
+	for !e.stopped {
+		top, ok := e.peekLive()
+		if !ok {
+			break
+		}
+		fn := e.slab[top.slot].fn
+		e.popTop()
+		e.live--
+		e.freeSlot(top.slot)
+		e.now = top.time
+		fn()
 	}
 }
 
@@ -242,7 +523,7 @@ func (e *Engine) Advance(d Time) {
 		panic(fmt.Sprintf("sim: negative advance %d", d))
 	}
 	target := e.now + d
-	if len(e.queue) > 0 && e.queue[0].time <= target {
+	if top, ok := e.peekLive(); ok && top.time <= target {
 		panic("sim: Advance would skip pending events")
 	}
 	e.now = target

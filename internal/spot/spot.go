@@ -171,10 +171,10 @@ func (p *spotProvider) schedule() error {
 	switch wl.Class {
 	case job.HTC:
 		p.submitted = len(wl.Jobs)
-		for i := range wl.Jobs {
+		p.engine.ScheduleBatch(len(wl.Jobs), func(i int) (sim.Time, func()) {
 			j := &wl.Jobs[i]
-			p.engine.At(j.Submit, func() { p.enqueue(j) })
-		}
+			return j.Submit, func() { p.enqueue(j) }
+		})
 	case job.MTC:
 		p.submitted = len(wl.Jobs)
 		p.unmet = make(map[int]int)

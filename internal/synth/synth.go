@@ -361,6 +361,42 @@ func poisson(rng *rand.Rand, lambda float64) int {
 	}
 }
 
+// MillionTask returns the kernel stress model: roughly one million short,
+// narrow tasks over two weeks on a 1024-node machine. It is not
+// calibrated to an archive trace — its job is to drive 10⁶-task runs
+// through the simulation kernel (each task is at least two events, a
+// submission and a completion, plus the scheduling traffic it causes) so
+// dcscen/dawningbench and the benchmarks can measure event-loop
+// throughput at the ROADMAP's target scale. MillionTaskWindowed trims the
+// window for scenario specs with fewer days.
+func MillionTask(seed int64) *Model {
+	return MillionTaskWindowed(seed, 14)
+}
+
+// MillionTaskWindowed is MillionTask over a days-long window; job volume
+// scales with the window, reaching ≈1e6 at the full two weeks.
+func MillionTaskWindowed(seed int64, days int) *Model {
+	return &Model{
+		Name:          "million-task",
+		Seed:          seed,
+		Days:          days,
+		MachineNodes:  1024,
+		TargetUtil:    0.70,
+		RuntimeMedian: 390,
+		RuntimeSigma:  0.7,
+		MaxRuntime:    4 * 3600,
+		SizeWeights: []SizeWeight{
+			{1, 0.72}, {2, 0.18}, {4, 0.07}, {8, 0.025}, {16, 0.005},
+		},
+		DailyCycle: [24]float64{
+			0.70, 0.65, 0.62, 0.60, 0.60, 0.65, 0.75, 0.90,
+			1.10, 1.25, 1.32, 1.35, 1.32, 1.28, 1.30, 1.28,
+			1.22, 1.15, 1.08, 1.00, 0.92, 0.85, 0.78, 0.74,
+		},
+		BlockSigma: 0.05,
+	}
+}
+
 // NASAiPSC returns the model calibrated to the paper's NASA iPSC trace:
 // a lightly loaded machine with smooth daily arrivals of short jobs.
 func NASAiPSC(seed int64) *Model {

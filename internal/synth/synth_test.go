@@ -269,3 +269,48 @@ func BenchmarkGenerateNASA(b *testing.B) {
 		}
 	}
 }
+
+// TestMillionTaskGeneratesAMillionTasks pins the stress model's contract:
+// at least 10⁶ valid tasks over the two-week window, calibrated near its
+// utilization target, deterministic per seed. Generation costs a couple
+// of seconds, so -short skips it.
+func TestMillionTaskGeneratesAMillionTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-task generation skipped in -short mode")
+	}
+	m := MillionTask(1)
+	jobs, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 1_000_000 {
+		t.Fatalf("generated %d jobs, want >= 1e6", len(jobs))
+	}
+	util := float64(job.TotalNodeSeconds(jobs)) / (float64(m.MachineNodes) * float64(m.Span()))
+	if util < m.TargetUtil-0.02 || util > m.TargetUtil+0.02 {
+		t.Errorf("realized utilization %.4f, want %.2f ± 0.02", util, m.TargetUtil)
+	}
+	again, err := MillionTask(1).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(jobs) {
+		t.Errorf("regeneration not deterministic: %d vs %d jobs", len(again), len(jobs))
+	}
+}
+
+// TestMillionTaskWindowedScales checks the short-window variant stays
+// valid and proportional.
+func TestMillionTaskWindowedScales(t *testing.T) {
+	m := MillionTaskWindowed(3, 1)
+	jobs, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 50_000 {
+		t.Errorf("1-day window generated %d jobs, want >= 50k (≈1e6/14)", len(jobs))
+	}
+	if err := job.ValidateAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,7 +47,7 @@ func RunDRP(ctx context.Context, workloads []Workload, opts Options) (Result, er
 		wl := &workloads[i]
 		switch wl.Class {
 		case job.HTC:
-			runners = append(runners, runDRPHTC(engine, prov, wl, horizon))
+			runners = append(runners, runDRPHTC(engine, prov, wl))
 		case job.MTC:
 			runners = append(runners, runDRPMTC(engine, prov, wl))
 		default:
@@ -65,44 +65,67 @@ func RunDRP(ctx context.Context, workloads []Workload, opts Options) (Result, er
 	return BuildResult("DRP", horizon, acct, setup, prov.RejectedRequests(), aggs), nil
 }
 
+// drpLease is one end user's whole-job lease: submit acquires, the same
+// node fires again at completion to release. One struct (from a single
+// per-workload slab) and one bound callback cover both events, so the
+// run's hot loop schedules completions without allocating.
+type drpLease struct {
+	engine    *sim.Engine
+	prov      *csf.ProvisionService
+	owner     string
+	j         *job.Job
+	completed *int
+	leased    bool
+	fn        func()
+}
+
+func (l *drpLease) fire() {
+	if !l.leased {
+		granted := l.prov.RequestDynamic(l.owner, l.j.Nodes)
+		if granted < l.j.Nodes {
+			// Capacity-bound cloud: the end user walks away (the
+			// DRP model has no queue to wait in). Return any
+			// partial best-effort grant.
+			if granted > 0 {
+				if err := l.prov.Release(l.owner, granted); err != nil {
+					panic(fmt.Sprintf("systems: drp partial release: %v", err))
+				}
+			}
+			return
+		}
+		l.leased = true
+		l.engine.Schedule(l.j.Runtime, l.fn)
+		return
+	}
+	if err := l.prov.Release(l.owner, l.j.Nodes); err != nil {
+		panic(fmt.Sprintf("systems: drp release %s: %v", l.owner, err))
+	}
+	*l.completed++
+}
+
 // runDRPHTC schedules every independent job as its own end-user lease:
 // acquire at submit, run immediately, release at completion. It returns a
 // collector producing the provider aggregate after the run.
-func runDRPHTC(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload, horizon sim.Time) func() ProviderAgg {
+func runDRPHTC(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload) func() ProviderAgg {
 	owners := make([]string, 0, len(wl.Jobs))
-	completed := 0
-	for i := range wl.Jobs {
+	completed := new(int)
+	leases := make([]drpLease, len(wl.Jobs))
+	engine.ScheduleBatch(len(wl.Jobs), func(i int) (sim.Time, func()) {
 		j := &wl.Jobs[i]
 		owner := fmt.Sprintf("%s/u%d", wl.Name, j.ID)
 		owners = append(owners, owner)
-		engine.At(j.Submit, func() {
-			granted := prov.RequestDynamic(owner, j.Nodes)
-			if granted < j.Nodes {
-				// Capacity-bound cloud: the end user walks away (the
-				// DRP model has no queue to wait in). Return any
-				// partial best-effort grant.
-				if granted > 0 {
-					if err := prov.Release(owner, granted); err != nil {
-						panic(fmt.Sprintf("systems: drp partial release: %v", err))
-					}
-				}
-				return
-			}
-			engine.Schedule(j.Runtime, func() {
-				if err := prov.Release(owner, j.Nodes); err != nil {
-					panic(fmt.Sprintf("systems: drp release %s: %v", owner, err))
-				}
-				completed++
-			})
-		})
-	}
+		l := &leases[i]
+		*l = drpLease{engine: engine, prov: prov, owner: owner, j: j, completed: completed}
+		l.fn = l.fire
+		return j.Submit, l.fn
+	})
 	return func() ProviderAgg {
 		return ProviderAgg{
 			Name:      wl.Name,
 			Class:     job.HTC,
 			Owners:    owners,
 			Submitted: len(wl.Jobs),
-			Completed: completed,
+			Completed: *completed,
 			Adjusted:  -1,
 		}
 	}
@@ -125,6 +148,40 @@ type drpWorkflowRun struct {
 	completed int
 	first     sim.Time
 	last      sim.Time
+
+	// doneFree recycles task-completion timer nodes across the workflow's
+	// events, keeping the start/complete cascade allocation-free once the
+	// widest stage has run.
+	doneFree []*drpTaskDone
+}
+
+// drpTaskDone is a reusable completion timer for one running task.
+type drpTaskDone struct {
+	r  *drpWorkflowRun
+	t  *job.Job
+	fn func()
+}
+
+func (n *drpTaskDone) run() {
+	t := n.t
+	n.t = nil
+	r := n.r
+	r.doneFree = append(r.doneFree, n)
+	r.complete(t)
+}
+
+// scheduleComplete arms t's completion on a recycled node.
+func (r *drpWorkflowRun) scheduleComplete(t *job.Job) {
+	var n *drpTaskDone
+	if k := len(r.doneFree); k > 0 {
+		n = r.doneFree[k-1]
+		r.doneFree = r.doneFree[:k-1]
+	} else {
+		n = &drpTaskDone{r: r}
+		n.fn = n.run
+	}
+	n.t = t
+	r.engine.Schedule(t.Runtime, n.fn)
 }
 
 func (r *drpWorkflowRun) start(t *job.Job) {
@@ -148,7 +205,7 @@ func (r *drpWorkflowRun) start(t *job.Job) {
 		}
 		r.leased += need
 	}
-	r.engine.Schedule(t.Runtime, func() { r.complete(t) })
+	r.scheduleComplete(t)
 }
 
 func (r *drpWorkflowRun) complete(t *job.Job) {

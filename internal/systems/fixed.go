@@ -145,15 +145,16 @@ type completedCounter interface {
 }
 
 // startAndFeedHTC starts the server at the workload's first submission and
-// schedules every job submission on the virtual clock.
+// schedules every job submission on the virtual clock in one pre-sized
+// batch.
 func startAndFeedHTC(engine *sim.Engine, srv *tre.Server, wl *Workload) error {
 	if err := startAt(engine, wl.FirstSubmit(), srv.Start); err != nil {
 		return err
 	}
-	for i := range wl.Jobs {
+	engine.ScheduleBatch(len(wl.Jobs), func(i int) (sim.Time, func()) {
 		j := &wl.Jobs[i]
-		engine.At(j.Submit, func() { srv.Submit(j) })
-	}
+		return j.Submit, func() { srv.Submit(j) }
+	})
 	return nil
 }
 

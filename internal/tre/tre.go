@@ -65,6 +65,64 @@ type Server struct {
 	// completeHook lets the MTC trigger monitor observe completions to
 	// release dependent tasks. Nil for plain HTC servers.
 	completeHook func(*job.Job)
+
+	// Scratch state reused across events so the steady-state scheduling
+	// loop allocates nothing: pickBuf/jobBuf back each dispatch's
+	// selection, and the free lists recycle the completion and
+	// idle-check timer nodes.
+	pickBuf  []int
+	jobBuf   []*job.Job
+	compFree []*compNode
+	idleFree []*idleNode
+}
+
+// compNode is a reusable completion timer: one pre-bound callback per
+// in-flight job, recycled through the server's free list, so dispatching
+// a job schedules its completion without allocating a closure per event.
+type compNode struct {
+	s  *Server
+	j  *job.Job
+	fn func()
+}
+
+func (n *compNode) run() {
+	j := n.j
+	n.j = nil
+	s := n.s
+	s.compFree = append(s.compFree, n)
+	s.complete(j)
+}
+
+// idleNode is a reusable hourly idle-release timer for one dynamic grant
+// (paper Section 3.2.2): it re-arms itself on the same node until the
+// block releases, then returns to the server's free list.
+type idleNode struct {
+	s    *Server
+	size int
+	fn   func()
+}
+
+func (n *idleNode) run() {
+	s := n.s
+	if s.destroyed {
+		n.release()
+		return
+	}
+	idle := s.owned - s.busy
+	if policy.ReleaseDecision(idle, n.size) {
+		if err := s.prov.Release(s.cfg.Name, n.size); err != nil {
+			panic(fmt.Sprintf("tre: release %d from %s: %v", n.size, s.cfg.Name, err))
+		}
+		s.owned -= n.size
+		n.release()
+		return
+	}
+	s.engine.Schedule(s.cfg.Params.IdleCheckInterval, n.fn)
+}
+
+func (n *idleNode) release() {
+	n.size = 0
+	n.s.idleFree = append(n.s.idleFree, n)
 }
 
 // newServer builds the shared core.
@@ -163,25 +221,46 @@ func (s *Server) scan() {
 }
 
 // dispatch starts every queued job the scheduler selects for the free
-// nodes.
+// nodes. It runs on reused scratch buffers and pooled completion nodes:
+// one dispatch performs no allocation beyond initial buffer growth.
 func (s *Server) dispatch() {
 	free := s.owned - s.busy
 	if free <= 0 || s.queue.Len() == 0 {
 		return
 	}
-	snapshot := s.queue.Snapshot()
-	picked := s.cfg.Scheduler.Select(snapshot, free)
+	view := s.queue.View()
+	s.pickBuf = s.cfg.Scheduler.Select(s.pickBuf[:0], view, free)
+	picked := s.pickBuf
 	if len(picked) == 0 {
 		return
 	}
-	s.queue.RemoveAll(picked)
+	// Copy the selected jobs out before RemoveAll compacts the queue's
+	// backing array under the view.
+	s.jobBuf = s.jobBuf[:0]
 	for _, idx := range picked {
-		j := snapshot[idx]
+		s.jobBuf = append(s.jobBuf, view[idx])
+	}
+	s.queue.RemoveAll(picked)
+	for _, j := range s.jobBuf {
 		s.busy += j.Nodes
 		end := s.engine.Now() + j.Runtime
 		s.running[j] = end
-		s.engine.Schedule(j.Runtime, func() { s.complete(j) })
+		s.scheduleCompletion(j)
 	}
+}
+
+// scheduleCompletion arms j's completion timer on a recycled node.
+func (s *Server) scheduleCompletion(j *job.Job) {
+	var n *compNode
+	if k := len(s.compFree); k > 0 {
+		n = s.compFree[k-1]
+		s.compFree = s.compFree[:k-1]
+	} else {
+		n = &compNode{s: s}
+		n.fn = n.run
+	}
+	n.j = j
+	s.engine.Schedule(j.Runtime, n.fn)
 }
 
 // complete finishes a job, freeing its nodes at the server level.
@@ -209,24 +288,19 @@ func (s *Server) complete(j *job.Job) {
 
 // armIdleCheck registers the paper's hourly release timer for one dynamic
 // grant: once the block's worth of nodes sit idle, release exactly that
-// block; otherwise check again next hour.
+// block; otherwise check again next hour. The timer runs on a recycled
+// idleNode instead of a fresh closure per grant.
 func (s *Server) armIdleCheck(size int) {
-	var check func()
-	check = func() {
-		if s.destroyed {
-			return
-		}
-		idle := s.owned - s.busy
-		if policy.ReleaseDecision(idle, size) {
-			if err := s.prov.Release(s.cfg.Name, size); err != nil {
-				panic(fmt.Sprintf("tre: release %d from %s: %v", size, s.cfg.Name, err))
-			}
-			s.owned -= size
-			return
-		}
-		s.engine.Schedule(s.cfg.Params.IdleCheckInterval, check)
+	var n *idleNode
+	if k := len(s.idleFree); k > 0 {
+		n = s.idleFree[k-1]
+		s.idleFree = s.idleFree[:k-1]
+	} else {
+		n = &idleNode{s: s}
+		n.fn = n.run
 	}
-	s.engine.Schedule(s.cfg.Params.IdleCheckInterval, check)
+	n.size = size
+	s.engine.Schedule(s.cfg.Params.IdleCheckInterval, n.fn)
 }
 
 // Destroy stops the scan loop and releases every node the TRE holds,

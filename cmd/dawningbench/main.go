@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	dawningcloud "repro"
 	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/kernelbench"
@@ -88,19 +89,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	suite := experiments.NewSuite(*seed)
-	suite.Days = *days
-	suite.Workers = *workers
-	if *progress {
-		suite.Events = events.WriterSink(os.Stderr, "dawningbench:")
+	// SubmitRequest treats Seed/Days zero as "unset" (the paper
+	// defaults); an explicit zero would be silently remapped, so reject
+	// it instead of producing misleading artifacts.
+	var zeroed []string
+	flag.Visit(func(f *flag.Flag) {
+		if (f.Name == "seed" && *seed == 0) || (f.Name == "days" && *days == 0) {
+			zeroed = append(zeroed, "-"+f.Name)
+		}
+	})
+	if len(zeroed) > 0 {
+		fmt.Fprintf(os.Stderr, "dawningbench: %s must be non-zero (zero means the paper default)\n",
+			strings.Join(zeroed, ", "))
+		os.Exit(2)
 	}
 
-	artifacts, err := collect(ctx, suite, *experiment)
+	// The evaluation runs as one suite request through the asynchronous
+	// lifecycle: "all"/"extensions"/single IDs expand inside the engine
+	// (experiments.ExpandArtifactIDs), and -progress consumes the
+	// handle's event stream through the shared console renderer.
+	h, err := dawningcloud.DefaultEngine().Submit(ctx, dawningcloud.SubmitRequest{
+		Experiments: []string{*experiment},
+		Seed:        *seed,
+		Days:        *days,
+	}, dawningcloud.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dawningbench: %v\n", err)
 		os.Exit(1)
 	}
-	for _, a := range artifacts {
+	var stopProgress func()
+	if *progress {
+		stopProgress = h.Subscribe(events.Console(os.Stderr, "dawningbench:"))
+	}
+	res, err := h.Result(ctx)
+	if stopProgress != nil {
+		// On a finished run this drains the stream to its terminal event,
+		// so progress lines never interleave with the printed artifacts.
+		stopProgress()
+	}
+	if err != nil {
+		h.Cancel() // interrupt: abort in-flight simulations before exiting
+		fmt.Fprintf(os.Stderr, "dawningbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, a := range res.Artifacts {
 		fmt.Printf("== %s ==\n", a.Title)
 		fmt.Printf("%s\n", a.Text)
 		if a.PaperRef != "" {
@@ -116,54 +148,6 @@ func main() {
 	if *outDir != "" {
 		fmt.Printf("artifacts written to %s\n", *outDir)
 	}
-}
-
-func collect(ctx context.Context, suite *experiments.Suite, which string) ([]experiments.Artifact, error) {
-	if which == "all" {
-		return suite.ArtifactsContext(ctx)
-	}
-	if which == "extensions" {
-		var out []experiments.Artifact
-		for _, id := range []string{"ext-scale", "ext-backfill", "ext-provision"} {
-			arts, err := collect(ctx, suite, id)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, arts...)
-		}
-		return out, nil
-	}
-	steps := map[string]func(context.Context) (experiments.Artifact, error){
-		"table1": func(context.Context) (experiments.Artifact, error) { return experiments.Table1(), nil },
-		"fig9":   suite.Figure9,
-		"fig10":  suite.Figure10,
-		"fig11":  suite.Figure11,
-		"table2": suite.Table2,
-		"table3": suite.Table3,
-		"table4": suite.Table4,
-		"fig12":  suite.Figure12,
-		"fig13":  suite.Figure13,
-		"fig14":  suite.Figure14,
-		"tco":    func(context.Context) (experiments.Artifact, error) { return experiments.TCO() },
-		"ext-scale": func(ctx context.Context) (experiments.Artifact, error) {
-			return suite.ScaleArtifact(ctx, 5)
-		},
-		"ext-backfill": func(ctx context.Context) (experiments.Artifact, error) {
-			return suite.AblationBackfill(ctx, experiments.NASAProvider)
-		},
-		"ext-provision": func(ctx context.Context) (experiments.Artifact, error) {
-			return suite.AblationProvision(ctx, experiments.NASAProvider, 160)
-		},
-	}
-	step, ok := steps[which]
-	if !ok {
-		return nil, fmt.Errorf("unknown experiment %q", which)
-	}
-	a, err := step(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return []experiments.Artifact{a}, nil
 }
 
 func write(dir string, a experiments.Artifact) error {

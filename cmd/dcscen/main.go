@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	dcscen -scenario paper-baseline [-workers 0] [-out report.txt] [-progress]
+//	dcscen -scenario paper-baseline [-workers 0] [-out report.txt] [-json report.json] [-progress]
 //	dcscen -scenario my-study.json -workers 4
 //	dcscen -list
 //	dcscen -dump scale-10 > my-study.json
+//
+// -json writes the structured report (the same object dcserve returns
+// from GET /v1/runs/{id}) as indented JSON, so a served run and a local
+// run are directly diffable.
 //
 // Built-in scenarios: paper-baseline (the paper's evaluation; reproduces
 // Tables 2-4 exactly), scale-10 (ten-provider economies-of-scale curve),
@@ -24,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,12 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ref      = fs.String("scenario", "", "scenario to run: a built-in name or a JSON spec file path")
 		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
 		out      = fs.String("out", "", "also write the report to this file")
+		jsonOut  = fs.String("json", "", "also write the structured report as JSON to this file")
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
 		dump     = fs.String("dump", "", "print a built-in scenario's JSON spec and exit")
 		progress = fs.Bool("progress", false, "stream cell/run progress events to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: dcscen -scenario name|file.json [-workers N] [-out report.txt] [-progress]\n")
+		fmt.Fprintf(stderr, "usage: dcscen -scenario name|file.json [-workers N] [-out report.txt] [-json report.json] [-progress]\n")
 		fmt.Fprintf(stderr, "       dcscen -list | -dump name\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, "\nbuilt-in scenarios: %s\n", strings.Join(dawningcloud.ScenarioNames(), ", "))
@@ -92,23 +98,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dcscen: %v\n", err)
 		return 1
 	}
-	var sink func(dawningcloud.Event)
-	if *progress {
-		write := events.WriterSink(stderr, "dcscen:")
-		sink = func(ev dawningcloud.Event) {
-			if _, ok := ev.(dawningcloud.RunStartedEvent); ok {
-				return // cell completions carry the useful signal
-			}
-			write(ev)
-		}
-	}
-	report, err := dawningcloud.RunScenarioContext(ctx, spec, *workers, sink)
+
+	// The study runs through the asynchronous lifecycle: Submit returns a
+	// handle whose event stream feeds the shared console renderer (cell
+	// completions carry the useful signal, so RunStarted is filtered),
+	// and Result waits under the signal-aware context.
+	h, err := dawningcloud.DefaultEngine().Submit(ctx,
+		dawningcloud.SubmitRequest{Scenario: spec}, dawningcloud.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintf(stderr, "dcscen: %v\n", err)
 		return 1
 	}
+	var stopProgress func()
+	if *progress {
+		stopProgress = h.Subscribe(events.Console(stderr, "dcscen:", events.SkipRunStarted()))
+	}
+	res, err := h.Result(ctx)
+	if stopProgress != nil {
+		// On a finished run this drains the stream to its terminal event,
+		// so progress lines never interleave with the printed report.
+		stopProgress()
+	}
+	if err != nil {
+		h.Cancel() // interrupt: abort in-flight simulations before exiting
+		fmt.Fprintf(stderr, "dcscen: %v\n", err)
+		return 1
+	}
+	report := res.Report
 	text := report.Render()
 	fmt.Fprint(stdout, text)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "dcscen: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "dcscen: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "JSON report written to %s\n", *jsonOut)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 			fmt.Fprintf(stderr, "dcscen: %v\n", err)

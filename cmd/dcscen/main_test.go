@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -103,6 +104,43 @@ func TestRunWritesReportFile(t *testing.T) {
 	}
 	if !strings.Contains(out, "report written to") {
 		t.Errorf("stdout missing confirmation:\n%s", out)
+	}
+}
+
+// TestJSONReportWritesStructuredReport: -json writes the structured
+// report (the dcserve wire object) whose fields match the rendered run.
+func TestJSONReportWritesStructuredReport(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "mini.json")
+	jsonPath := filepath.Join(dir, "report.json")
+	src := `{"name":"mini-json","days":1,"systems":["DCS","DawningCloud"],
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-scenario", spec, "-workers", "2", "-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(out, "JSON report written to") {
+		t.Errorf("stdout missing confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Spec struct {
+			Name string `json:"name"`
+		}
+		Systems     []string
+		Simulations int64
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, data)
+	}
+	if report.Spec.Name != "mini-json" || len(report.Systems) != 2 || report.Simulations != 2 {
+		t.Errorf("report content wrong: %+v", report)
 	}
 }
 

@@ -1,0 +1,115 @@
+// Command dcserve runs the simulator as an HTTP service: remote callers
+// submit system runs, declarative scenarios and paper-evaluation suites,
+// observe them as typed event streams, and fetch structured results —
+// the service-provider view of the simulator itself, multiplexing many
+// tenants' studies over one engine with content-hash dedup, a bounded
+// worker queue with backpressure, and TTL-evicted result caching.
+//
+// Usage:
+//
+//	dcserve [-addr :8377] [-workers 0] [-queue 256] [-ttl 15m]
+//	        [-max-runs 2048] [-grace 15s] [-quiet]
+//
+// API (JSON everywhere; see internal/service/api):
+//
+//	POST   /v1/runs             {"scenario":"paper-baseline"} | {"scenario_spec":{...}}
+//	                            | {"system":"DawningCloud","workload":"nasa"}
+//	                            | {"experiments":["table2","table3"]}
+//	GET    /v1/runs             list runs + service stats
+//	GET    /v1/runs/{id}        status; result when done
+//	GET    /v1/runs/{id}/events NDJSON event stream (SSE with Accept: text/event-stream)
+//	DELETE /v1/runs/{id}        cancel
+//	GET    /v1/scenarios        built-in scenario catalog
+//	GET    /healthz             liveness + dedup/queue counters
+//
+// Identical submissions share one run: the response's "deduped" flag and
+// the /healthz cache-hit counters make the sharing observable. A full
+// queue answers 503 with Retry-After. SIGINT/SIGTERM shut down
+// gracefully: intake stops, in-flight runs are canceled, and the
+// process exits once the workers drain (bounded by -grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dawningcloud "repro"
+	"repro/internal/service/api"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dcserve", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr    = fs.String("addr", ":8377", "listen address")
+		workers = fs.Int("workers", 0, "concurrent run executions (0 = all CPUs)")
+		queue   = fs.Int("queue", 256, "max queued runs before submissions get 503 (backpressure)")
+		ttl     = fs.Duration("ttl", 15*time.Minute, "how long finished runs stay queryable")
+		maxRuns = fs.Int("max-runs", 2048, "run-store cap (oldest finished runs evicted beyond it)")
+		grace   = fs.Duration("grace", 15*time.Second, "shutdown grace period for draining workers")
+		quiet   = fs.Bool("quiet", false, "disable the access/lifecycle log on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	eng := dawningcloud.NewEngine(dawningcloud.WithServiceConfig(dawningcloud.ServiceConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		TTL:        *ttl,
+		MaxRuns:    *maxRuns,
+	}))
+	var apiOpts []api.Option
+	if !*quiet {
+		apiOpts = append(apiOpts, api.WithLog(os.Stderr))
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: api.New(eng, apiOpts...),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dcserve: listening on %s (workers=%d queue=%d ttl=%v)\n",
+		*addr, *workers, *queue, *ttl)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "dcserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: cancel the runs first so open event streams
+	// reach their terminal run_finished line and close, then drain the
+	// HTTP server, all bounded by the grace period.
+	fmt.Fprintf(os.Stderr, "dcserve: shutting down (grace %v)\n", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	code := 0
+	if err := eng.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dcserve: engine shutdown: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "dcserve: http shutdown: %v\n", err)
+		code = 1
+	}
+	<-errc // ListenAndServe returns ErrServerClosed after Shutdown
+	fmt.Fprintln(os.Stderr, "dcserve: bye")
+	return code
+}

@@ -119,11 +119,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dawningcloud.WithSeed(*seed),
 		dawningcloud.WithWorkers(*workers),
 	}
-	if *progress {
-		runOpts = append(runOpts, dawningcloud.WithEvents(events.WriterSink(stderr, "dcsim:")))
-	}
 
 	if *system == "all" {
+		// The multi-system comparison stays on the blocking fan-out; the
+		// shared console renderer consumes its event stream directly.
+		if *progress {
+			runOpts = append(runOpts, dawningcloud.WithEvents(events.Console(stderr, "dcsim:")))
+		}
 		results, err := engine.RunAll(ctx, nil, []dawningcloud.Workload{wl}, runOpts...)
 		if err != nil {
 			fmt.Fprintf(stderr, "dcsim: %v\n", err)
@@ -134,12 +136,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	res, err := engine.Run(ctx, *system, []dawningcloud.Workload{wl}, runOpts...)
+
+	// Single runs go through the asynchronous lifecycle: Submit returns a
+	// handle whose event stream feeds the shared console renderer, and
+	// Result waits under the signal-aware context.
+	h, err := engine.Submit(ctx, dawningcloud.SubmitRequest{
+		System:    *system,
+		Workloads: []dawningcloud.Workload{wl},
+	}, runOpts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "dcsim: %v\n", err)
 		return 1
 	}
-	printResult(stdout, res, wl.Name)
+	var stopProgress func()
+	if *progress {
+		stopProgress = h.Subscribe(events.Console(stderr, "dcsim:"))
+	}
+	res, err := h.Result(ctx)
+	if stopProgress != nil {
+		// On a finished run this drains the stream to its terminal event,
+		// so progress lines never interleave with the printed result.
+		stopProgress()
+	}
+	if err != nil {
+		h.Cancel() // interrupt or timeout: abort the run before exiting
+		fmt.Fprintf(stderr, "dcsim: %v\n", err)
+		return 1
+	}
+	printResult(stdout, res.Result, wl.Name)
 	return 0
 }
 

@@ -11,6 +11,12 @@
 //     new usage models plug in with Engine.Register — no enum or switch
 //     to edit — and become runnable by name from Engine.Run,
 //     `dcsim -system` and scenario spec files;
+//   - the asynchronous run lifecycle: Engine.Submit accepts system
+//     runs, scenario specs and suite requests as one union, dedupes
+//     identical submissions by content hash, and returns a RunHandle
+//     (stable ID, status, typed event stream, Cancel, Result). The
+//     blocking methods are thin wrappers over the same lifecycle, and
+//     cmd/dcserve exposes it over HTTP;
 //   - workload constructors for the paper's three service providers (the
 //     synthetic NASA iPSC and SDSC BLUE traces and the 1,000-task Montage
 //     workflow), plus custom workload building from SWF files or workflow
@@ -19,13 +25,23 @@
 //     paper's evaluation;
 //   - the Section 4.5.5 TCO calculator.
 //
-// Quick start:
+// Quick start — blocking:
 //
 //	wls, _ := dawningcloud.PaperWorkloads(42)
 //	eng := dawningcloud.DefaultEngine()
 //	res, _ := eng.Run(ctx, "DawningCloud", wls,
 //	    dawningcloud.WithOptions(dawningcloud.Options{Horizon: dawningcloud.TwoWeeks}))
 //	fmt.Println(res.TotalNodeHours)
+//
+// The same run, asynchronously — Submit returns a handle immediately;
+// identical submissions dedup onto one run and share its result:
+//
+//	h, _ := eng.Submit(ctx, dawningcloud.SubmitRequest{
+//	    System: "DawningCloud", Workloads: wls,
+//	}, dawningcloud.WithOptions(dawningcloud.Options{Horizon: dawningcloud.TwoWeeks}))
+//	stop := h.Subscribe(func(ev dawningcloud.Event) { log.Println(ev) })
+//	out, err := h.Result(ctx) // out.Result; h.Cancel() aborts mid-run
+//	stop()
 //
 // Extending the registry with a new system:
 //

@@ -3,11 +3,14 @@ package dawningcloud
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/events"
 	"repro/internal/par"
 	"repro/internal/registry"
+	"repro/internal/service"
 	"repro/internal/systems"
 
 	// The shipped registry extension: registers the "ssp-spot" system.
@@ -43,10 +46,17 @@ type (
 
 // Engine runs registered systems by name. It wraps a system registry —
 // DefaultEngine shares the process-wide one; NewEngine snapshots it —
-// and executes runs with per-call functional options for simulation
-// options, worker counts, seeds and event sinks.
+// and executes runs through a shared run service: Submit starts work
+// asynchronously and returns a RunHandle; the blocking methods (Run,
+// RunAll, Sweep) are thin wrappers executing the same lifecycle inline
+// on the caller's goroutine. Per-call functional options configure
+// simulation options, worker counts, seeds and event sinks.
 type Engine struct {
 	reg *registry.Registry
+
+	svcCfg  ServiceConfig
+	svcOnce sync.Once
+	svc     *service.Service
 }
 
 var defaultEngine = &Engine{reg: registry.Default}
@@ -59,8 +69,118 @@ func DefaultEngine() *Engine { return defaultEngine }
 
 // NewEngine returns an engine over an independent snapshot of the
 // default registry: it starts with every currently registered system,
-// and later registrations on either side stay isolated.
-func NewEngine() *Engine { return &Engine{reg: registry.Default.Snapshot()} }
+// and later registrations on either side stay isolated. Options
+// configure the engine's run service (see WithServiceConfig).
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{reg: registry.Default.Snapshot()}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// EngineOption configures a new Engine.
+type EngineOption func(*Engine)
+
+// ServiceConfig tunes the engine's run service: the asynchronous
+// lifecycle behind Submit (and, inline, behind the blocking methods).
+// Zero fields take the documented defaults.
+type ServiceConfig struct {
+	// Workers bounds how many submitted runs execute concurrently
+	// (default: all CPUs). It does not limit the blocking methods,
+	// which execute on their caller's goroutine.
+	Workers int
+	// QueueDepth bounds how many submitted runs may wait for a worker;
+	// a full queue rejects Submit with ErrBusy (default 256).
+	QueueDepth int
+	// TTL evicts finished runs from the store this long after
+	// completion (default 15 minutes; negative keeps them forever).
+	TTL time.Duration
+	// MaxRuns caps the run store, evicting the oldest finished runs
+	// beyond it (default 2048).
+	MaxRuns int
+}
+
+// WithServiceConfig sets the run-service tuning for a new engine.
+// DefaultEngine uses the defaults; dcserve passes its flags through
+// here.
+func WithServiceConfig(cfg ServiceConfig) EngineOption {
+	return func(e *Engine) { e.svcCfg = cfg }
+}
+
+// runService returns the engine's run service, creating it on first
+// use so engines that only ever resolve names own no extra state.
+func (e *Engine) runService() *service.Service {
+	e.svcOnce.Do(func() {
+		e.svc = service.New(service.Config{
+			Workers:    e.svcCfg.Workers,
+			QueueDepth: e.svcCfg.QueueDepth,
+			TTL:        e.svcCfg.TTL,
+			MaxRuns:    e.svcCfg.MaxRuns,
+		})
+	})
+	return e.svc
+}
+
+// Submit starts req asynchronously and returns its handle: a stable run
+// ID, a live status, a replayable event stream, Cancel and Result. The
+// engine deduplicates by content: submissions whose requests hash
+// identically share one run (the handle's Deduped reports joining
+// pre-existing work, and identical specs execute exactly once), and a
+// finished run's result is served from cache until its TTL expires.
+// Backpressure is explicit: a full queue fails fast with ErrBusy.
+//
+// ctx gates admission only; execution runs under the engine's own
+// lifetime and stops via handle.Cancel or Engine.Shutdown. Bound the
+// wait instead: h.Result(ctx) honors the caller's deadline.
+func (e *Engine) Submit(ctx context.Context, req SubmitRequest, opts ...RunOption) (*RunHandle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := newRunConfig(opts)
+	sreq, err := e.buildRequest(req, cfg)
+	if err != nil {
+		return nil, err
+	}
+	run, reused, err := e.runService().Submit(sreq)
+	if err != nil {
+		return nil, fmt.Errorf("dawningcloud: submit: %w", err)
+	}
+	return &RunHandle{run: run, reused: reused, resolve: resolveResult}, nil
+}
+
+// Handle returns the handle of a stored run by ID (previously submitted
+// and not yet evicted).
+func (e *Engine) Handle(id string) (*RunHandle, bool) {
+	run, ok := e.runService().Get(id)
+	if !ok {
+		return nil, false
+	}
+	return &RunHandle{run: run, resolve: resolveResult}, true
+}
+
+// Handles lists the stored runs, newest first: everything submitted
+// (or executed inline by the blocking methods) that has not aged out.
+func (e *Engine) Handles() []*RunHandle {
+	runs := e.runService().Runs()
+	out := make([]*RunHandle, len(runs))
+	for i, r := range runs {
+		out[i] = &RunHandle{run: r, resolve: resolveResult}
+	}
+	return out
+}
+
+// ServiceStats snapshots the run service's counters (submissions,
+// executions, cache hits, dedup joins, queue occupancy).
+func (e *Engine) ServiceStats() ServiceStats { return e.runService().Stats() }
+
+// Shutdown stops accepting submissions, cancels every queued and
+// running submitted run, and waits (bounded by ctx) for the service
+// workers to exit. In-flight blocking calls execute under their own
+// caller's context and are not interrupted.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	return e.runService().Shutdown(ctx)
+}
 
 // Register adds a system under name (case-insensitively unique). The
 // system is immediately runnable via Run, RunAll and Sweep; on the
@@ -111,6 +231,13 @@ func WithSeed(seed int64) RunOption {
 // WithEvents subscribes fn to the run's progress stream (run started /
 // completed, cell completed). fn may be called concurrently from worker
 // goroutines and must be safe for concurrent use.
+//
+// On Submit, fn is attached to the execution itself, so it only
+// observes runs this submission actually starts: a submission that
+// deduplicates onto an already-running or cached identical run
+// delivers nothing to fn. Subscribe on the returned handle instead —
+// handle streams replay history and are shared by every submission of
+// the run.
 func WithEvents(fn func(Event)) RunOption {
 	return func(c *runConfig) { c.sink = events.Sink(fn) }
 }
@@ -128,25 +255,48 @@ func newRunConfig(opts []RunOption) runConfig {
 // unknown names fail with the registry's available-system list.
 // Workloads are treated as read-only; clone first (CloneWorkloads) if
 // the caller mutates them concurrently.
+//
+// Run is a thin blocking wrapper over the Submit lifecycle: the
+// simulation executes inline on the calling goroutine under ctx, the
+// run is recorded in the engine's run store (visible via Handles), and
+// events reach WithEvents sinks synchronously exactly as before. Use
+// Submit for asynchronous execution, dedup/caching and streaming.
 func (e *Engine) Run(ctx context.Context, system string, workloads []Workload, opts ...RunOption) (Result, error) {
 	cfg := newRunConfig(opts)
 	return e.runOne(ctx, system, workloads, cfg, "")
 }
 
-// runOne resolves and executes a single simulation, emitting its
-// start/completion events.
+// runOne resolves and executes a single simulation inline through the
+// run-service lifecycle, emitting its start/completion events
+// synchronously to the configured sink.
 func (e *Engine) runOne(ctx context.Context, system string, workloads []Workload, cfg runConfig, cell string) (Result, error) {
 	runner, canonical, err := e.reg.Resolve(system)
 	if err != nil {
 		return Result{}, fmt.Errorf("dawningcloud: %w", err)
 	}
-	cfg.sink.Emit(events.RunStarted{System: canonical, Providers: len(workloads), Cell: cell})
-	res, err := runner.Run(ctx, workloads, cfg.opts)
-	cfg.sink.Emit(events.RunCompleted{System: canonical, Cell: cell, Err: err, TotalNodeHours: res.TotalNodeHours})
-	if err != nil {
-		return Result{}, fmt.Errorf("dawningcloud: run %s: %w", canonical, err)
+	label := fmt.Sprintf("system %s (%d providers)", canonical, len(workloads))
+	if cell != "" {
+		label += " [" + cell + "]"
 	}
-	return res, nil
+	// Blocking callers own their workloads for the duration of the call
+	// (RunAll and Sweep pre-clone per cell), so no execution-time clone —
+	// exactly the pre-handle behavior.
+	run, err := e.runService().RunInline(ctx, service.Request{
+		Kind:  "system",
+		Label: label,
+		Sink:  cfg.sink,
+		Task:  systemTask(runner, canonical, workloads, cfg.opts, cell, false),
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("dawningcloud: %w", err)
+	}
+	// The inline run is terminal; read its result without re-entering
+	// the caller's (possibly canceled) context.
+	v, err := run.Result(context.Background())
+	if err != nil {
+		return Result{}, err
+	}
+	return v.(Result), nil
 }
 
 // RunAll simulates several systems over the same workloads concurrently,

@@ -1,0 +1,144 @@
+// The service example drives dcserve programmatically: it embeds the
+// same HTTP handler the binary serves (internal/service/api) on an
+// in-process listener, submits the paper-baseline scenario twice over
+// HTTP — showing that identical specs deduplicate onto one run ID and
+// one execution — follows the typed event stream as NDJSON, fetches the
+// structured result, and shuts the engine down gracefully.
+//
+// Run it:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	dawningcloud "repro"
+	"repro/internal/service/api"
+)
+
+func main() {
+	// 1. An engine with an explicitly tuned run service: two concurrent
+	// executions, a small queue (submissions beyond it get 503), and a
+	// one-minute result cache.
+	eng := dawningcloud.NewEngine(dawningcloud.WithServiceConfig(dawningcloud.ServiceConfig{
+		Workers:    2,
+		QueueDepth: 16,
+		TTL:        time.Minute,
+	}))
+
+	// 2. Serve the dcserve API on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: api.New(eng)}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// 3. Submit the paper's evaluation twice. The second submission
+	// carries the same content hash, so it attaches to the first run
+	// instead of executing again.
+	first := submit(base, `{"scenario":"paper-baseline"}`)
+	second := submit(base, `{"scenario":"paper-baseline"}`)
+	fmt.Printf("first:  id=%s deduped=%v\n", first.ID, first.Deduped)
+	fmt.Printf("second: id=%s deduped=%v (same run: %v)\n",
+		second.ID, second.Deduped, first.ID == second.ID)
+
+	// 4. Follow the run's typed event stream (NDJSON; one events.Wire
+	// object per line) until the terminal run_finished line.
+	resp, err := http.Get(base + "/v1/runs/" + first.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+			Text string `json:"text"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("event:", ev.Text)
+	}
+	resp.Body.Close()
+
+	// 5. Fetch the structured result: the scenario report plus its
+	// rendered text.
+	var run struct {
+		Status string `json:"status"`
+		Result struct {
+			Text string `json:"text"`
+		} `json:"result"`
+	}
+	get(base+"/v1/runs/"+first.ID, &run)
+	summary := run.Result.Text
+	if i := strings.Index(summary, "economies of scale"); i >= 0 {
+		summary = summary[i:]
+	}
+	fmt.Printf("status: %s\n%s", run.Status, summary)
+
+	// 6. The dedup is visible in the service counters.
+	var health struct {
+		Stats dawningcloud.ServiceStats `json:"stats"`
+	}
+	get(base+"/healthz", &health)
+	fmt.Printf("stats: submitted=%d executed=%d reused=%d\n",
+		health.Stats.Submitted, health.Stats.Executed,
+		health.Stats.Deduped+health.Stats.CacheHits)
+
+	// 7. Graceful shutdown: stop intake, cancel anything in flight,
+	// drain the workers, then close the HTTP server.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := eng.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shut down cleanly")
+}
+
+type submitAck struct {
+	ID      string `json:"id"`
+	Deduped bool   `json:"deduped"`
+}
+
+func submit(base, body string) submitAck {
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack submitAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		log.Fatal(err)
+	}
+	if ack.ID == "" {
+		log.Fatalf("submission rejected (%s)", resp.Status)
+	}
+	return ack
+}
+
+func get(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

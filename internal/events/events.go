@@ -22,8 +22,13 @@ type Event interface {
 }
 
 // Sink consumes events. Sinks may be invoked concurrently from worker
-// goroutines and must be safe for concurrent use; a nil Sink discards
-// everything (see Emit).
+// goroutines and must be safe for concurrent use.
+//
+// A nil Sink — including events.Sink(nil) and the conversion of a nil
+// func(Event) — is explicitly a valid no-op sink: emitting through it
+// discards the event (see Emit). Producers therefore never need a nil
+// check, and callers may pass nil wherever a Sink is accepted (e.g.
+// RunScenarioContext's fn parameter) to run unobserved.
 type Sink func(Event)
 
 // Emit sends ev to the sink; a nil sink drops it. Emit exists so
@@ -34,15 +39,50 @@ func (s Sink) Emit(ev Event) {
 	}
 }
 
-// WriterSink returns a Sink rendering each event as one prefixed line
-// with seconds elapsed since the sink's creation, serialized by an
-// internal mutex so concurrent emitters never interleave lines. It is
-// the shared progress renderer of the dcsim/dcscen/dawningbench
-// -progress flags.
-func WriterSink(w io.Writer, prefix string) Sink {
+// ConsoleOption tunes the Console renderer.
+type ConsoleOption func(*consoleConfig)
+
+type consoleConfig struct {
+	skip func(Event) bool
+}
+
+// SkipRunStarted drops RunStarted events from the console: multi-cell
+// studies emit one per simulation, and the cell completions carry the
+// useful signal.
+func SkipRunStarted() ConsoleOption {
+	return Skip(func(ev Event) bool {
+		_, ok := ev.(RunStarted)
+		return ok
+	})
+}
+
+// Skip drops every event the predicate matches.
+func Skip(pred func(Event) bool) ConsoleOption {
+	return func(c *consoleConfig) {
+		prev := c.skip
+		c.skip = func(ev Event) bool {
+			return (prev != nil && prev(ev)) || pred(ev)
+		}
+	}
+}
+
+// Console returns the shared progress renderer behind every CLI's
+// -progress flag (dcsim, dcscen, dawningbench) and dcserve's access
+// log: each event becomes one prefixed line with seconds elapsed since
+// the sink's creation, serialized by an internal mutex so concurrent
+// emitters never interleave lines. Feed it a RunHandle subscription or
+// pass it as any event sink.
+func Console(w io.Writer, prefix string, opts ...ConsoleOption) Sink {
+	var cfg consoleConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	var mu sync.Mutex
 	start := time.Now()
 	return func(ev Event) {
+		if cfg.skip != nil && cfg.skip(ev) {
+			return
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		fmt.Fprintf(w, "%s %6.2fs %s\n", prefix, time.Since(start).Seconds(), ev)
@@ -108,6 +148,47 @@ func (e CellCompleted) event() {}
 
 func (e CellCompleted) String() string {
 	return fmt.Sprintf("cell %d/%d done: %s", e.Index, e.Total, e.Key)
+}
+
+// RunQueued announces a submission accepted into the run service: the
+// run exists, has its stable ID, and is waiting for (or about to get) a
+// worker slot. It is always the first event on a run's stream.
+type RunQueued struct {
+	// ID is the run's stable identity in the run store.
+	ID string
+	// Label is the submission's human-readable description.
+	Label string
+}
+
+func (e RunQueued) event() {}
+
+func (e RunQueued) String() string {
+	if e.Label != "" {
+		return fmt.Sprintf("run %s queued: %s", e.ID, e.Label)
+	}
+	return fmt.Sprintf("run %s queued", e.ID)
+}
+
+// RunFinished closes a run's stream: the terminal lifecycle status of a
+// stored run ("done", "failed" or "canceled"). It is distinct from
+// RunCompleted, which reports one simulation inside the run; a scenario
+// run emits many RunCompleted events and exactly one RunFinished.
+type RunFinished struct {
+	// ID is the run's stable identity in the run store.
+	ID string
+	// Status is the terminal status string.
+	Status string
+	// Err is non-nil when the run failed or was canceled.
+	Err error
+}
+
+func (e RunFinished) event() {}
+
+func (e RunFinished) String() string {
+	if e.Err != nil {
+		return fmt.Sprintf("run %s %s: %v", e.ID, e.Status, e.Err)
+	}
+	return fmt.Sprintf("run %s %s", e.ID, e.Status)
 }
 
 // TableRendered announces a finished artifact: a table or figure rendered

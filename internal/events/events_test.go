@@ -1,8 +1,10 @@
 package events
 
 import (
+	"encoding/json"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -17,6 +19,9 @@ func TestStringForms(t *testing.T) {
 		{RunCompleted{System: "DCS", Err: errors.New("boom")}, []string{"run failed", "boom"}},
 		{CellCompleted{Index: 2, Total: 7, Key: "DCS|n=2"}, []string{"cell 2/7 done", "DCS|n=2"}},
 		{TableRendered{ID: "table2", Title: "NASA"}, []string{"rendered table2", "NASA"}},
+		{RunQueued{ID: "run-000007", Label: "scenario x"}, []string{"run run-000007 queued", "scenario x"}},
+		{RunFinished{ID: "run-000007", Status: "done"}, []string{"run run-000007 done"}},
+		{RunFinished{ID: "r1", Status: "failed", Err: errors.New("boom")}, []string{"r1 failed", "boom"}},
 	}
 	for _, tc := range cases {
 		got := tc.ev.String()
@@ -28,13 +33,140 @@ func TestStringForms(t *testing.T) {
 	}
 }
 
+// TestNilSinkEmitIsSafe pins the sink contract: a nil Sink — the zero
+// value, Sink(nil), and the conversion of a nil func(Event) — is a
+// valid no-op sink under concurrent emission, not a latent panic.
 func TestNilSinkEmitIsSafe(t *testing.T) {
 	var s Sink
 	s.Emit(RunStarted{System: "x"}) // must not panic
+
+	var fn func(Event)
+	Sink(fn).Emit(RunCompleted{System: "x"}) // nil func conversion: still no-op
+	Sink(nil).Emit(CellCompleted{Index: 1, Total: 1})
+
+	// Concurrent emission through a nil sink is equally a no-op.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Emit(RunStarted{System: "concurrent"})
+			}
+		}()
+	}
+	wg.Wait()
+
 	var got Event
 	s = func(ev Event) { got = ev }
 	s.Emit(TableRendered{ID: "t"})
 	if got == nil {
 		t.Error("sink did not receive the event")
+	}
+}
+
+// TestConsoleRendersAndFilters: the shared console renderer prefixes
+// every line, and SkipRunStarted drops exactly the RunStarted events.
+func TestConsoleRendersAndFilters(t *testing.T) {
+	var buf strings.Builder
+	sink := Console(&buf, "test:")
+	sink(RunStarted{System: "DCS", Providers: 1})
+	sink(RunCompleted{System: "DCS", TotalNodeHours: 3})
+	out := buf.String()
+	if !strings.Contains(out, "test:") || !strings.Contains(out, "run started: DCS") ||
+		!strings.Contains(out, "run completed: DCS") {
+		t.Errorf("console output:\n%s", out)
+	}
+
+	buf.Reset()
+	filtered := Console(&buf, "f:", SkipRunStarted())
+	filtered(RunStarted{System: "DCS"})
+	filtered(CellCompleted{Index: 1, Total: 2, Key: "k"})
+	out = buf.String()
+	if strings.Contains(out, "run started") {
+		t.Errorf("SkipRunStarted leaked a RunStarted line:\n%s", out)
+	}
+	if !strings.Contains(out, "cell 1/2 done") {
+		t.Errorf("filtered console dropped a wanted event:\n%s", out)
+	}
+}
+
+// TestConsoleConcurrentEmitNoInterleave: lines from concurrent emitters
+// never interleave mid-line (run under -race).
+func TestConsoleConcurrentEmitNoInterleave(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	sink := Console(w, "c:")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sink(CellCompleted{Index: j, Total: 50, Key: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "c:") || !strings.Contains(line, "done") {
+			t.Fatalf("interleaved or malformed line: %q", line)
+		}
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestWireEncoding: every event type flattens to a typed wire object
+// whose JSON round-trips, with errors carried as text.
+func TestWireEncoding(t *testing.T) {
+	cases := []struct {
+		ev       Event
+		wantType string
+		check    func(w Wire) bool
+	}{
+		{RunQueued{ID: "r1", Label: "l"}, "run_queued",
+			func(w Wire) bool { return w.RunID == "r1" && w.Label == "l" }},
+		{RunStarted{System: "SSP", Providers: 3, Cell: "n=3"}, "run_started",
+			func(w Wire) bool { return w.System == "SSP" && w.Providers == 3 && w.Cell == "n=3" }},
+		{RunCompleted{System: "DCS", TotalNodeHours: 42}, "run_completed",
+			func(w Wire) bool { return w.System == "DCS" && w.TotalNodeHours == 42 && w.Error == "" }},
+		{RunCompleted{System: "DCS", Err: errors.New("boom")}, "run_completed",
+			func(w Wire) bool { return w.Error == "boom" }},
+		{CellCompleted{Index: 2, Total: 9, Key: "k"}, "cell_completed",
+			func(w Wire) bool { return w.Index == 2 && w.Total == 9 && w.Key == "k" }},
+		{TableRendered{ID: "table2", Title: "T"}, "table_rendered",
+			func(w Wire) bool { return w.ArtifactID == "table2" && w.Title == "T" }},
+		{RunFinished{ID: "r1", Status: "canceled", Err: errors.New("ctx")}, "run_finished",
+			func(w Wire) bool { return w.RunID == "r1" && w.Status == "canceled" && w.Error == "ctx" }},
+	}
+	for _, tc := range cases {
+		w := Encode(tc.ev)
+		if w.Type != tc.wantType {
+			t.Errorf("%T -> type %q, want %q", tc.ev, w.Type, tc.wantType)
+		}
+		if w.Text != tc.ev.String() {
+			t.Errorf("%T wire text %q != String %q", tc.ev, w.Text, tc.ev.String())
+		}
+		if !tc.check(w) {
+			t.Errorf("%T wire fields wrong: %+v", tc.ev, w)
+		}
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Errorf("%T marshal: %v", tc.ev, err)
+		}
+		var back Wire
+		if err := json.Unmarshal(data, &back); err != nil || back != w {
+			t.Errorf("%T wire does not round-trip: %+v vs %+v (%v)", tc.ev, back, w, err)
+		}
 	}
 }

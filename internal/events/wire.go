@@ -1,0 +1,81 @@
+package events
+
+// Wire is the flat JSON form of an Event, the encoding dcserve streams
+// over HTTP (one object per NDJSON line / SSE data field). Type selects
+// which of the optional fields apply; Text always carries the event's
+// rendered String form so minimal clients can log without switching.
+type Wire struct {
+	// Type is the snake_case event name: "run_queued", "run_started",
+	// "run_completed", "cell_completed", "table_rendered",
+	// "run_finished".
+	Type string `json:"type"`
+	// Text is the event's String() rendering.
+	Text string `json:"text"`
+
+	// RunQueued / RunFinished fields.
+	RunID  string `json:"run_id,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Status string `json:"status,omitempty"`
+
+	// RunStarted / RunCompleted fields.
+	System         string  `json:"system,omitempty"`
+	Providers      int     `json:"providers,omitempty"`
+	Cell           string  `json:"cell,omitempty"`
+	TotalNodeHours float64 `json:"total_node_hours,omitempty"`
+
+	// CellCompleted fields.
+	Index int    `json:"index,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Key   string `json:"key,omitempty"`
+
+	// TableRendered fields.
+	ArtifactID string `json:"artifact_id,omitempty"`
+	Title      string `json:"title,omitempty"`
+
+	// Error carries RunCompleted.Err / RunFinished.Err as text (error
+	// values do not survive JSON).
+	Error string `json:"error,omitempty"`
+}
+
+// Encode flattens an event into its wire form.
+func Encode(ev Event) Wire {
+	w := Wire{Text: ev.String()}
+	switch e := ev.(type) {
+	case RunQueued:
+		w.Type = "run_queued"
+		w.RunID = e.ID
+		w.Label = e.Label
+	case RunStarted:
+		w.Type = "run_started"
+		w.System = e.System
+		w.Providers = e.Providers
+		w.Cell = e.Cell
+	case RunCompleted:
+		w.Type = "run_completed"
+		w.System = e.System
+		w.Cell = e.Cell
+		w.TotalNodeHours = e.TotalNodeHours
+		if e.Err != nil {
+			w.Error = e.Err.Error()
+		}
+	case CellCompleted:
+		w.Type = "cell_completed"
+		w.Index = e.Index
+		w.Total = e.Total
+		w.Key = e.Key
+	case TableRendered:
+		w.Type = "table_rendered"
+		w.ArtifactID = e.ID
+		w.Title = e.Title
+	case RunFinished:
+		w.Type = "run_finished"
+		w.RunID = e.ID
+		w.Status = e.Status
+		if e.Err != nil {
+			w.Error = e.Err.Error()
+		}
+	default:
+		w.Type = "event"
+	}
+	return w
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/par"
+)
+
+// paperIDs are the paper's Section 4 artifacts in presentation order —
+// what "all" has always meant (the extension studies are asked for
+// separately).
+var paperIDs = []string{
+	"table1", "fig9", "fig10", "fig11",
+	"table2", "table3", "table4",
+	"fig12", "fig13", "fig14", "tco",
+}
+
+// extensionIDs are the group the "extensions" alias expands to.
+var extensionIDs = []string{"ext-scale", "ext-backfill", "ext-provision"}
+
+// ArtifactIDs lists every addressable artifact in paper order: the
+// vocabulary shared by dawningbench's -experiment flag, the public
+// SubmitRequest.Experiments union arm and dcserve's suite requests.
+func ArtifactIDs() []string {
+	return append(append([]string(nil), paperIDs...), extensionIDs...)
+}
+
+// ExpandArtifactIDs normalizes a requested artifact list: "all" expands
+// to the paper's eleven Section 4 artifacts (its historical meaning),
+// "extensions" to the three extension studies, and unknown IDs fail
+// with the full vocabulary. The result preserves request order with
+// duplicates removed.
+func ExpandArtifactIDs(ids []string) ([]string, error) {
+	known := make(map[string]bool, len(ArtifactIDs()))
+	for _, id := range ArtifactIDs() {
+		known[id] = true
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, raw := range ids {
+		id := strings.ToLower(strings.TrimSpace(raw))
+		switch {
+		case id == "all":
+			for _, a := range paperIDs {
+				add(a)
+			}
+		case id == "extensions":
+			for _, a := range extensionIDs {
+				add(a)
+			}
+		case known[id]:
+			add(id)
+		default:
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: all, extensions, %s)",
+				raw, strings.Join(ArtifactIDs(), ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no artifact IDs requested")
+	}
+	return out, nil
+}
+
+// artifactStep resolves one artifact ID to its producing step.
+func (s *Suite) artifactStep(id string) (func(context.Context) (Artifact, error), bool) {
+	steps := map[string]func(context.Context) (Artifact, error){
+		"table1": func(context.Context) (Artifact, error) { return Table1(), nil },
+		"fig9":   s.Figure9,
+		"fig10":  s.Figure10,
+		"fig11":  s.Figure11,
+		"table2": s.Table2,
+		"table3": s.Table3,
+		"table4": s.Table4,
+		"fig12":  s.Figure12,
+		"fig13":  s.Figure13,
+		"fig14":  s.Figure14,
+		"tco":    func(context.Context) (Artifact, error) { return TCO() },
+		"ext-scale": func(ctx context.Context) (Artifact, error) {
+			return s.ScaleArtifact(ctx, 5)
+		},
+		"ext-backfill": func(ctx context.Context) (Artifact, error) {
+			return s.AblationBackfill(ctx, NASAProvider)
+		},
+		"ext-provision": func(ctx context.Context) (Artifact, error) {
+			return s.AblationProvision(ctx, NASAProvider, 160)
+		},
+	}
+	step, ok := steps[id]
+	return step, ok
+}
+
+// ArtifactByID regenerates one artifact by ID.
+func (s *Suite) ArtifactByID(ctx context.Context, id string) (Artifact, error) {
+	step, ok := s.artifactStep(id)
+	if !ok {
+		return Artifact{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+			id, strings.Join(ArtifactIDs(), ", "))
+	}
+	return step(ctx)
+}
+
+// ArtifactsByID regenerates the requested artifacts ("all" and
+// "extensions" expand; see ExpandArtifactIDs), fanning independent
+// steps out over the suite's worker pool while the suite-wide cache,
+// singleflight and semaphore keep total simulation work deduplicated
+// and bounded. Results come back in request order at any worker count.
+func (s *Suite) ArtifactsByID(ctx context.Context, ids ...string) ([]Artifact, error) {
+	expanded, err := ExpandArtifactIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Artifact, len(expanded))
+	err = par.ForEach(s.workers(), len(expanded), func(i int) error {
+		a, err := s.ArtifactByID(ctx, expanded[i])
+		if err != nil {
+			return err
+		}
+		out[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -9,7 +9,6 @@ package experiments
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/policy"
 	"repro/internal/registry"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/systems"
@@ -54,11 +54,11 @@ const (
 // Suite fixes workloads and options for one reproduction run.
 //
 // A Suite is safe for concurrent use: RunAll, Sweep and Artifacts fan
-// their independent simulations out over a bounded worker pool, results
-// are cached under a lock held only for the map check/fill (never across
-// a simulation), and identical in-flight runs are deduplicated
-// singleflight-style so concurrent callers share one simulation instead
-// of racing to repeat it.
+// their independent simulations out over a bounded worker pool, and the
+// cache/singleflight semantics live in a service.Group — the lock is
+// held only for the map check/fill (never across a simulation), and
+// identical in-flight runs are deduplicated so concurrent callers share
+// one simulation instead of racing to repeat it.
 type Suite struct {
 	// Seed drives all synthetic generation.
 	Seed int64
@@ -80,20 +80,15 @@ type Suite struct {
 	workloads     []systems.Workload
 	workloadsErr  error
 
-	mu       sync.Mutex
-	sem      chan struct{} // bounds concurrent simulations suite-wide
-	results  map[string]systems.Result
-	inflight map[string]*runCall
+	mu  sync.Mutex
+	sem chan struct{} // bounds concurrent simulations suite-wide
+
+	// flight caches each system's result and deduplicates identical
+	// in-flight runs (the generalized singleflight shared with the
+	// scenario engine and the run service).
+	flight service.Group
 
 	simulations atomic.Int64
-}
-
-// runCall is one in-flight Run shared by every concurrent caller asking
-// for the same system.
-type runCall struct {
-	done chan struct{}
-	res  systems.Result
-	err  error
 }
 
 // NewSuite builds a suite with the paper's two-week window.
@@ -210,55 +205,21 @@ func (s *Suite) Run(system string) (systems.Result, error) {
 }
 
 // RunContext simulates one registered system over the consolidated
-// workload, caching the result. The lock guards only the cache
-// check/fill, never a simulation; concurrent callers asking for the same
-// system share one in-flight run instead of repeating it. A caller
-// waiting on another caller's in-flight run retries with its own context
-// if that run is abandoned by cancellation, so one caller's cancelled
-// context never poisons another's result.
+// workload, caching the result. The cache/singleflight semantics come
+// from service.Group: the lock guards only the cache check/fill, never
+// a simulation; concurrent callers asking for the same system share one
+// in-flight run instead of repeating it; and a caller waiting on
+// another caller's in-flight run retries with its own context if that
+// run is abandoned by cancellation, so one caller's cancelled context
+// never poisons another's result.
 func (s *Suite) RunContext(ctx context.Context, system string) (systems.Result, error) {
-	for {
-		s.mu.Lock()
-		if r, ok := s.results[system]; ok {
-			s.mu.Unlock()
-			return r, nil
-		}
-		if c, ok := s.inflight[system]; ok {
-			s.mu.Unlock()
-			select {
-			case <-c.done:
-			case <-ctx.Done():
-				// Honor the waiter's own deadline instead of blocking
-				// behind another caller's simulation.
-				return systems.Result{}, fmt.Errorf("experiments: run %s: %w", system, ctx.Err())
-			}
-			if c.err != nil && context.Cause(ctx) == nil &&
-				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
-				continue // the other caller gave up; run it ourselves
-			}
-			return c.res, c.err
-		}
-		c := &runCall{done: make(chan struct{})}
-		if s.inflight == nil {
-			s.inflight = make(map[string]*runCall)
-		}
-		s.inflight[system] = c
-		s.mu.Unlock()
-
-		c.res, c.err = s.runSystem(ctx, system)
-
-		s.mu.Lock()
-		delete(s.inflight, system)
-		if c.err == nil {
-			if s.results == nil {
-				s.results = make(map[string]systems.Result)
-			}
-			s.results[system] = c.res
-		}
-		s.mu.Unlock()
-		close(c.done)
-		return c.res, c.err
+	v, err := s.flight.Do(ctx, system, func() (any, error) {
+		return s.runSystem(ctx, system)
+	})
+	if err != nil {
+		return systems.Result{}, err
 	}
+	return v.(systems.Result), nil
 }
 
 // runSystem executes one full simulation on a cloned workload set. The

@@ -187,25 +187,8 @@ func (s *Suite) Artifacts() ([]Artifact, error) {
 // steps fan out over the worker pool: the three sweeps proceed while the
 // table and figure steps share the four deduplicated system runs, and the
 // suite-wide semaphore keeps total simulation concurrency bounded.
+// The paper-order artifact list has one home: artifacts.go's paperIDs,
+// which "all" expands to.
 func (s *Suite) ArtifactsContext(ctx context.Context) ([]Artifact, error) {
-	steps := []func(context.Context) (Artifact, error){
-		s.Figure9, s.Figure10, s.Figure11,
-		s.Table2, s.Table3, s.Table4,
-		s.Figure12, s.Figure13, s.Figure14,
-		func(context.Context) (Artifact, error) { return TCO() },
-	}
-	out := make([]Artifact, 1+len(steps))
-	out[0] = Table1()
-	err := par.ForEach(s.workers(), len(steps), func(i int) error {
-		a, err := steps[i](ctx)
-		if err != nil {
-			return err
-		}
-		out[i+1] = a
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return s.ArtifactsByID(ctx, "all")
 }

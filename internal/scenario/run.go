@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/events"
 	"repro/internal/par"
 	"repro/internal/registry"
+	"repro/internal/service"
 	"repro/internal/systems"
 )
 
@@ -59,27 +59,20 @@ func (c cell) key() string {
 }
 
 // engine executes cells with the experiment suite's concurrency
-// semantics: the cache lock is held only for the map check/fill and
-// identical in-flight cells are deduplicated singleflight-style.
-// Simulation concurrency itself is bounded by the par.ForEach pool in
-// Compiled.Run — the engine lives for exactly one Run call, so no
-// additional suite-wide semaphore is needed.
+// semantics, provided by the shared service.Group: the cache lock is
+// held only for the map check/fill and identical in-flight cells are
+// deduplicated singleflight-style. Simulation concurrency itself is
+// bounded by the par.ForEach pool in Compiled.Run — the engine lives
+// for exactly one Run call, so no additional suite-wide semaphore is
+// needed.
 type engine struct {
 	c    *Compiled
 	sink events.Sink
 
-	mu       sync.Mutex
-	results  map[string]systems.Result
-	inflight map[string]*runCall
+	flight service.Group
 
 	simulations atomic.Int64
 	completed   atomic.Int64
-}
-
-type runCall struct {
-	done chan struct{}
-	res  systems.Result
-	err  error
 }
 
 // Run executes every base, scale and grid cell of the compiled scenario.
@@ -93,12 +86,7 @@ func (c *Compiled) RunContext(ctx context.Context, workers int, sink events.Sink
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	eng := &engine{
-		c:        c,
-		sink:     sink,
-		results:  make(map[string]systems.Result),
-		inflight: make(map[string]*runCall),
-	}
+	eng := &engine{c: c, sink: sink}
 	cells := c.cells()
 	results := make([]systems.Result, len(cells))
 	err := par.ForEach(workers, len(cells), func(i int) error {
@@ -150,33 +138,17 @@ func (c *Compiled) cells() []cell {
 	return out
 }
 
-// run executes one cell through the cache/singleflight/semaphore path.
+// run executes one cell through the shared cache/singleflight path:
+// cells describing the same simulation (the scale sweep's full prefix
+// and the base run, say) share one execution and one cached result.
 func (e *engine) run(ctx context.Context, c cell) (systems.Result, error) {
-	key := c.key()
-	e.mu.Lock()
-	if r, ok := e.results[key]; ok {
-		e.mu.Unlock()
-		return r, nil
+	v, err := e.flight.Do(ctx, c.key(), func() (any, error) {
+		return e.simulate(ctx, c)
+	})
+	if err != nil {
+		return systems.Result{}, err
 	}
-	if call, ok := e.inflight[key]; ok {
-		e.mu.Unlock()
-		<-call.done
-		return call.res, call.err
-	}
-	call := &runCall{done: make(chan struct{})}
-	e.inflight[key] = call
-	e.mu.Unlock()
-
-	call.res, call.err = e.simulate(ctx, c)
-
-	e.mu.Lock()
-	delete(e.inflight, key)
-	if call.err == nil {
-		e.results[key] = call.res
-	}
-	e.mu.Unlock()
-	close(call.done)
-	return call.res, call.err
+	return v.(systems.Result), nil
 }
 
 // simulate builds the cell's isolated workload set and runs it through

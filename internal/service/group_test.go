@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupCachesAndDedups(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	release := make(chan struct{})
+	fn := func() (any, error) {
+		calls.Add(1)
+		<-release
+		return "value", nil
+	}
+	const n = 8
+	results := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := g.Do(context.Background(), "k", fn)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the goroutines pile up behind one in-flight call, then release.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (singleflight)", calls.Load())
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Errorf("results[%d] = %v", i, v)
+		}
+	}
+	// Cached now: no new execution.
+	if v, err := g.Do(context.Background(), "k", fn); err != nil || v != "value" {
+		t.Errorf("cached Do = %v, %v", v, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls after cache hit = %d", calls.Load())
+	}
+	if !g.Cached("k") || g.Cached("other") {
+		t.Error("Cached misreports")
+	}
+}
+
+func TestGroupErrorNotCached(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	_, err := g.Do(context.Background(), "e", func() (any, error) {
+		calls.Add(1)
+		return nil, errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	v, err := g.Do(context.Background(), "e", func() (any, error) {
+		calls.Add(1)
+		return "fine", nil
+	})
+	if err != nil || v != "fine" {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2 (errors are not cached)", calls.Load())
+	}
+}
+
+// TestGroupWaiterHonorsOwnContext: a waiter behind a slow execution
+// stops waiting when its own context expires.
+func TestGroupWaiterHonorsOwnContext(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	go g.Do(context.Background(), "slow", func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := g.Do(ctx, "slow", func() (any, error) { return nil, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestGroupRetryOnForeignCancel: when the executing caller abandons the
+// work to its own cancellation, a waiter with a live context retries and
+// runs the work itself instead of inheriting the foreign cancellation.
+func TestGroupRetryOnForeignCancel(t *testing.T) {
+	var g Group
+	execCtx, cancelExec := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	executorDone := make(chan struct{})
+	go func() {
+		defer close(executorDone)
+		g.Do(execCtx, "shared", func() (any, error) {
+			close(started)
+			<-execCtx.Done()
+			return nil, execCtx.Err() // abandoned to cancellation
+		})
+	}()
+	<-started
+
+	waiterResult := make(chan any, 1)
+	go func() {
+		v, err := g.Do(context.Background(), "shared", func() (any, error) {
+			return "retried", nil
+		})
+		if err != nil {
+			t.Errorf("waiter err: %v", err)
+		}
+		waiterResult <- v
+	}()
+	time.Sleep(5 * time.Millisecond) // waiter parks behind the in-flight call
+	cancelExec()
+	<-executorDone
+	select {
+	case v := <-waiterResult:
+		if v != "retried" {
+			t.Errorf("waiter got %v, want its own retry", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never retried after foreign cancellation")
+	}
+}

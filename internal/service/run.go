@@ -1,0 +1,301 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+)
+
+// Run is one stored execution: a stable identity, a lifecycle status, a
+// replayable typed event stream, a cancel switch and an awaitable
+// result. All methods are safe for concurrent use.
+type Run struct {
+	id, key, kind, label string
+	task                 Task
+	sink                 events.Sink
+	svc                  *Service
+	created              time.Time
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// joins counts submissions that attached to this run after the one
+	// that created it (dedup reuses and cache hits).
+	joins atomic.Int64
+
+	memoOnce sync.Once
+	memo     any
+
+	mu       sync.Mutex
+	status   Status
+	started  time.Time
+	finished time.Time
+	events   []events.Event
+	wake     chan struct{} // closed and replaced on every append
+	result   any
+	err      error
+
+	done chan struct{} // closed once terminal
+}
+
+// ID returns the run's stable identity.
+func (r *Run) ID() string { return r.id }
+
+// Key returns the content hash the run deduplicates under ("" for
+// inline runs).
+func (r *Run) Key() string { return r.key }
+
+// Kind returns the request kind ("system", "scenario", "suite").
+func (r *Run) Kind() string { return r.kind }
+
+// Label returns the human-readable description.
+func (r *Run) Label() string { return r.label }
+
+// Status returns the current lifecycle state.
+func (r *Run) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// terminalSince returns the status and, when terminal, the finish time.
+func (r *Run) terminalSince() (Status, time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status, r.finished
+}
+
+// Done returns a channel closed when the run reaches a terminal status.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Joins reports how many submissions attached to this run beyond the
+// one that created it. A positive count means the run's result (and its
+// cancellation) is shared.
+func (r *Run) Joins() int64 { return r.joins.Load() }
+
+// Memo caches a derived view of the terminal result (a wire rendering,
+// say): build runs at most once per run, and every caller shares the
+// value. Call only after Done — the result is immutable then.
+func (r *Run) Memo(build func(result any) any) any {
+	r.memoOnce.Do(func() { r.memo = build(r.result) })
+	return r.memo
+}
+
+// Err returns the terminal error (nil before completion and on success).
+func (r *Run) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Cancel aborts the run: a queued run finishes canceled without
+// executing, a running run's context is canceled (the simulation
+// observes it and returns an error wrapping context.Canceled), and a
+// terminal run is unaffected. Cancel is idempotent and returns without
+// waiting; receive on Done to wait for the abort to land.
+func (r *Run) Cancel() {
+	r.cancel(ErrCanceled)
+	// A queued run has no executing goroutine to notice the canceled
+	// context; finalize it here so waiters are released immediately. The
+	// check-and-finish is atomic (finishIfQueued holds the lock across
+	// both), so a worker that flips the run to Running first wins and
+	// the task's own return records the terminal state instead.
+	r.finishIfQueued(fmt.Errorf("service: run %s canceled while queued: %w", r.id, context.Canceled))
+}
+
+// CancelIfSole cancels the run only when no other submission shares
+// it, atomically with respect to dedup joins; it reports whether the
+// cancellation (or nothing, for terminal runs) applied. See
+// Service.cancelIfSole.
+func (r *Run) CancelIfSole() bool { return r.svc.cancelIfSole(r) }
+
+// Result blocks until the run is terminal (or ctx is done) and returns
+// the task's result and error. The wait is bounded by the caller's ctx
+// only; abandoning the wait does not cancel the run.
+func (r *Run) Result(ctx context.Context) (any, error) {
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.result, r.err
+}
+
+// Info is a JSON-friendly snapshot of a run.
+type Info struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Status Status `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Deduped is filled by callers that track per-submission reuse; the
+	// run itself does not know how many submissions share it.
+	Deduped  bool       `json:"deduped,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Events   int        `json:"events"`
+}
+
+// Snapshot captures the run's current state.
+func (r *Run) Snapshot() Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := Info{
+		ID: r.id, Kind: r.kind, Label: r.label,
+		Status: r.status, Created: r.created, Events: len(r.events),
+	}
+	if r.err != nil {
+		info.Error = r.err.Error()
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		info.Started = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		info.Finished = &t
+	}
+	return info
+}
+
+// Events returns a channel that first replays every event the run has
+// already recorded and then follows live emissions. The channel closes
+// once the run is terminal and every event has been delivered, or when
+// ctx is done. Subscribing to a finished run replays its full history.
+func (r *Run) Events(ctx context.Context) <-chan events.Event {
+	out := make(chan events.Event)
+	go func() {
+		defer close(out)
+		i := 0
+		for {
+			r.mu.Lock()
+			pending := r.events[i:]
+			wake := r.wake
+			terminal := r.status.Terminal()
+			r.mu.Unlock()
+			for _, ev := range pending {
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+			i += len(pending)
+			if terminal {
+				// finish appends its final event before flipping the
+				// status, both under the lock, so a terminal snapshot
+				// with all events delivered is complete.
+				return
+			}
+			select {
+			case <-wake:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// appendEvent records ev in the replay buffer and wakes subscribers.
+// Events arriving after the run turned terminal are dropped (tasks
+// cannot emit after returning; this only guards misuse).
+func (r *Run) appendEvent(ev events.Event) {
+	r.mu.Lock()
+	if r.status.Terminal() {
+		r.mu.Unlock()
+		return
+	}
+	r.events = append(r.events, ev)
+	close(r.wake)
+	r.wake = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// begin moves Queued to Running; false if the run is already terminal
+// (canceled while queued).
+func (r *Run) begin() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusQueued {
+		return false
+	}
+	r.status = StatusRunning
+	r.started = r.svc.cfg.Now()
+	return true
+}
+
+// runTask executes the task with a sink that records into the replay
+// buffer and tees to the request's synchronous sink. A panicking task
+// fails the run instead of killing the worker.
+func (r *Run) runTask() (res any, err error) {
+	r.mu.Lock()
+	task, tee := r.task, r.sink
+	r.mu.Unlock()
+	sink := events.Sink(func(ev events.Event) {
+		r.appendEvent(ev)
+		tee.Emit(ev)
+	})
+	defer func() {
+		if p := recover(); p != nil {
+			// The stack would otherwise be lost to the recover: a
+			// long-lived service has no crashing process to dump it.
+			err = fmt.Errorf("service: run %s panicked: %v\n%s", r.id, p, debug.Stack())
+		}
+	}()
+	return task(r.ctx, sink)
+}
+
+// finish records the terminal state exactly once: result and error, the
+// status (Canceled when the run's own context was canceled, Failed on
+// any other error, Done otherwise), the closing RunFinished event, and
+// the done signal.
+func (r *Run) finish(res any, err error) {
+	r.finishWith(res, err, false)
+}
+
+// finishIfQueued finishes the run only if no worker has begun it: the
+// queued-status check and the terminal transition happen under one
+// lock, so it cannot race begin into finishing an executing task.
+func (r *Run) finishIfQueued(err error) bool {
+	return r.finishWith(nil, err, true)
+}
+
+func (r *Run) finishWith(res any, err error, onlyQueued bool) bool {
+	r.mu.Lock()
+	if r.status.Terminal() || (onlyQueued && r.status != StatusQueued) {
+		r.mu.Unlock()
+		return false
+	}
+	st := StatusDone
+	if err != nil {
+		if r.ctx.Err() != nil {
+			st = StatusCanceled
+		} else {
+			st = StatusFailed
+		}
+	}
+	r.result, r.err = res, err
+	r.status = st
+	r.finished = r.svc.cfg.Now()
+	r.events = append(r.events, events.RunFinished{ID: r.id, Status: st.String(), Err: err})
+	// The task closure captures the submitted workloads (possibly
+	// millions of jobs); the run outlives execution by the TTL, so drop
+	// everything the stored record no longer needs.
+	r.task, r.sink = nil, nil
+	close(r.wake)
+	r.wake = make(chan struct{})
+	r.mu.Unlock()
+	close(r.done)
+	r.cancel(nil) // release the context's resources
+	r.svc.retire(r, st)
+	return true
+}

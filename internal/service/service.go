@@ -1,0 +1,533 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/events"
+)
+
+// Status is a run's lifecycle state.
+type Status int
+
+const (
+	// StatusQueued: accepted and waiting for a worker slot.
+	StatusQueued Status = iota
+	// StatusRunning: executing.
+	StatusRunning
+	// StatusDone: finished successfully; the result is available.
+	StatusDone
+	// StatusFailed: finished with an error other than cancellation.
+	StatusFailed
+	// StatusCanceled: aborted by Cancel or service shutdown.
+	StatusCanceled
+)
+
+// String returns the lowercase wire form ("queued", "running", ...).
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	case StatusFailed:
+		return "failed"
+	case StatusCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the run has finished (successfully or not).
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// MarshalJSON encodes the status as its wire string.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Sentinel errors of the submission path.
+var (
+	// ErrBusy: the queue is full; retry later (backpressure).
+	ErrBusy = errors.New("service: queue full")
+	// ErrShutdown: the service no longer accepts submissions.
+	ErrShutdown = errors.New("service: shutting down")
+	// ErrCanceled is the cancellation cause installed by Run.Cancel.
+	ErrCanceled = errors.New("service: run canceled")
+)
+
+// Task is the unit of work a run executes. It must honor ctx and may
+// publish progress events to sink (never nil) from any goroutine.
+type Task func(ctx context.Context, sink events.Sink) (any, error)
+
+// Request describes one submission.
+type Request struct {
+	// Key is the request's content hash: submissions with equal non-empty
+	// keys describe identical work and deduplicate onto one run. An empty
+	// key disables dedup and caching for this run.
+	Key string
+	// Kind classifies the run for observers ("system", "scenario",
+	// "suite").
+	Kind string
+	// Label is a human-readable description for listings and logs.
+	Label string
+	// Task executes the work.
+	Task Task
+	// Sink, when non-nil, additionally receives the task's events
+	// synchronously from the emitting goroutine (the run's own buffer
+	// always records them). It must be safe for concurrent use.
+	Sink events.Sink
+}
+
+// Config tunes a Service. The zero value takes the documented defaults.
+type Config struct {
+	// Workers bounds how many queued runs execute concurrently
+	// (default: all CPUs). Inline runs execute on their caller's
+	// goroutine and do not occupy a worker.
+	Workers int
+	// QueueDepth bounds how many submitted runs may wait for a worker;
+	// a full queue rejects submissions with ErrBusy (default 256).
+	QueueDepth int
+	// TTL evicts finished runs from the store this long after they
+	// complete (default 15 minutes; negative keeps them forever).
+	TTL time.Duration
+	// MaxRuns caps the store; the oldest finished runs are evicted
+	// beyond it (default 2048).
+	MaxRuns int
+	// BaseContext is the parent of every queued run's context; its
+	// cancellation aborts them all (default context.Background()).
+	BaseContext context.Context
+	// Now is the clock (default time.Now; tests override it to drive
+	// TTL eviction deterministically).
+	Now func() time.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.TTL == 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 2048
+	}
+	if c.BaseContext == nil {
+		c.BaseContext = context.Background()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Stats is a snapshot of the service's counters. Submitted counts every
+// accepted submission; Executed only the distinct tasks actually run, so
+// Submitted - Executed is the work the dedup/cache layer absorbed.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Executed  int64 `json:"executed"`
+	// CacheHits: submissions served by an already-finished identical run.
+	CacheHits int64 `json:"cache_hits"`
+	// Deduped: submissions attached to an identical in-flight run.
+	Deduped int64 `json:"deduped"`
+	Evicted int64 `json:"evicted"`
+
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+
+	// Queued/Running/Stored describe the store right now.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Stored  int `json:"stored"`
+
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Service is the asynchronous run store: submissions become Runs with
+// stable IDs, identical submissions share one execution, queued runs
+// execute on a bounded worker pool, and finished runs age out after the
+// configured TTL.
+type Service struct {
+	cfg        Config
+	base       context.Context
+	baseCancel context.CancelCauseFunc
+	queue      chan *Run
+
+	mu        sync.Mutex
+	runs      map[string]*Run
+	order     []*Run // insertion order, for listing and eviction
+	byKey     map[string]*Run
+	seq       int64
+	closed    bool
+	workersOn bool
+	wg        sync.WaitGroup
+
+	submitted, executed, cacheHits, deduped, evicted int64
+	done, failed, canceled                           int64
+}
+
+// New builds a service. Workers start lazily on the first queued
+// submission, so a service used only for inline runs owns no goroutines.
+func New(cfg Config) *Service {
+	cfg.applyDefaults()
+	base, cancel := context.WithCancelCause(cfg.BaseContext)
+	return &Service{
+		cfg:        cfg,
+		base:       base,
+		baseCancel: cancel,
+		queue:      make(chan *Run, cfg.QueueDepth),
+		runs:       make(map[string]*Run),
+		byKey:      make(map[string]*Run),
+	}
+}
+
+// newRunLocked creates and stores a run record. Caller holds s.mu.
+func (s *Service) newRunLocked(req Request, ctx context.Context, cancel context.CancelCauseFunc) *Run {
+	s.seq++
+	id := fmt.Sprintf("run-%06d", s.seq)
+	if len(req.Key) >= 12 {
+		id = fmt.Sprintf("%s-%06d", req.Key[:12], s.seq)
+	}
+	r := &Run{
+		id:      id,
+		key:     req.Key,
+		kind:    req.Kind,
+		label:   req.Label,
+		task:    req.Task,
+		sink:    req.Sink,
+		svc:     s,
+		created: s.cfg.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  StatusQueued,
+		wake:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.runs[r.id] = r
+	s.order = append(s.order, r)
+	if req.Key != "" {
+		s.byKey[req.Key] = r
+	}
+	return r
+}
+
+// Submit accepts a run for asynchronous execution and returns its
+// handle. reused reports that an identical run (same Key) was already
+// stored — in flight (dedup) or finished (cache hit) — and is being
+// returned instead of a new execution. A full queue fails with ErrBusy;
+// a shut-down service with ErrShutdown.
+func (s *Service) Submit(req Request) (r *Run, reused bool, err error) {
+	if req.Task == nil {
+		return nil, false, fmt.Errorf("service: submit %q: nil task", req.Label)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrShutdown
+	}
+	s.submitted++
+	s.evictLocked()
+	if req.Key != "" {
+		if prev, ok := s.byKey[req.Key]; ok {
+			// Failed and canceled runs are not reusable: the next
+			// identical submission executes afresh.
+			switch prev.Status() {
+			case StatusDone:
+				s.cacheHits++
+				prev.joins.Add(1)
+				s.mu.Unlock()
+				return prev, true, nil
+			case StatusQueued, StatusRunning:
+				s.deduped++
+				prev.joins.Add(1)
+				s.mu.Unlock()
+				return prev, true, nil
+			}
+		}
+	}
+	ctx, cancel := context.WithCancelCause(s.base)
+	r = s.newRunLocked(req, ctx, cancel)
+	// Record RunQueued before the run becomes reachable by any worker:
+	// the stream invariant is "run_queued first, run_finished last", and
+	// appending after the enqueue would race a fast task's RunStarted
+	// (or be dropped entirely by the terminal guard).
+	r.appendEvent(events.RunQueued{ID: r.id, Label: r.label})
+	select {
+	case s.queue <- r:
+	default:
+		s.removeLocked(r)
+		s.submitted-- // rejected, not accepted
+		s.mu.Unlock()
+		cancel(ErrBusy)
+		return nil, false, ErrBusy
+	}
+	s.startWorkersLocked()
+	s.mu.Unlock()
+	return r, false, nil
+}
+
+// RunInline executes req synchronously on the calling goroutine under
+// the caller's own context, recording the run in the store like any
+// other submission. Inline runs never deduplicate and are never served
+// from cache: they exist so blocking callers (Engine.Run and friends)
+// keep their exact pre-handle semantics — same goroutine, same context,
+// events delivered synchronously — while still flowing through the run
+// lifecycle. The returned run is terminal.
+func (s *Service) RunInline(ctx context.Context, req Request) (*Run, error) {
+	if req.Task == nil {
+		return nil, fmt.Errorf("service: run %q: nil task", req.Label)
+	}
+	runCtx, cancel := context.WithCancelCause(ctx)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel(ErrShutdown)
+		return nil, ErrShutdown
+	}
+	s.evictLocked()
+	req.Key = "" // inline runs are not shared
+	r := s.newRunLocked(req, runCtx, cancel)
+	s.mu.Unlock()
+	r.appendEvent(events.RunQueued{ID: r.id, Label: r.label})
+	s.execute(r)
+	return r, nil
+}
+
+// startWorkersLocked launches the worker pool once. Caller holds s.mu.
+func (s *Service) startWorkersLocked() {
+	if s.workersOn {
+		return
+	}
+	s.workersOn = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case r := <-s.queue:
+			s.execute(r)
+		case <-s.base.Done():
+			// Drain: finalize whatever is still queued so waiters are
+			// released, then exit.
+			for {
+				select {
+				case r := <-s.queue:
+					r.finish(nil, fmt.Errorf("service: run %s aborted by shutdown: %w", r.id, context.Cause(s.base)))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// execute moves a run through Running to a terminal status.
+func (s *Service) execute(r *Run) {
+	if !r.begin() {
+		return // canceled while queued
+	}
+	s.mu.Lock()
+	s.executed++
+	s.mu.Unlock()
+	res, err := r.runTask()
+	r.finish(res, err)
+}
+
+// Get returns the stored run with the given ID.
+func (s *Service) Get(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// Runs lists the stored runs, newest first.
+func (s *Service) Runs() []*Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	out := make([]*Run, len(s.order))
+	for i, r := range s.order {
+		out[len(out)-1-i] = r
+	}
+	return out
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Submitted: s.submitted, Executed: s.executed,
+		CacheHits: s.cacheHits, Deduped: s.deduped, Evicted: s.evicted,
+		Done: s.done, Failed: s.failed, Canceled: s.canceled,
+		Stored:  len(s.runs),
+		Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
+	}
+	for _, r := range s.order {
+		switch r.Status() {
+		case StatusQueued:
+			st.Queued++
+		case StatusRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Shutdown stops intake, cancels every queued and running run, and waits
+// (bounded by ctx) for the workers to exit. Inline runs execute under
+// their caller's context and are unaffected. Shutdown is idempotent.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	started := s.workersOn
+	pending := make([]*Run, 0, len(s.order))
+	for _, r := range s.order {
+		if !r.Status().Terminal() {
+			pending = append(pending, r)
+		}
+	}
+	s.mu.Unlock()
+
+	s.baseCancel(ErrShutdown)
+	for _, r := range pending {
+		// Queued runs may sit in the channel with no worker ever
+		// started; release their waiters directly. finishIfQueued is
+		// atomic with begin, so a worker that already started the task
+		// wins and the task finishes itself by observing the canceled
+		// base context.
+		r.finishIfQueued(fmt.Errorf("service: run %s aborted by shutdown: %w", r.id, ErrShutdown))
+	}
+	if !started {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+}
+
+// evictLocked drops finished runs past their TTL and, beyond MaxRuns,
+// the oldest finished runs. Caller holds s.mu.
+func (s *Service) evictLocked() {
+	now := s.cfg.Now()
+	keep := s.order[:0]
+	for _, r := range s.order {
+		drop := false
+		if st, finished := r.terminalSince(); st.Terminal() {
+			if s.cfg.TTL >= 0 && now.Sub(finished) >= s.cfg.TTL {
+				drop = true
+			}
+		}
+		if drop {
+			s.dropLocked(r)
+			continue
+		}
+		keep = append(keep, r)
+	}
+	s.order = keep
+	for len(s.order) > s.cfg.MaxRuns {
+		victim := -1
+		for i, r := range s.order {
+			if r.Status().Terminal() {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break // everything live; the queue bound caps this
+		}
+		r := s.order[victim]
+		s.dropLocked(r)
+		s.order = append(s.order[:victim], s.order[victim+1:]...)
+	}
+}
+
+func (s *Service) dropLocked(r *Run) {
+	delete(s.runs, r.id)
+	if r.key != "" && s.byKey[r.key] == r {
+		delete(s.byKey, r.key)
+	}
+	s.evicted++
+}
+
+// removeLocked undoes newRunLocked for a rejected submission.
+func (s *Service) removeLocked(r *Run) {
+	delete(s.runs, r.id)
+	if r.key != "" && s.byKey[r.key] == r {
+		delete(s.byKey, r.key)
+	}
+	if n := len(s.order); n > 0 && s.order[n-1] == r {
+		s.order = s.order[:n-1]
+	}
+}
+
+// cancelIfSole cancels r only when no other submission shares it,
+// atomically with respect to dedup joins: the join count can only grow
+// through Submit's byKey lookup under s.mu, so checking the count and
+// retiring the key under the same lock guarantees no submission joins
+// between the check and the cancellation. Terminal runs report true
+// (nothing left to cancel). Used by dcserve's DELETE handler.
+func (s *Service) cancelIfSole(r *Run) bool {
+	s.mu.Lock()
+	if r.Status().Terminal() {
+		s.mu.Unlock()
+		return true
+	}
+	if r.joins.Load() > 0 {
+		s.mu.Unlock()
+		return false
+	}
+	if r.key != "" && s.byKey[r.key] == r {
+		delete(s.byKey, r.key)
+	}
+	s.mu.Unlock()
+	r.Cancel()
+	return true
+}
+
+// retire is called by Run.finish to update terminal counters and retire
+// non-reusable keys so the next identical submission executes afresh.
+func (s *Service) retire(r *Run, st Status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch st {
+	case StatusDone:
+		s.done++
+	case StatusFailed:
+		s.failed++
+	case StatusCanceled:
+		s.canceled++
+	}
+	if st != StatusDone && r.key != "" && s.byKey[r.key] == r {
+		delete(s.byKey, r.key)
+	}
+}

@@ -1,0 +1,564 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+)
+
+// blockingTask returns a task that signals started, then blocks until
+// released or its context is canceled.
+func blockingTask(started chan<- struct{}, release <-chan struct{}) Task {
+	return func(ctx context.Context, sink events.Sink) (any, error) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, fmt.Errorf("task aborted: %w", ctx.Err())
+		}
+	}
+}
+
+func constTask(v any) Task {
+	return func(ctx context.Context, sink events.Sink) (any, error) { return v, nil }
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	r, reused, err := s.Submit(Request{Key: "k1", Kind: "test", Label: "one", Task: constTask(42)})
+	if err != nil || reused {
+		t.Fatalf("Submit = reused %v, err %v", reused, err)
+	}
+	v, err := r.Result(context.Background())
+	if err != nil || v != 42 {
+		t.Fatalf("Result = %v, %v", v, err)
+	}
+	if st := r.Status(); st != StatusDone {
+		t.Errorf("status = %v, want done", st)
+	}
+	info := r.Snapshot()
+	if info.Status != StatusDone || info.Started == nil || info.Finished == nil {
+		t.Errorf("snapshot incomplete: %+v", info)
+	}
+}
+
+// TestConcurrentSubmitIdenticalKeyDedups: N concurrent submissions of
+// the same key share one run — one execution, equal IDs, N-1 reuses.
+func TestConcurrentSubmitIdenticalKeyDedups(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Shutdown(context.Background())
+	var executions atomic.Int64
+	release := make(chan struct{})
+	task := func(ctx context.Context, sink events.Sink) (any, error) {
+		executions.Add(1)
+		<-release
+		return "shared", nil
+	}
+
+	const n = 16
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, _, err := s.Submit(Request{Key: "same-key", Task: task})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = r.ID()
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("run IDs diverge: %v", ids)
+		}
+	}
+	r, _ := s.Get(ids[0])
+	if _, err := r.Result(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
+	}
+	st := s.Stats()
+	if st.Submitted != n || st.Executed != 1 || st.Deduped+st.CacheHits != n-1 {
+		t.Errorf("stats = %+v, want %d submitted, 1 executed, %d reused", st, n, n-1)
+	}
+}
+
+// TestCacheHitAfterCompletion: an identical submission after the run
+// finished is served from cache without executing.
+func TestCacheHitAfterCompletion(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	var executions atomic.Int64
+	task := func(ctx context.Context, sink events.Sink) (any, error) {
+		executions.Add(1)
+		return "v", nil
+	}
+	r1, _, err := s.Submit(Request{Key: "cached", Task: task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Result(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r2, reused, err := s.Submit(Request{Key: "cached", Task: task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || r2.ID() != r1.ID() {
+		t.Errorf("reused = %v, id %s vs %s", reused, r2.ID(), r1.ID())
+	}
+	if executions.Load() != 1 {
+		t.Errorf("executions = %d", executions.Load())
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.CacheHits)
+	}
+}
+
+// TestFailedRunNotCached: a failed run's key is retired, so the next
+// identical submission executes afresh.
+func TestFailedRunNotCached(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	var calls atomic.Int64
+	task := func(ctx context.Context, sink events.Sink) (any, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("boom")
+		}
+		return "recovered", nil
+	}
+	r1, _, _ := s.Submit(Request{Key: "flaky", Task: task})
+	if _, err := r1.Result(context.Background()); err == nil {
+		t.Fatal("first run should fail")
+	}
+	if st := r1.Status(); st != StatusFailed {
+		t.Fatalf("status = %v, want failed", st)
+	}
+	r2, reused, _ := s.Submit(Request{Key: "flaky", Task: task})
+	if reused {
+		t.Fatal("failed run was reused")
+	}
+	v, err := r2.Result(context.Background())
+	if err != nil || v != "recovered" {
+		t.Fatalf("second run = %v, %v", v, err)
+	}
+}
+
+// TestCancelMidRunReturnsCtxWrappingError is the handle-lifecycle
+// contract at the service layer: Cancel aborts a running task through
+// its context and the error wraps context.Canceled.
+func TestCancelMidRunReturnsCtxWrappingError(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	started := make(chan struct{}, 1)
+	r, _, err := s.Submit(Request{Key: "victim", Task: blockingTask(started, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	r.Cancel()
+	_, err = r.Result(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if st := r.Status(); st != StatusCanceled {
+		t.Errorf("status = %v, want canceled", st)
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Errorf("stats.Canceled = %d", st.Canceled)
+	}
+}
+
+// TestCancelQueuedRunReleasesImmediately: a run canceled before any
+// worker picks it up finishes canceled without executing.
+func TestCancelQueuedRunReleasesImmediately(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blocker, _, err := s.Submit(Request{Key: "blocker", Task: blockingTask(started, release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now occupied
+	var executed atomic.Bool
+	queued, _, err := s.Submit(Request{Key: "queued", Task: func(ctx context.Context, sink events.Sink) (any, error) {
+		executed.Store(true)
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	if _, err := queued.Result(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	close(release)
+	if _, err := blocker.Result(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a chance to pop the canceled run; it must skip it.
+	time.Sleep(10 * time.Millisecond)
+	if executed.Load() {
+		t.Error("canceled queued run executed anyway")
+	}
+}
+
+// TestBackpressure: a full queue rejects submissions with ErrBusy
+// instead of blocking or growing without bound.
+func TestBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Shutdown(context.Background())
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	if _, _, err := s.Submit(Request{Key: "a", Task: blockingTask(started, release)}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, _, err := s.Submit(Request{Key: "b", Task: blockingTask(nil, release)}); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	_, _, err := s.Submit(Request{Key: "c", Task: blockingTask(nil, release)})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	// The rejected run must not be stored.
+	if st := s.Stats(); st.Stored != 2 {
+		t.Errorf("stored = %d, want 2", st.Stored)
+	}
+}
+
+// TestTTLEviction: finished runs age out of the store after the TTL;
+// live runs never do.
+func TestTTLEviction(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	s := New(Config{Workers: 1, TTL: time.Minute, Now: clock})
+	defer s.Shutdown(context.Background())
+	r, _, err := s.Submit(Request{Key: "ttl", Task: constTask("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Result(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(r.ID()); !ok {
+		t.Fatal("run missing before TTL")
+	}
+	advance(2 * time.Minute)
+	if _, ok := s.Get(r.ID()); ok {
+		t.Error("run survived past its TTL")
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", st.Evicted)
+	}
+	// An identical submission after eviction re-executes (no stale cache).
+	r2, reused, err := s.Submit(Request{Key: "ttl", Task: constTask("y")})
+	if err != nil || reused {
+		t.Fatalf("post-eviction submit reused=%v err=%v", reused, err)
+	}
+	if v, _ := r2.Result(context.Background()); v != "y" {
+		t.Errorf("post-eviction result = %v", v)
+	}
+}
+
+// TestEventsReplayThenLive: a subscriber joining mid-run replays the
+// buffered prefix and then follows live events; the stream closes with
+// RunFinished as its last element.
+func TestEventsReplayThenLive(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	emitted := make(chan struct{})
+	release := make(chan struct{})
+	task := func(ctx context.Context, sink events.Sink) (any, error) {
+		sink.Emit(events.RunStarted{System: "X", Providers: 1})
+		close(emitted)
+		<-release
+		sink.Emit(events.RunCompleted{System: "X", TotalNodeHours: 7})
+		return nil, nil
+	}
+	r, _, err := s.Submit(Request{Key: "stream", Label: "streaming run", Task: task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-emitted // RunQueued + RunStarted are buffered now
+	ch := r.Events(context.Background())
+	got := make(chan []events.Event, 1)
+	go func() {
+		var all []events.Event
+		for ev := range ch {
+			all = append(all, ev)
+		}
+		got <- all
+	}()
+	close(release)
+	all := <-got
+	types := make([]string, len(all))
+	for i, ev := range all {
+		types[i] = fmt.Sprintf("%T", ev)
+	}
+	want := []string{"events.RunQueued", "events.RunStarted", "events.RunCompleted", "events.RunFinished"}
+	if len(all) != len(want) {
+		t.Fatalf("events = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("events[%d] = %s, want %s (all: %v)", i, types[i], want[i], types)
+		}
+	}
+	// A late subscriber to the finished run replays the full history.
+	var replay []events.Event
+	for ev := range r.Events(context.Background()) {
+		replay = append(replay, ev)
+	}
+	if len(replay) != len(want) {
+		t.Errorf("late replay has %d events, want %d", len(replay), len(want))
+	}
+}
+
+// TestRunInlineExecutesSynchronously: inline runs complete before
+// RunInline returns, deliver events synchronously to the request sink,
+// and honor the caller's context.
+func TestRunInlineExecutesSynchronously(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	var order []string
+	sink := events.Sink(func(ev events.Event) {
+		order = append(order, fmt.Sprintf("%T", ev)) // same goroutine: no lock needed
+	})
+	r, err := s.RunInline(context.Background(), Request{
+		Label: "inline",
+		Sink:  sink,
+		Task: func(ctx context.Context, s events.Sink) (any, error) {
+			s.Emit(events.RunStarted{System: "Y"})
+			return "inline-done", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Status(); st != StatusDone {
+		t.Fatalf("status = %v, want done immediately", st)
+	}
+	if len(order) != 1 || order[0] != "events.RunStarted" {
+		t.Errorf("sync sink saw %v", order)
+	}
+	if v, _ := r.Result(context.Background()); v != "inline-done" {
+		t.Errorf("result = %v", v)
+	}
+
+	// Caller's context cancels the inline run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r2, err := s.RunInline(ctx, Request{Task: blockingTask(nil, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.Status(); st != StatusCanceled {
+		t.Errorf("status = %v, want canceled", st)
+	}
+}
+
+// TestTaskPanicFailsRun: a panicking task marks the run failed instead
+// of killing the worker.
+func TestTaskPanicFailsRun(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	r, _, err := s.Submit(Request{Key: "panic", Task: func(ctx context.Context, sink events.Sink) (any, error) {
+		panic("kaboom")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Result(context.Background()); err == nil {
+		t.Fatal("panicking run reported success")
+	}
+	if st := r.Status(); st != StatusFailed {
+		t.Errorf("status = %v, want failed", st)
+	}
+	// The worker survived: the next run executes.
+	r2, _, _ := s.Submit(Request{Key: "after-panic", Task: constTask("alive")})
+	if v, err := r2.Result(context.Background()); err != nil || v != "alive" {
+		t.Fatalf("post-panic run = %v, %v", v, err)
+	}
+}
+
+// TestShutdownCancelsEverything: Shutdown rejects new submissions,
+// cancels queued and running runs, and leaves no worker goroutines.
+func TestShutdownCancelsEverything(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	started := make(chan struct{}, 2)
+	var runs []*Run
+	for i := 0; i < 4; i++ {
+		r, _, err := s.Submit(Request{Key: fmt.Sprintf("sd-%d", i), Task: blockingTask(started, nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	<-started
+	<-started // both workers occupied; two runs queued
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i, r := range runs {
+		select {
+		case <-r.Done():
+		default:
+			t.Fatalf("run %d not terminal after shutdown", i)
+		}
+		if st := r.Status(); st != StatusCanceled {
+			t.Errorf("run %d status = %v, want canceled", i, st)
+		}
+	}
+	if _, _, err := s.Submit(Request{Key: "late", Task: constTask(nil)}); !errors.Is(err, ErrShutdown) {
+		t.Errorf("post-shutdown submit err = %v, want ErrShutdown", err)
+	}
+	// Workers must exit; allow the scheduler a grace period.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
+}
+
+// TestSubmitCancelCyclesLeakNoGoroutines runs many submit/cancel cycles
+// with subscribers attached and requires the goroutine count to return
+// to (near) its baseline: the run store must not leak subscriber or
+// worker goroutines. Run under -race in CI.
+func TestSubmitCancelCyclesLeakNoGoroutines(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4, MaxRuns: 16})
+	defer s.Shutdown(context.Background())
+	// Prime the worker pool so the baseline includes it.
+	r0, _, err := s.Submit(Request{Key: "prime", Task: constTask(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r0.Result(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 100; i++ {
+		started := make(chan struct{}, 1)
+		r, _, err := s.Submit(Request{Key: fmt.Sprintf("cycle-%d", i), Task: blockingTask(started, nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := r.Events(context.Background())
+		<-started
+		r.Cancel()
+		if _, err := r.Result(context.Background()); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cycle %d: err = %v", i, err)
+		}
+		for range ch {
+			// Drain to stream end; the subscriber goroutine exits when
+			// the channel closes at the terminal status.
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d baseline, %d after 100 submit/cancel cycles",
+		before, runtime.NumGoroutine())
+}
+
+// TestMaxRunsEvictsOldestFinished: the store cap drops the oldest
+// finished runs first and never a live one.
+func TestMaxRunsEvictsOldestFinished(t *testing.T) {
+	s := New(Config{Workers: 1, MaxRuns: 2, TTL: -1})
+	defer s.Shutdown(context.Background())
+	var first *Run
+	for i := 0; i < 4; i++ {
+		r, _, err := s.Submit(Request{Key: fmt.Sprintf("m-%d", i), Task: constTask(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = r
+		}
+		if _, err := r.Result(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Stored > 3 {
+		t.Errorf("stored = %d, want <= 3 (cap 2 applied at next submit)", st.Stored)
+	}
+	if _, ok := s.Get(first.ID()); ok {
+		t.Error("oldest finished run survived the cap")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	want := map[Status]string{
+		StatusQueued: "queued", StatusRunning: "running",
+		StatusDone: "done", StatusFailed: "failed", StatusCanceled: "canceled",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), s)
+		}
+		b, err := st.MarshalJSON()
+		if err != nil || string(b) != `"`+s+`"` {
+			t.Errorf("%v.MarshalJSON() = %s, %v", st, b, err)
+		}
+	}
+	if StatusQueued.Terminal() || StatusRunning.Terminal() || !StatusDone.Terminal() ||
+		!StatusFailed.Terminal() || !StatusCanceled.Terminal() {
+		t.Error("Terminal() misclassifies a status")
+	}
+}
+
+func TestHasherFraming(t *testing.T) {
+	a := NewHasher("kind").Str("ab").Str("c").Sum()
+	b := NewHasher("kind").Str("a").Str("bc").Sum()
+	if a == b {
+		t.Error("length framing failed: ab|c == a|bc")
+	}
+	if NewHasher("x").Int(1).Float(2.5).Sum() != NewHasher("x").Int(1).Float(2.5).Sum() {
+		t.Error("hash not deterministic")
+	}
+	if NewHasher("x").Sum() == NewHasher("y").Sum() {
+		t.Error("domain separation failed")
+	}
+}

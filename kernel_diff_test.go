@@ -22,6 +22,11 @@ import (
 // The kernel-level half of the suite (random Cancel/Every/Stop/At
 // interleavings replayed through both kernels) lives in
 // internal/sim/diff_test.go.
+//
+// Each system runs through the asynchronous Submit path (handle +
+// Result), so this golden also pins that the run-service lifecycle is
+// result-transparent: queueing, event buffering and dedup change
+// nothing about what a simulation computes.
 func TestKernelMatchesReferenceGolden(t *testing.T) {
 	data, err := os.ReadFile("testdata/kernel_golden.json")
 	if err != nil {
@@ -47,11 +52,16 @@ func TestKernelMatchesReferenceGolden(t *testing.T) {
 	}
 	sort.Strings(systems)
 	for _, system := range systems {
-		got, err := DefaultEngine().Run(context.Background(), system,
-			CloneWorkloads(wls), WithOptions(opts))
+		h, err := DefaultEngine().Submit(context.Background(),
+			SubmitRequest{System: system, Workloads: CloneWorkloads(wls)}, WithOptions(opts))
 		if err != nil {
 			t.Fatalf("%s: %v", system, err)
 		}
+		res, err := h.Result(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", system, err)
+		}
+		got := res.Result
 		w := want[system]
 		if !reflect.DeepEqual(got, w) {
 			gotJSON, _ := json.MarshalIndent(got, "", "  ")

@@ -63,7 +63,7 @@ func (s System) String() string {
 // registered name; it supports cancellation, events and registered
 // extensions.
 func Run(system System, workloads []Workload, opts Options) (Result, error) {
-	return DefaultEngine().Run(context.Background(), system.String(), workloads, WithOptions(opts))
+	return DefaultEngine().Run(context.Background(), system.String(), workloads, WithOptions(opts)) //dclint:allow ctxfirst -- the deprecated enum signature predates ctx; the shim preserves it
 }
 
 // RunSystems simulates several systems over the same workloads
@@ -83,7 +83,7 @@ func RunSystems(sys []System, workloads []Workload, opts Options, workers int) (
 	for i, s := range sys {
 		names[i] = s.String()
 	}
-	return DefaultEngine().RunAll(context.Background(), names, workloads,
+	return DefaultEngine().RunAll(context.Background(), names, workloads, //dclint:allow ctxfirst -- the deprecated enum signature predates ctx; the shim preserves it
 		WithOptions(opts), WithWorkers(workers))
 }
 

@@ -112,7 +112,7 @@ const (
 // paper's First-Fit HTC dispatch (the scheduler ablation). See
 // RunWithBackfillContext; RunWithBackfill uses the background context.
 func RunWithBackfill(workloads []Workload, opts Options) (Result, error) {
-	return RunWithBackfillContext(context.Background(), workloads, opts)
+	return RunWithBackfillContext(context.Background(), workloads, opts) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over RunWithBackfillContext
 }
 
 // RunWithBackfillContext is RunWithBackfill with cancellation support.

@@ -292,7 +292,7 @@ func (e *Engine) runOne(ctx context.Context, system string, workloads []Workload
 	}
 	// The inline run is terminal; read its result without re-entering
 	// the caller's (possibly canceled) context.
-	v, err := run.Result(context.Background())
+	v, err := run.Result(context.Background()) //dclint:allow ctxfirst -- terminal-result read must not fail on the caller's already-canceled ctx
 	if err != nil {
 		return Result{}, err
 	}

@@ -200,7 +200,7 @@ func (h *RunHandle) Events(ctx context.Context) <-chan Event {
 // goroutine to exit; after the run is terminal, stop returns once every
 // buffered event has been delivered.
 func (h *RunHandle) Subscribe(fn func(Event)) (stop func()) {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //dclint:allow ctxfirst -- subscription lifetime is bounded by the returned stop(), not a caller ctx
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

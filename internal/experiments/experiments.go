@@ -201,7 +201,7 @@ var SystemNames = []string{"DCS", "SSP", "DRP", "DawningCloud"}
 // Run simulates one system over the consolidated three-provider workload,
 // caching the result. See RunContext; Run uses the background context.
 func (s *Suite) Run(system string) (systems.Result, error) {
-	return s.RunContext(context.Background(), system)
+	return s.RunContext(context.Background(), system) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over RunContext
 }
 
 // RunContext simulates one registered system over the consolidated
@@ -256,7 +256,7 @@ func (s *Suite) runSystem(ctx context.Context, system string) (systems.Result, e
 // RunAll simulates the paper's four systems, fanning out over the worker
 // pool. See RunAllContext; RunAll uses the background context.
 func (s *Suite) RunAll() (map[string]systems.Result, error) {
-	return s.RunAllContext(context.Background())
+	return s.RunAllContext(context.Background()) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over RunAllContext
 }
 
 // RunAllContext simulates the paper's four systems concurrently,

@@ -45,7 +45,7 @@ type SweepPoint struct {
 // in isolation, the paper's parameter-tuning methodology. See
 // SweepContext; Sweep uses the background context.
 func (s *Suite) Sweep(provider string, bs []int, rs []float64) ([]SweepPoint, error) {
-	return s.SweepContext(context.Background(), provider, bs, rs)
+	return s.SweepContext(context.Background(), provider, bs, rs) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over SweepContext
 }
 
 // SweepContext runs the B x R grid with cancellation support. Grid points
@@ -180,7 +180,7 @@ func (s *Suite) Figure11(ctx context.Context) (Artifact, error) {
 // Artifacts runs every experiment and returns them in paper order. See
 // ArtifactsContext; Artifacts uses the background context.
 func (s *Suite) Artifacts() ([]Artifact, error) {
-	return s.ArtifactsContext(context.Background())
+	return s.ArtifactsContext(context.Background()) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over ArtifactsContext
 }
 
 // ArtifactsContext runs every experiment with cancellation support. The

@@ -235,7 +235,7 @@ func measure(name string, events int64, api engineAPI) Kernel {
 // churn through both kernels. events is the target executed-event count
 // per kernel (DefaultEvents when <= 0).
 func Run(events int64) Report {
-	r, _ := RunContext(context.Background(), events)
+	r, _ := RunContext(context.Background(), events) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over RunContext
 	return r
 }
 

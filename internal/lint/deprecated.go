@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Deprecated re-implements the CI shell SA1019 gate as an analyzer:
+// any reference to in-repo API whose doc comment carries a
+// "Deprecated:" paragraph fails, everywhere except the compatibility
+// shim itself (compat.go and compat_test.go). The shim keeps the
+// pre-Engine enum API alive for old callers and golden tests; nothing
+// else may grow a new dependency on it.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc: "forbid references to in-repo deprecated API outside " +
+		"compat.go/compat_test.go (replaces the shell SA1019 gate)",
+	Run: runDeprecated,
+}
+
+// compatFile reports whether filename is part of the compatibility
+// shim, the only place allowed to touch deprecated API.
+func compatFile(filename string) bool {
+	base := filepath.Base(filename)
+	return base == "compat.go" || base == "compat_test.go"
+}
+
+// hasDeprecatedDoc reports whether the doc comment carries a
+// "Deprecated:" marker per the godoc convention.
+func hasDeprecatedDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// buildDeprecatedIndex scans every loaded package's syntax for
+// declarations marked "Deprecated:" and returns their object keys
+// (pkgpath.Name, or pkgpath.Recv.Name for methods). Indexing from
+// syntax keeps doc comments in reach; uses are then resolved through
+// the type checker so aliased imports and dot imports cannot hide a
+// reference.
+func buildDeprecatedIndex(pkgs []*Package) map[string]bool {
+	index := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if hasDeprecatedDoc(d.Doc) {
+						index[pkg.Path+"."+funcKey(d)] = true
+					}
+				case *ast.GenDecl:
+					declDeprecated := hasDeprecatedDoc(d.Doc)
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if declDeprecated || hasDeprecatedDoc(s.Doc) {
+								index[pkg.Path+"."+s.Name.Name] = true
+							}
+						case *ast.ValueSpec:
+							if declDeprecated || hasDeprecatedDoc(s.Doc) {
+								for _, name := range s.Names {
+									index[pkg.Path+"."+name.Name] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return index
+}
+
+// funcKey is the index key suffix for a function or method
+// declaration: Name, or RecvType.Name.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// objKeyOf renders a used object as an index key, or "" when the
+// object cannot carry an indexed deprecation: only package-level
+// declarations and methods are indexed, so a struct field or local
+// that happens to share a deprecated name (SubmitRequest.System vs the
+// deprecated type System) never collides.
+func objKeyOf(obj types.Object) string {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return pkg.Path() + "." + named.Obj().Name() + "." + fn.Name()
+			}
+			return ""
+		}
+	}
+	if obj.Parent() != pkg.Scope() {
+		return ""
+	}
+	return pkg.Path() + "." + obj.Name()
+}
+
+func runDeprecated(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if compatFile(filename) {
+			continue
+		}
+		skip := deprecatedDeclRanges(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if skip.contains(id.Pos()) {
+				// A deprecated declaration may reference other
+				// deprecated API (a legacy const of a legacy type);
+				// the declaration is the deprecation, not a use.
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if key := objKeyOf(obj); key != "" && pass.Deprecated[key] {
+				pass.Reportf(id.Pos(),
+					"%s is deprecated (see its doc comment); only the compat shim "+
+						"(compat.go, compat_test.go) may reference deprecated API", key)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type posRanges []struct{ lo, hi ast.Node }
+
+func (rs posRanges) contains(pos token.Pos) bool {
+	for _, r := range rs {
+		if pos >= r.lo.Pos() && pos < r.hi.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// deprecatedDeclRanges collects the source ranges of declarations that
+// are themselves marked deprecated.
+func deprecatedDeclRanges(f *ast.File) posRanges {
+	var rs posRanges
+	add := func(n ast.Node) {
+		rs = append(rs, struct{ lo, hi ast.Node }{n, n})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if hasDeprecatedDoc(d.Doc) {
+				add(d)
+			}
+		case *ast.GenDecl:
+			if hasDeprecatedDoc(d.Doc) {
+				add(d)
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if hasDeprecatedDoc(s.Doc) {
+						add(s)
+					}
+				case *ast.ValueSpec:
+					if hasDeprecatedDoc(s.Doc) {
+						add(s)
+					}
+				}
+			}
+		}
+	}
+	return rs
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand forbids nondeterministic randomness in non-test library
+// code. Every simulated quantity in this reproduction must be
+// replayable from an explicit seed — the goldens (Tables 2–4,
+// kernel_golden.json) pin exact bytes — so the process-global
+// math/rand source (rand.Intn, rand.Float64, rand.Shuffle, ...) is
+// banned, as is seeding any source from the wall clock
+// (rand.NewSource(time.Now().UnixNano())). Construct generators as
+// rand.New(rand.NewSource(seed)) with a seed that arrives through
+// configuration.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand's process-global source and wall-clock seeds " +
+		"in non-test library code; randomness must come from " +
+		"rand.New(rand.NewSource(seed))",
+	Run: runDetrand,
+}
+
+// detrandGlobals are the math/rand (and math/rand/v2) top-level
+// functions that draw from the shared global source. Constructors
+// (New, NewSource, NewZipf, NewPCG, NewChaCha8) and plain types stay
+// allowed.
+var detrandGlobals = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func isRandPkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj, ok := pass.Info.Uses[n]
+				if ok && isRandPkg(obj.Pkg()) && detrandGlobals[obj.Name()] &&
+					obj.Parent() == obj.Pkg().Scope() {
+					pass.Reportf(n.Pos(),
+						"%s.%s draws from the process-global source; use an explicit "+
+							"rand.New(rand.NewSource(seed)) so runs replay deterministically",
+						obj.Pkg().Name(), obj.Name())
+				}
+			case *ast.CallExpr:
+				if fn := calleeOf(pass, n); fn != nil && isRandPkg(fn.Pkg()) &&
+					(fn.Name() == "NewSource" || fn.Name() == "NewPCG") {
+					for _, arg := range n.Args {
+						if pos, found := findWallClockSeed(pass, arg); found {
+							pass.Reportf(pos.Pos(),
+								"rand.%s seeded from the wall clock is nondeterministic; "+
+									"pass a configured seed instead", fn.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeOf resolves the function object a call invokes, or nil when
+// the callee is not a simple (possibly package-qualified) identifier.
+func calleeOf(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// findWallClockSeed reports a time.Now (or time.Since/time.Until) call
+// anywhere inside the seed expression.
+func findWallClockSeed(pass *Pass, expr ast.Expr) (pos ast.Node, found bool) {
+	var hit ast.Node
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || hit != nil {
+			return hit == nil
+		}
+		obj := pass.Info.Uses[id]
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			switch obj.Name() {
+			case "Now", "Since", "Until":
+				hit = n
+				return false
+			}
+		}
+		return true
+	})
+	if hit == nil {
+		return nil, false
+	}
+	return hit, true
+}

@@ -1,0 +1,102 @@
+package lint
+
+// The analysistest-style fixture harness: fixtures live under
+// testdata/src/<path>, and every line that must produce a finding
+// carries a `// want "regexp"` (or backquoted) expectation. A run over
+// a fixture must raise exactly the expected diagnostics — no more, no
+// fewer — so both false negatives and false positives fail the test.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts quoted or backquoted expectation literals after a
+// "// want" marker.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// loadFixturePkgs loads the named fixture directories (paths relative
+// to testdata/src) with a shared loader.
+func loadFixturePkgs(t *testing.T, rels ...string) []*Package {
+	t.Helper()
+	loader := NewLoader()
+	var pkgs []*Package
+	for _, rel := range rels {
+		pkg, err := loader.LoadFixture(filepath.Join("testdata", "src", filepath.FromSlash(rel)), rel)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", rel, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// runFixture runs the analyzers over the fixtures and checks every
+// finding against the // want expectations.
+func runFixture(t *testing.T, analyzers []*Analyzer, rels ...string) {
+	t.Helper()
+	pkgs := loadFixturePkgs(t, rels...)
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// file -> line -> expectations.
+	wants := make(map[string]map[int][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					byLine := wants[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]*expectation)
+						wants[pos.Filename] = byLine
+					}
+					for _, lit := range wantRe.FindAllString(c.Text[idx+len("// want"):], -1) {
+						re, err := regexp.Compile(lit[1 : len(lit)-1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+						}
+						byLine[pos.Line] = append(byLine[pos.Line], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, exp := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q was not reported",
+						file, line, exp.re)
+				}
+			}
+		}
+	}
+}

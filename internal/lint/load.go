@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+// Files holds the package's compiled sources plus its in-package test
+// files; external test packages (package foo_test) load as a separate
+// Package with an ImportPath suffixed "_test".
+type Package struct {
+	Path    string
+	RelPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// A Loader parses and type-checks packages. It compiles dependencies
+// from source via go/importer's "source" compiler, so it works without
+// a network, a populated module cache, or installed export data — the
+// standard library and in-module imports are all resolved from local
+// source. One Loader shares a FileSet and an import cache across every
+// package it loads.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a Loader with a fresh FileSet and import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// goListPackage is the subset of `go list -json` output the loader
+// consumes.
+type goListPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path string }
+}
+
+// LoadPatterns expands the go package patterns (for example "./...")
+// relative to moduleDir with `go list` and loads every matched
+// package. Directory arguments under a testdata tree are loaded as
+// fixture packages instead, so dclint can be pointed straight at
+// analyzer fixtures.
+func (l *Loader) LoadPatterns(moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var listArgs []string
+	var pkgs []*Package
+	for _, pat := range patterns {
+		if dir, ok := fixtureDir(moduleDir, pat); ok {
+			// The fixture's import path is its path below testdata/src,
+			// exactly like analysistest — so path-scoped analyzers
+			// (walltime) see the same RelPath under test as in the
+			// real tree.
+			path := filepath.ToSlash(pat)
+			if i := strings.Index(path, "testdata/src/"); i >= 0 {
+				path = path[i+len("testdata/src/"):]
+			}
+			p, err := l.LoadFixture(dir, strings.TrimSuffix(path, "/"))
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+			continue
+		}
+		listArgs = append(listArgs, pat)
+	}
+	if len(listArgs) == 0 {
+		return pkgs, nil
+	}
+
+	cmd := exec.Command("go", append([]string{"list", "-json"}, listArgs...)...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(listArgs, " "), err, stderr.String())
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var gp goListPackage
+		if err := dec.Decode(&gp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		modPath := ""
+		if gp.Module != nil {
+			modPath = gp.Module.Path
+		}
+		p, err := l.loadListed(gp, modPath, append(gp.GoFiles, gp.TestGoFiles...), gp.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+		if len(gp.XTestGoFiles) > 0 {
+			xp, err := l.loadListed(gp, modPath, gp.XTestGoFiles, gp.ImportPath+"_test")
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xp)
+		}
+	}
+	return pkgs, nil
+}
+
+// fixtureDir reports whether pattern names an on-disk testdata
+// directory (rather than a go list package pattern).
+func fixtureDir(moduleDir, pattern string) (string, bool) {
+	if !strings.Contains(pattern, "testdata") {
+		return "", false
+	}
+	dir := pattern
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(moduleDir, dir)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return "", false
+	}
+	return dir, true
+}
+
+// loadListed parses the named files of one `go list` entry and
+// type-checks them as importPath.
+func (l *Loader) loadListed(gp goListPackage, modPath string, files []string, importPath string) (*Package, error) {
+	var paths []string
+	for _, f := range files {
+		paths = append(paths, filepath.Join(gp.Dir, f))
+	}
+	rel := importPath
+	if modPath != "" {
+		if importPath == modPath || importPath == modPath+"_test" {
+			rel = "."
+		} else {
+			rel = strings.TrimPrefix(importPath, modPath+"/")
+		}
+	}
+	return l.load(gp.Dir, importPath, rel, paths)
+}
+
+// LoadFixture loads a fixture directory as a single package whose
+// import path (and RelPath) is path. Fixtures may import only the
+// standard library.
+func (l *Loader) LoadFixture(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .go files in fixture %s", dir)
+	}
+	sort.Strings(paths)
+	return l.load(dir, path, path, paths)
+}
+
+// load parses files and type-checks them as one package.
+func (l *Loader) load(dir, importPath, relPath string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(l.Fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:    importPath,
+		RelPath: relPath,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags the classic golden-drift bug: Go randomizes map
+// iteration order, so a `range` over a map that feeds an ordered sink
+// produces different bytes on every run. Two shapes are diagnosed in
+// non-test code:
+//
+//   - the loop body appends map keys/values to a slice declared
+//     outside the loop and no statement after the loop sorts that
+//     slice — the slice's order is random;
+//   - the loop body emits directly (fmt.Print*/Fprint*, a
+//     bytes.Buffer/strings.Builder/io.Writer write, a json
+//     Encoder.Encode, or a channel send) — output order is random and
+//     no later sort can repair it.
+//
+// The fix is always the same: collect the keys, sort them, then range
+// over the sorted keys (or sort the collected slice before use).
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag ranging over a map into an ordered sink (slice without " +
+		"a following sort, writer, channel) — map order is random",
+	Run: runMapiter,
+}
+
+func runMapiter(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				mapiterStmts(pass, fd.Body.List)
+			}
+		}
+		// Function literals hang off expressions (assignments, call
+		// arguments, struct fields); their bodies are statement lists
+		// too.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				mapiterStmts(pass, lit.Body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mapiterStmts walks one statement list, diagnosing each map-range it
+// contains with visibility into the statements that follow it (for
+// sort-after-loop detection). It recurses into nested statement lists
+// but not into function literals — runMapiter feeds those separately.
+func mapiterStmts(pass *Pass, list []ast.Stmt) {
+	for i, s := range list {
+		mapiterStmt(pass, s, list[i+1:])
+	}
+}
+
+func mapiterStmt(pass *Pass, s ast.Stmt, rest []ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.RangeStmt:
+		if t := pass.Info.TypeOf(s.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				checkMapRange(pass, s, rest)
+			}
+		}
+		mapiterStmts(pass, s.Body.List)
+	case *ast.BlockStmt:
+		mapiterStmts(pass, s.List)
+	case *ast.IfStmt:
+		mapiterStmts(pass, s.Body.List)
+		if s.Else != nil {
+			mapiterStmt(pass, s.Else, rest)
+		}
+	case *ast.ForStmt:
+		mapiterStmts(pass, s.Body.List)
+	case *ast.SwitchStmt:
+		mapiterStmts(pass, s.Body.List)
+	case *ast.TypeSwitchStmt:
+		mapiterStmts(pass, s.Body.List)
+	case *ast.SelectStmt:
+		mapiterStmts(pass, s.Body.List)
+	case *ast.CaseClause:
+		mapiterStmts(pass, s.Body)
+	case *ast.CommClause:
+		mapiterStmts(pass, s.Body)
+	case *ast.LabeledStmt:
+		mapiterStmt(pass, s.Stmt, rest)
+	}
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately; deferred bodies don't run in loop order
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside a range over a map: map iteration order is "+
+					"random, so receivers observe a random order; range over sorted keys")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					continue
+				}
+				obj := outerTarget(pass, n.Lhs[i], rng)
+				if obj == nil {
+					continue
+				}
+				if !sortedAfter(pass, rest, obj) {
+					pass.Reportf(n.Pos(),
+						"%s is appended to while ranging over a map and never sorted "+
+							"afterwards: its element order is random; sort %s after the "+
+							"loop or range over sorted keys",
+						obj.Name(), obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if sinkMsg := orderedSinkCall(pass, n); sinkMsg != "" {
+				pass.Reportf(n.Pos(),
+					"%s inside a range over a map emits in random order; "+
+						"collect and sort keys, then emit", sinkMsg)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outerTarget resolves the assignment target to an object declared
+// outside the range statement: a local or package-level variable, or a
+// struct field (s.field = append(s.field, ...)). Targets declared
+// inside the loop, and index expressions (m2[k] = append(m2[k], v),
+// which key the output and are order-independent), return nil.
+func outerTarget(pass *Pass, lhs ast.Expr, rng *ast.RangeStmt) types.Object {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(lhs)
+		if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()) {
+			return nil
+		}
+		return obj
+	case *ast.SelectorExpr:
+		return pass.Info.ObjectOf(lhs.Sel)
+	}
+	return nil
+}
+
+// sortedAfter reports whether any statement after the loop sorts obj:
+// a call into package sort or slices (or a local helper whose name
+// starts with "sort") that references obj anywhere in its arguments.
+func sortedAfter(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes sort.*, slices.Sort*, and local sortFoo
+// helpers.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeOf(pass, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return strings.HasPrefix(strings.ToLower(fn.Name()), "sort")
+}
+
+// orderedSinkCall reports a non-empty description when call writes to
+// an ordered sink whose order would become random inside a map range.
+func orderedSinkCall(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeOf(pass, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := fn.Pkg()
+	if pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "fmt." + fn.Name()
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv := pass.Info.TypeOf(sel.X)
+	if recv == nil {
+		return ""
+	}
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	name := typeFullName(recv)
+	switch {
+	case strings.HasPrefix(fn.Name(), "Write") &&
+		(name == "bytes.Buffer" || name == "strings.Builder" || name == "io.Writer"):
+		return name + "." + fn.Name()
+	case fn.Name() == "Encode" && name == "encoding/json.Encoder":
+		return "json.Encoder.Encode"
+	}
+	return ""
+}
+
+// typeFullName renders a named or interface type as pkgpath.Name.
+func typeFullName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

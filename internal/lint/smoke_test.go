@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRootForTest locates the repository root via the go command, so
+// the smoke test is independent of the package's location.
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestSuiteCleanOnRealTree is the gate the CI job re-runs via
+// cmd/dclint: the full analyzer suite over the real module must come
+// back empty. Every intentional exception in the tree carries a
+// //dclint:allow with its reason; anything else is a regression of a
+// determinism or concurrency invariant.
+func TestSuiteCleanOnRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader := NewLoader()
+	pkgs, err := loader.LoadPatterns(moduleRootForTest(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern expansion looks broken", len(pkgs))
+	}
+	diags, err := Run(pkgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// The one suppression mechanism all analyzers honor:
+//
+//	//dclint:allow <analyzer> -- <reason>
+//
+// The directive suppresses findings of exactly that analyzer on its
+// own line (trailing comment) or on the line immediately below (a
+// line of its own above the flagged code). The directive is itself
+// linted: a missing or empty reason, or an unknown analyzer name, is
+// an error attributed to the pseudo-analyzer "dclint" — and those
+// errors are not suppressible.
+
+const directivePrefix = "//dclint:allow"
+
+// directiveErrAnalyzer attributes malformed-directive findings.
+const directiveErrAnalyzer = "dclint"
+
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type directiveSet struct {
+	// byFileLine maps file -> analyzer -> sorted directive lines.
+	byFileLine map[string]map[string][]int
+}
+
+// suppresses reports whether a directive for d's analyzer sits on d's
+// line or the line directly above it.
+func (s directiveSet) suppresses(d Diagnostic) bool {
+	lines := s.byFileLine[d.Pos.Filename][d.Analyzer]
+	for _, l := range lines {
+		if l == d.Pos.Line || l == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans every comment in the load set for
+// //dclint:allow directives, returning the valid ones and a
+// diagnostic for each malformed one.
+func collectDirectives(pkgs []*Package) (directiveSet, []Diagnostic) {
+	set := directiveSet{byFileLine: make(map[string]map[string][]int)}
+	var errs []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d, msg := parseDirective(c.Text)
+					if msg != "" {
+						errs = append(errs, Diagnostic{
+							Pos:      pos,
+							Analyzer: directiveErrAnalyzer,
+							Message:  msg,
+						})
+						continue
+					}
+					byAnalyzer := set.byFileLine[pos.Filename]
+					if byAnalyzer == nil {
+						byAnalyzer = make(map[string][]int)
+						set.byFileLine[pos.Filename] = byAnalyzer
+					}
+					byAnalyzer[d.analyzer] = append(byAnalyzer[d.analyzer], pos.Line)
+				}
+			}
+		}
+	}
+	for _, byAnalyzer := range set.byFileLine {
+		for _, lines := range byAnalyzer {
+			sort.Ints(lines)
+		}
+	}
+	return set, errs
+}
+
+// parseDirective splits "//dclint:allow <analyzer> -- <reason>". On
+// success msg is empty; otherwise msg is the error to report.
+func parseDirective(text string) (directive, string) {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	// The reason ends at a nested comment marker, so analysistest-style
+	// fixtures can append `// want "..."` expectations to a directive
+	// line.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //dclint:allowed — some other word, not our directive.
+		// Treat the unknown spelling as an error rather than silently
+		// ignoring a near-miss of the suppression syntax.
+		return directive{}, "malformed //dclint:allow directive: want //dclint:allow <analyzer> -- <reason>"
+	}
+	name, reason, found := strings.Cut(rest, "--")
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reason)
+	if name == "" {
+		return directive{}, "//dclint:allow is missing an analyzer name: want //dclint:allow <analyzer> -- <reason>"
+	}
+	if strings.ContainsAny(name, " \t") {
+		return directive{}, "//dclint:allow names one analyzer: want //dclint:allow <analyzer> -- <reason>"
+	}
+	if _, ok := ByName(name); !ok {
+		known := make([]string, 0, len(All()))
+		for _, a := range All() {
+			known = append(known, a.Name)
+		}
+		return directive{}, "//dclint:allow names unknown analyzer " +
+			quoted(name) + " (analyzers: " + strings.Join(known, ", ") + ")"
+	}
+	if !found || reason == "" {
+		return directive{}, "//dclint:allow " + name +
+			" has no reason: want //dclint:allow " + name + " -- <reason>"
+	}
+	return directive{analyzer: name}, ""
+}
+
+func quoted(s string) string { return `"` + s + `"` }

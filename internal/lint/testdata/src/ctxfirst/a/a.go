@@ -1,0 +1,32 @@
+// Package a exercises the ctxfirst analyzer: context placement,
+// context struct fields and minted root contexts in library code.
+package a
+
+import "context"
+
+func Good(ctx context.Context, n int) {}
+
+func Bad(n int, ctx context.Context) {} // want `exported Bad takes context\.Context as parameter 2`
+
+type T struct{}
+
+func (T) Method(n int, ctx context.Context) {} // want `exported Method takes context\.Context as parameter 2`
+
+// unexported helpers may order parameters freely.
+func helper(n int, ctx context.Context) {}
+
+type holder struct {
+	ctx context.Context // want `context\.Context stored in a struct field`
+}
+
+func mint() context.Context {
+	return context.Background() // want `context\.Background\(\) minted in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) minted in library code`
+}
+
+func allowed() context.Context {
+	return context.Background() //dclint:allow ctxfirst -- fixture demonstrates the suppression directive
+}

@@ -1,0 +1,9 @@
+// Command mainpkg shows that package main owns the process and may
+// mint root contexts.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

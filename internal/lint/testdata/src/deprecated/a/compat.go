@@ -1,0 +1,5 @@
+package a
+
+// The compat shim (matched by file name) is the one place allowed to
+// keep deprecated API alive.
+func fromCompat() int { return Old() + int(L0) }

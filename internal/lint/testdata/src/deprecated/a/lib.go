@@ -1,0 +1,35 @@
+// Package a exercises the deprecated analyzer: in-repo API marked
+// "Deprecated:" may only be referenced from compat.go/compat_test.go.
+package a
+
+// Old is the legacy entry point.
+//
+// Deprecated: use Current.
+func Old() int { return 1 }
+
+// Current replaced Old.
+func Current() int { return 2 }
+
+// Legacy is the closed legacy enum.
+//
+// Deprecated: use registered names.
+type Legacy int
+
+// The legacy enum values.
+//
+// Deprecated: use registered names.
+const (
+	L0 Legacy = iota
+	L1
+)
+
+// Keeper carries one deprecated and one supported method.
+type Keeper struct{}
+
+// Gone is the legacy accessor.
+//
+// Deprecated: use Kept.
+func (Keeper) Gone() int { return 0 }
+
+// Kept is supported.
+func (Keeper) Kept() int { return 1 }

@@ -1,0 +1,11 @@
+package a
+
+func useFunc() int { return Old() + Current() } // want `deprecated/a\.Old is deprecated`
+
+func useConst() Legacy { return L0 } // want `deprecated/a\.Legacy is deprecated` `deprecated/a\.L0 is deprecated`
+
+func useMethod(k Keeper) int { return k.Gone() + k.Kept() } // want `deprecated/a\.Keeper\.Gone is deprecated`
+
+func allowed() int {
+	return Old() //dclint:allow deprecated -- fixture demonstrates the suppression directive
+}

@@ -1,0 +1,34 @@
+// Package a exercises the detrand analyzer: the process-global
+// math/rand source and wall-clock seeds are forbidden in non-test
+// library code.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() int {
+	rand.Seed(1)                       // want `rand\.Seed draws from the process-global source`
+	x := rand.Intn(10)                 // want `rand\.Intn draws from the process-global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return x
+}
+
+// seeded is the required construction: an explicit generator from an
+// explicit seed. Methods on the local generator are fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Perm(4)
+	_ = r.Float64()
+	return r.Intn(10)
+}
+
+func wallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+func allowed() int {
+	return rand.Intn(3) //dclint:allow detrand -- fixture demonstrates the suppression directive
+}

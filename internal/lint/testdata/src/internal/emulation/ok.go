@@ -1,0 +1,11 @@
+// Package emulation stands in for a real-time layer (fixture import
+// path internal/emulation): it is not simulation-path, so the walltime
+// analyzer leaves it alone.
+package emulation
+
+import "time"
+
+func wallClockIsThePoint() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// Package sim stands in for a simulation-path package (its fixture
+// import path is internal/sim): the walltime analyzer forbids reading
+// the wall clock here, where only the virtual clock may advance.
+package sim
+
+import "time"
+
+func bad() {
+	_ = time.Now()               // want `time\.Now reads the wall clock inside simulation-path package internal/sim`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	<-time.After(0)              // want `time\.After reads the wall clock`
+	_ = time.Since(time.Time{})  // want `time\.Since reads the wall clock`
+	t := time.NewTicker(1)       // want `time\.NewTicker reads the wall clock`
+	t.Stop()
+}
+
+// Durations, duration constants and the time.Time type itself are pure
+// values and stay allowed.
+func ok(d time.Duration, deadline time.Time) time.Duration {
+	return d * 2
+}
+
+func allowed() {
+	time.Sleep(0) //dclint:allow walltime -- fixture demonstrates the suppression directive
+}

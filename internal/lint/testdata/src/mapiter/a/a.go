@@ -1,0 +1,87 @@
+// Package a exercises the mapiter analyzer: ranging over a map into an
+// ordered sink leaks Go's randomized iteration order into output.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+	"sort"
+)
+
+func unsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out is appended to while ranging over a map and never sorted`
+	}
+	return out
+}
+
+// sortedAppend is the canonical fix: collect, then sort.
+func sortedAppend(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// slicesSorted: the slices package counts as sorting too.
+func slicesSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortRows(rows []string) { sort.Strings(rows) }
+
+// helperSorted: a local sort* helper after the loop also counts.
+func helperSorted(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	sortRows(rows)
+	return rows
+}
+
+func emits(m map[string]int, buf *bytes.Buffer, ch chan string) {
+	for k, v := range m {
+		fmt.Println(k, v)  // want `fmt\.Println inside a range over a map emits in random order`
+		buf.WriteString(k) // want `bytes\.Buffer\.WriteString inside a range over a map emits in random order`
+		ch <- k            // want `channel send inside a range over a map`
+	}
+}
+
+// keyed assignment into another map is order-independent.
+func keyed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// innerScoped: appending to a slice declared inside the loop body
+// cannot leak iteration order out of the iteration.
+func innerScoped(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //dclint:allow mapiter -- fixture demonstrates the suppression directive
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Package bad exercises the linting of the suppression directive
+// itself: every malformed //dclint:allow is an error, and those errors
+// are not suppressible.
+package bad
+
+func keep() int { return 1 }
+
+//dclint:allow nosuch -- covering an imaginary analyzer // want `unknown analyzer "nosuch"`
+
+//dclint:allow detrand // want `has no reason`
+
+//dclint:allow detrand -- // want `has no reason`
+
+//dclint:allow -- a reason with no analyzer // want `missing an analyzer name`
+
+//dclint:allow detrand walltime -- two analyzers at once // want `names one analyzer`

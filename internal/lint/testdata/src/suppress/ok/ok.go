@@ -1,0 +1,15 @@
+// Package ok exercises both placements of the suppression directive;
+// every finding below is suppressed, so a run over this fixture must
+// be clean.
+package ok
+
+import "math/rand"
+
+func sameLine() int {
+	return rand.Intn(3) //dclint:allow detrand -- trailing directive on the flagged line
+}
+
+func lineAbove() int {
+	//dclint:allow detrand -- directive on its own line directly above the flagged line
+	return rand.Intn(3)
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Walltime forbids reading the wall clock inside simulation-path
+// packages. Simulated time advances only through the virtual clock of
+// the discrete-event kernel; a stray time.Now() or time.Sleep() in a
+// system model makes results depend on host scheduling and corrupts
+// the byte-pinned goldens. The real-time layers — internal/emulation,
+// internal/service, internal/events, the benches, the commands — and
+// all test files are exempt: they genuinely operate in wall-clock
+// time.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep/After/... in simulation-path " +
+		"packages, where only the virtual clock may advance",
+	Run: runWalltime,
+}
+
+// walltimeProtected lists the module-relative package paths (and their
+// subpackages) where simulated time is the only time.
+var walltimeProtected = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/systems",
+	"internal/sched",
+	"internal/policy",
+	"internal/tre",
+	"internal/spot",
+	"internal/synth",
+	"internal/workflow",
+	"internal/scenario",
+}
+
+// walltimeForbidden are the time package functions that observe or
+// wait on the wall clock. Pure types and constructors of durations
+// (time.Duration, time.Second, ParseDuration) remain allowed.
+var walltimeForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// walltimeApplies reports whether the module-relative package path is
+// simulation-path.
+func walltimeApplies(relPath string) bool {
+	for _, p := range walltimeProtected {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runWalltime(pass *Pass) error {
+	if !walltimeApplies(pass.RelPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if walltimeForbidden[obj.Name()] && obj.Parent() == obj.Pkg().Scope() {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the wall clock inside simulation-path package %s; "+
+						"only the virtual clock may advance simulated time",
+					obj.Name(), pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

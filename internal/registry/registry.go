@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"unicode"
 
 	"repro/internal/core"
 	"repro/internal/systems"
@@ -61,12 +62,23 @@ func New() *Registry {
 // fold is the case-insensitive key for a system name.
 func fold(name string) string { return strings.ToLower(name) }
 
-// Register adds a runner under name. It fails on an empty name, a nil
-// runner, or a name already taken (compared case-insensitively, so "SSP"
-// and "ssp" collide).
+// Register adds a runner under name. It fails on an empty name, a name
+// containing whitespace, a nil runner, or a name already taken
+// (compared case-insensitively, so "SSP" and "ssp" collide).
+//
+// Names must be canonical single tokens at Register time: the folded
+// (lowercase) form is the registry's one lookup key, and it is also the
+// spelling scenario specs, CLI flags and the HTTP API accept. A name
+// that needs trimming or contains spaces would fold to a key nothing
+// can type back in, so it is rejected here rather than silently
+// normalized — the registry and the conventions dclint enforces must
+// agree on what a system is called.
 func (r *Registry) Register(name string, runner Runner) error {
 	if strings.TrimSpace(name) == "" {
 		return fmt.Errorf("registry: empty system name")
+	}
+	if strings.ContainsFunc(name, unicode.IsSpace) {
+		return fmt.Errorf("registry: system name %q contains whitespace; names must be canonical single tokens", name)
 	}
 	if runner == nil {
 		return fmt.Errorf("registry: nil runner for system %q", name)

@@ -126,3 +126,40 @@ func TestDefaultResolvesBuiltinsCaseInsensitively(t *testing.T) {
 		}
 	}
 }
+
+// TestRegisteredNamesAreCanonicalTokens is the drift guard between the
+// registry and the conventions dclint enforces: every name registered
+// in Default (the four paper systems plus self-registered extensions
+// like ssp-spot) must be a canonical single token whose folded
+// lowercase form round-trips through Canonical back to the registered
+// spelling. If a future system registered a name with whitespace or a
+// spelling that folds onto another, scenario specs, CLI flags and the
+// HTTP API would disagree about what the system is called.
+func TestRegisteredNamesAreCanonicalTokens(t *testing.T) {
+	for _, name := range Default.Names() {
+		if name != strings.TrimSpace(name) || strings.ContainsAny(name, " \t\n") {
+			t.Errorf("registered name %q is not a canonical single token", name)
+		}
+		if fold(name) != fold(fold(name)) {
+			t.Errorf("fold(%q) is not idempotent", name)
+		}
+		for _, probe := range []string{name, strings.ToLower(name), strings.ToUpper(name)} {
+			canonical, ok := Default.Canonical(probe)
+			if !ok || canonical != name {
+				t.Errorf("Canonical(%q) = (%q, %v), want (%q, true)", probe, canonical, ok, name)
+			}
+		}
+	}
+}
+
+// TestRegisterRejectsNonCanonicalNames pins the Register-time
+// validation: whitespace anywhere in a name is an error, not a silent
+// normalization.
+func TestRegisterRejectsNonCanonicalNames(t *testing.T) {
+	for _, bad := range []string{" padded", "padded ", "two words", "tab\tname", "line\nname"} {
+		r := New()
+		if err := r.Register(bad, stubRunner(bad)); err == nil {
+			t.Errorf("Register(%q) succeeded, want canonical-name error", bad)
+		}
+	}
+}

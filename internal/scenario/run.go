@@ -18,7 +18,7 @@ import (
 // any worker count. See RunContext; Run uses the background context and
 // no event sink.
 func Run(s *Spec, workers int) (*Report, error) {
-	return RunContext(context.Background(), s, workers, nil)
+	return RunContext(context.Background(), s, workers, nil) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over RunContext
 }
 
 // RunContext compiles and executes the scenario with cancellation
@@ -77,7 +77,7 @@ type engine struct {
 
 // Run executes every base, scale and grid cell of the compiled scenario.
 func (c *Compiled) Run(workers int) (*Report, error) {
-	return c.RunContext(context.Background(), workers, nil)
+	return c.RunContext(context.Background(), workers, nil) //dclint:allow ctxfirst -- documented non-ctx convenience wrapper over RunContext
 }
 
 // RunContext executes every base, scale and grid cell of the compiled

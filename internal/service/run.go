@@ -21,7 +21,7 @@ type Run struct {
 	svc                  *Service
 	created              time.Time
 
-	ctx    context.Context
+	ctx    context.Context //dclint:allow ctxfirst -- the run's execution context by design: runs outlive the submitting call and are canceled via cancel
 	cancel context.CancelCauseFunc
 
 	// joins counts submissions that attached to this run after the one

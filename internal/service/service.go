@@ -105,7 +105,7 @@ type Config struct {
 	MaxRuns int
 	// BaseContext is the parent of every queued run's context; its
 	// cancellation aborts them all (default context.Background()).
-	BaseContext context.Context
+	BaseContext context.Context //dclint:allow ctxfirst -- http.Server-style lifecycle config: the root every run context derives from
 	// Now is the clock (default time.Now; tests override it to drive
 	// TTL eviction deterministically).
 	Now func() time.Time
@@ -125,7 +125,7 @@ func (c *Config) applyDefaults() {
 		c.MaxRuns = 2048
 	}
 	if c.BaseContext == nil {
-		c.BaseContext = context.Background()
+		c.BaseContext = context.Background() //dclint:allow ctxfirst -- default root when the operator configures no BaseContext
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -163,7 +163,7 @@ type Stats struct {
 // configured TTL.
 type Service struct {
 	cfg        Config
-	base       context.Context
+	base       context.Context //dclint:allow ctxfirst -- service-lifetime root derived from Config.BaseContext at construction
 	baseCancel context.CancelCauseFunc
 	queue      chan *Run
 

@@ -172,7 +172,7 @@ func (e *Engine) Run(until Time) {
 // RunContext is Run with cooperative cancellation.
 func (e *Engine) RunContext(ctx context.Context, until Time) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //dclint:allow ctxfirst -- nil-ctx guard: documented to treat nil as no cancellation
 	}
 	if err := ctx.Err(); err != nil {
 		return err

@@ -454,7 +454,7 @@ func (e *Engine) Run(until Time) {
 // returns nil even if the context is cancelled immediately afterwards.
 func (e *Engine) RunContext(ctx context.Context, until Time) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //dclint:allow ctxfirst -- nil-ctx guard: documented to treat nil as no cancellation
 	}
 	if err := ctx.Err(); err != nil {
 		return err

@@ -14,6 +14,7 @@ package tre
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/csf"
 	"repro/internal/job"
@@ -370,11 +371,20 @@ func (s *Server) TasksPerSecond() float64 {
 	return float64(len(s.completions)) / float64(ms)
 }
 
-// RunningEnds snapshots running jobs for backfilling schedulers.
+// RunningEnds snapshots running jobs for backfilling schedulers. The
+// snapshot is sorted (end time, then width): s.running is a map, and
+// leaking its random iteration order would let jobs with tied end
+// times change the backfill shadow window between runs.
 func (s *Server) RunningEnds() []sched.RunningJob {
 	out := make([]sched.RunningJob, 0, len(s.running))
 	for j, end := range s.running {
 		out = append(out, sched.RunningJob{End: end, Nodes: j.Nodes})
 	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].End != out[k].End {
+			return out[i].End < out[k].End
+		}
+		return out[i].Nodes < out[k].Nodes
+	})
 	return out
 }

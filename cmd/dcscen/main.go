@@ -19,9 +19,14 @@
 // Tables 2-4 exactly), scale-10 (ten-provider economies-of-scale curve),
 // scale-100 (one hundred providers consolidated in one run), million-task
 // (a single ≈10⁶-task organization stressing the event loop), blue-heavy,
-// mtc-burst and mixed-federation. A spec's "systems" list
+// mtc-burst, mixed-federation, federation-baseline (the paper's three
+// organizations routed across three shared-clock DawningCloud instances)
+// and consolidation-vs-federation (one platform vs a least-loaded
+// three-instance federation). A spec's "systems" list
 // may name any registered system (including extensions like "ssp-spot");
-// unknown names fail validation with the registry's list. -progress
+// unknown names fail validation with the registry's list. A spec's
+// "federation" block routes providers across N instances of one system
+// behind a shared clock (see internal/clustersim). -progress
 // streams cell-completion events to stderr as the study runs, and an
 // interrupt (Ctrl-C) cancels in-flight simulations.
 package main

@@ -20,7 +20,7 @@ func TestListBuiltins(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
-	for _, name := range []string{"paper-baseline", "scale-10", "scale-100", "million-task", "blue-heavy", "mtc-burst", "mixed-federation"} {
+	for _, name := range []string{"paper-baseline", "scale-10", "scale-100", "million-task", "blue-heavy", "mtc-burst", "mixed-federation", "federation-baseline", "consolidation-vs-federation"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("listing missing %s:\n%s", name, out)
 		}

@@ -237,7 +237,9 @@ func RunScenarioContext(ctx context.Context, s *Scenario, workers int, fn func(E
 
 // ScenarioNames lists the built-in scenarios: paper-baseline (the
 // paper's evaluation, reproducing Tables 2-4 exactly), scale-10,
-// scale-100, million-task, blue-heavy, mtc-burst and mixed-federation.
+// scale-100, million-task, blue-heavy, mtc-burst, mixed-federation,
+// federation-baseline and consolidation-vs-federation (the two
+// shared-clock federation studies; see internal/clustersim).
 func ScenarioNames() []string { return scenario.Names() }
 
 // ScenarioJSON returns a built-in scenario's JSON source, a starting

@@ -1,0 +1,211 @@
+package clustersim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"unicode"
+
+	"repro/internal/cost"
+)
+
+// RoutingPolicy maps each request to a provider instance given a
+// snapshot of every instance's observable state at dispatch time.
+// Implementations may keep per-run state (a ClusterSim instantiates a
+// fresh policy per run) but must be deterministic: the same request and
+// snapshot sequence must yield the same dispatch sequence.
+type RoutingPolicy interface {
+	Route(req Request, snapshot []InstanceState) InstanceID
+}
+
+// PolicyConfig parameterizes a policy instantiation.
+type PolicyConfig struct {
+	// Instances is the federation size.
+	Instances int
+	// Seed is the run seed, for policies with seeded randomness.
+	Seed int64
+}
+
+// PolicyFactory builds a fresh policy instance for one federation run.
+type PolicyFactory func(cfg PolicyConfig) RoutingPolicy
+
+// policyRegistry mirrors internal/registry's naming conventions for
+// routing policies: case-insensitive lookups, canonical single-token
+// names validated at registration.
+type policyRegistry struct {
+	mu        sync.RWMutex
+	factories map[string]PolicyFactory // keyed by folded name
+	folded    map[string]string        // folded name -> canonical spelling
+	order     []string                 // canonical names in registration order
+}
+
+var policies = &policyRegistry{
+	factories: make(map[string]PolicyFactory),
+	folded:    make(map[string]string),
+}
+
+// RegisterPolicy adds a routing policy factory under name. Like
+// registry.Register it fails on an empty name, a name containing
+// whitespace, a nil factory, or a case-insensitive collision with a
+// registered name.
+func RegisterPolicy(name string, factory PolicyFactory) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("clustersim: empty policy name")
+	}
+	if strings.ContainsFunc(name, unicode.IsSpace) {
+		return fmt.Errorf("clustersim: policy name %q contains whitespace; names must be canonical single tokens", name)
+	}
+	if factory == nil {
+		return fmt.Errorf("clustersim: nil factory for policy %q", name)
+	}
+	policies.mu.Lock()
+	defer policies.mu.Unlock()
+	key := strings.ToLower(name)
+	if prev, ok := policies.folded[key]; ok {
+		return fmt.Errorf("clustersim: policy %q already registered (as %q)", name, prev)
+	}
+	policies.factories[key] = factory
+	policies.folded[key] = name
+	policies.order = append(policies.order, name)
+	return nil
+}
+
+// mustRegisterPolicy is RegisterPolicy, panicking on error; for package
+// init-time self-registration.
+func mustRegisterPolicy(name string, factory PolicyFactory) {
+	if err := RegisterPolicy(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// NewPolicy instantiates the named policy (case-insensitive), or fails
+// with an error listing every registered policy.
+func NewPolicy(name string, cfg PolicyConfig) (RoutingPolicy, error) {
+	policies.mu.RLock()
+	defer policies.mu.RUnlock()
+	factory, ok := policies.factories[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("clustersim: unknown routing policy %q (registered: %s)",
+			name, strings.Join(policies.order, ", "))
+	}
+	return factory(cfg), nil
+}
+
+// PolicyNames lists every registered policy's canonical name in
+// registration order (the built-ins come first).
+func PolicyNames() []string {
+	policies.mu.RLock()
+	defer policies.mu.RUnlock()
+	return append([]string(nil), policies.order...)
+}
+
+// HasPolicy reports whether name resolves to a registered policy.
+func HasPolicy(name string) bool {
+	policies.mu.RLock()
+	defer policies.mu.RUnlock()
+	_, ok := policies.factories[strings.ToLower(name)]
+	return ok
+}
+
+// Built-in policy names.
+const (
+	PolicyRoundRobin     = "round-robin"
+	PolicyLeastLoaded    = "least-loaded"
+	PolicyCostAware      = "cost-aware"
+	PolicySpotPriceAware = "spot-price-aware"
+	PolicyPinToOwner     = "pin-to-owner"
+)
+
+func init() {
+	mustRegisterPolicy(PolicyRoundRobin, func(cfg PolicyConfig) RoutingPolicy {
+		return &roundRobin{n: cfg.Instances}
+	})
+	mustRegisterPolicy(PolicyLeastLoaded, func(cfg PolicyConfig) RoutingPolicy {
+		return leastLoaded{}
+	})
+	mustRegisterPolicy(PolicyCostAware, func(cfg PolicyConfig) RoutingPolicy {
+		return costAware{}
+	})
+	mustRegisterPolicy(PolicySpotPriceAware, func(cfg PolicyConfig) RoutingPolicy {
+		return spotPriceAware{}
+	})
+	mustRegisterPolicy(PolicyPinToOwner, func(cfg PolicyConfig) RoutingPolicy {
+		return pinToOwner{}
+	})
+}
+
+// defaultPricePerNodeHour is the instance price when a federation does
+// not set one: the paper's 2009 EC2 on-demand rate, two instances per
+// single-CPU node (see internal/cost's matched fleet).
+func defaultPricePerNodeHour() float64 {
+	return 2 * cost.PaperEC2().PricePerInstanceHour
+}
+
+// roundRobin dispatches request k to instance k mod N, ignoring state —
+// the fairness baseline.
+type roundRobin struct {
+	n    int
+	next int
+}
+
+func (p *roundRobin) Route(req Request, snapshot []InstanceState) InstanceID {
+	id := InstanceID(p.next % p.n)
+	p.next++
+	return id
+}
+
+// leastLoaded dispatches to the instance with the fewest nodes in use at
+// dispatch time; ties go to the lowest InstanceID.
+type leastLoaded struct{}
+
+func (leastLoaded) Route(req Request, snapshot []InstanceState) InstanceID {
+	best := 0
+	for i := 1; i < len(snapshot); i++ {
+		if snapshot[i].NodesInUse < snapshot[best].NodesInUse {
+			best = i
+		}
+	}
+	return snapshot[best].ID
+}
+
+// costAware dispatches to the cheapest instance by on-demand node-hour
+// price; among equally cheap instances it prefers the least loaded, then
+// the lowest InstanceID.
+type costAware struct{}
+
+func (costAware) Route(req Request, snapshot []InstanceState) InstanceID {
+	best := 0
+	for i := 1; i < len(snapshot); i++ {
+		s, b := snapshot[i], snapshot[best]
+		if s.PricePerNodeHour < b.PricePerNodeHour ||
+			(s.PricePerNodeHour == b.PricePerNodeHour && s.NodesInUse < b.NodesInUse) {
+			best = i
+		}
+	}
+	return snapshot[best].ID
+}
+
+// spotPriceAware dispatches to the instance whose spot market is
+// currently cheapest (each instance's seeded PriceWalk advanced to the
+// dispatch hour); ties go to the lowest InstanceID.
+type spotPriceAware struct{}
+
+func (spotPriceAware) Route(req Request, snapshot []InstanceState) InstanceID {
+	best := 0
+	for i := 1; i < len(snapshot); i++ {
+		if snapshot[i].SpotPrice < snapshot[best].SpotPrice {
+			best = i
+		}
+	}
+	return snapshot[best].ID
+}
+
+// pinToOwner is the degenerate no-federation policy: every request goes
+// to its home instance. Federating N providers pinned to N instances
+// reproduces N independent runs exactly, which is the sanity invariant
+// the test suite pins byte-for-byte.
+type pinToOwner struct{}
+
+func (pinToOwner) Route(req Request, snapshot []InstanceState) InstanceID {
+	return req.Owner
+}

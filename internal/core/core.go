@@ -16,7 +16,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/csf"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -58,10 +58,56 @@ func Run(ctx context.Context, workloads []systems.Workload, cfg Config) (systems
 	if capacity == 0 {
 		capacity = defaultPoolCapacity
 	}
-	engine := sim.New()
-	pool, err := cluster.NewPool(capacity)
+	inst, err := Open(capacity, cfg)
 	if err != nil {
 		return systems.Result{}, err
+	}
+	for i := range workloads {
+		if err := inst.Attach(&workloads[i]); err != nil {
+			return systems.Result{}, err
+		}
+	}
+	if err := inst.Engine().RunContext(ctx, horizon); err != nil {
+		return systems.Result{}, fmt.Errorf("core: DawningCloud run aborted: %w", err)
+	}
+	return inst.Finalize(horizon)
+}
+
+// Instance is an open DawningCloud simulation that accepts provider
+// workloads incrementally: Open, Attach each provider while the virtual
+// clock has not passed its first submission, drive the engine
+// (RunContext, or the sim step primitives under a federated orchestrator
+// such as internal/clustersim), then Finalize to settle accounting and
+// assemble the Result.
+type Instance struct {
+	cfg       Config
+	engine    *sim.Engine
+	pool      *nodepool.Pool
+	acct      *metrics.Accountant
+	setup     float64
+	prov      *csf.ProvisionService
+	framework *csf.Framework
+	slots     []coreSlot
+	seen      map[string]bool
+}
+
+type coreSlot struct {
+	wl     *systems.Workload
+	server interface {
+		Submitted() int
+		CompletedBy(sim.Time) int
+		TasksPerSecond() float64
+	}
+}
+
+// Open opens an empty DawningCloud instance over a pool of capacity
+// nodes. Attached workloads must already be valid (the blocking Run
+// validates whole sets up front); capacity must be positive.
+func Open(capacity int, cfg Config) (*Instance, error) {
+	engine := sim.New()
+	pool, err := nodepool.NewPool(capacity)
+	if err != nil {
+		return nil, err
 	}
 	acct := metrics.NewAccountant(engine.Now)
 	setup := cfg.SetupCost
@@ -72,58 +118,74 @@ func Run(ctx context.Context, workloads []systems.Workload, cfg Config) (systems
 	framework := csf.NewFramework(engine, prov)
 	framework.DeployDelay = cfg.DeployDelay
 	framework.StartDelay = cfg.StartDelay
+	return &Instance{
+		cfg:       cfg,
+		engine:    engine,
+		pool:      pool,
+		acct:      acct,
+		setup:     setup,
+		prov:      prov,
+		framework: framework,
+		seen:      make(map[string]bool),
+	}, nil
+}
 
-	type slot struct {
-		wl     *systems.Workload
-		server interface {
-			Submitted() int
-			CompletedBy(sim.Time) int
-			TasksPerSecond() float64
+// Engine exposes the instance's simulation engine so an orchestrator can
+// drive it through the step primitives.
+func (x *Instance) Engine() *sim.Engine { return x.engine }
+
+// PoolLoad snapshots the instance's node pool occupancy.
+func (x *Instance) PoolLoad() (inUse, capacity int) {
+	return x.pool.InUse(), x.pool.Capacity()
+}
+
+// Attach admits one provider workload: its thin runtime environment is
+// created through the CSF lifecycle and its job arrivals are scheduled
+// on the instance clock.
+func (x *Instance) Attach(wl *systems.Workload) error {
+	if x.seen[wl.Name] {
+		return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
+	}
+	switch wl.Class {
+	case job.HTC:
+		srv, err := tre.NewHTCServer(x.engine, x.prov, tre.Config{
+			Name:         wl.Name,
+			Params:       wl.Params,
+			EasyBackfill: x.cfg.EasyBackfill,
+		})
+		if err != nil {
+			return err
 		}
-	}
-	slots := make([]slot, 0, len(workloads))
-
-	for i := range workloads {
-		wl := &workloads[i]
-		switch wl.Class {
-		case job.HTC:
-			srv, err := tre.NewHTCServer(engine, prov, tre.Config{
-				Name:         wl.Name,
-				Params:       wl.Params,
-				EasyBackfill: cfg.EasyBackfill,
-			})
-			if err != nil {
-				return systems.Result{}, err
-			}
-			if err := createAndFeedHTC(engine, framework, srv, wl); err != nil {
-				return systems.Result{}, err
-			}
-			slots = append(slots, slot{wl: wl, server: srv})
-		case job.MTC:
-			srv, err := tre.NewMTCServer(engine, prov, tre.Config{
-				Name:                wl.Name,
-				Params:              wl.Params,
-				DestroyOnCompletion: true,
-			})
-			if err != nil {
-				return systems.Result{}, err
-			}
-			if err := createAndFeedMTC(engine, framework, srv, wl); err != nil {
-				return systems.Result{}, err
-			}
-			slots = append(slots, slot{wl: wl, server: srv})
-		default:
-			return systems.Result{}, fmt.Errorf("core: workload %s: unknown class %v", wl.Name, wl.Class)
+		if err := createAndFeedHTC(x.engine, x.framework, srv, wl); err != nil {
+			return err
 		}
+		x.slots = append(x.slots, coreSlot{wl: wl, server: srv})
+	case job.MTC:
+		srv, err := tre.NewMTCServer(x.engine, x.prov, tre.Config{
+			Name:                wl.Name,
+			Params:              wl.Params,
+			DestroyOnCompletion: true,
+		})
+		if err != nil {
+			return err
+		}
+		if err := createAndFeedMTC(x.engine, x.framework, srv, wl); err != nil {
+			return err
+		}
+		x.slots = append(x.slots, coreSlot{wl: wl, server: srv})
+	default:
+		return fmt.Errorf("core: workload %s: unknown class %v", wl.Name, wl.Class)
 	}
+	x.seen[wl.Name] = true
+	return nil
+}
 
-	if err := engine.RunContext(ctx, horizon); err != nil {
-		return systems.Result{}, fmt.Errorf("core: DawningCloud run aborted: %w", err)
-	}
-	acct.CloseAll(horizon, true)
-
-	aggs := make([]systems.ProviderAgg, 0, len(slots))
-	for _, s := range slots {
+// Finalize settles open leases at horizon and assembles the Result over
+// every attached workload, in attach order.
+func (x *Instance) Finalize(horizon sim.Time) (systems.Result, error) {
+	x.acct.CloseAll(horizon, true)
+	aggs := make([]systems.ProviderAgg, 0, len(x.slots))
+	for _, s := range x.slots {
 		a := systems.ProviderAgg{
 			Name:      s.wl.Name,
 			Class:     s.wl.Class,
@@ -137,7 +199,7 @@ func Run(ctx context.Context, workloads []systems.Workload, cfg Config) (systems
 		}
 		aggs = append(aggs, a)
 	}
-	return systems.BuildResult("DawningCloud", horizon, acct, setup, prov.RejectedRequests(), aggs), nil
+	return systems.BuildResult("DawningCloud", horizon, x.acct, x.setup, x.prov.RejectedRequests(), aggs), nil
 }
 
 // createAndFeedHTC walks the TRE through the CSF lifecycle at the

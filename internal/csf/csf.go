@@ -16,7 +16,7 @@ package csf
 import (
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -94,7 +94,7 @@ func (l *Lifecycle) Destroy() error { return l.transition(Running, Destroyed) }
 // pool capacity, applies the provision policy, and accounts consumption
 // plus adjustment setup costs.
 type ProvisionService struct {
-	pool      *cluster.Pool
+	pool      *nodepool.Pool
 	acct      *metrics.Accountant
 	policy    policy.ProvisionPolicy
 	setupCost float64 // seconds per adjusted node
@@ -105,12 +105,12 @@ type ProvisionService struct {
 // NewProvisionService builds a provision service over a pool, accounting
 // into acct under the given provision policy. setupCost is the per-node
 // adjustment cost in seconds (use DefaultNodeSetupSeconds).
-func NewProvisionService(pool *cluster.Pool, acct *metrics.Accountant, pp policy.ProvisionPolicy, setupCost float64) *ProvisionService {
+func NewProvisionService(pool *nodepool.Pool, acct *metrics.Accountant, pp policy.ProvisionPolicy, setupCost float64) *ProvisionService {
 	return &ProvisionService{pool: pool, acct: acct, policy: pp, setupCost: setupCost}
 }
 
 // Pool exposes the underlying node pool (read-only use expected).
-func (s *ProvisionService) Pool() *cluster.Pool { return s.pool }
+func (s *ProvisionService) Pool() *nodepool.Pool { return s.pool }
 
 // Accountant exposes the consumption ledger.
 func (s *ProvisionService) Accountant() *metrics.Accountant { return s.acct }

@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -13,7 +13,7 @@ import (
 func newService(t *testing.T, capacity int) (*ProvisionService, *sim.Engine) {
 	t.Helper()
 	engine := sim.New()
-	pool, err := cluster.NewPool(capacity)
+	pool, err := nodepool.NewPool(capacity)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestRequestDynamicGrantOrReject(t *testing.T) {
 
 func TestRequestDynamicBestEffort(t *testing.T) {
 	engine := sim.New()
-	pool, _ := cluster.NewPool(50)
+	pool, _ := nodepool.NewPool(50)
 	acct := metrics.NewAccountant(engine.Now)
 	s := NewProvisionService(pool, acct, policy.BestEffort, DefaultNodeSetupSeconds)
 	if got := s.RequestDynamic("a", 80); got != 50 {

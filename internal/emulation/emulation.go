@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/csf"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -95,7 +95,7 @@ func Run(cfg Config) (Report, error) {
 	if capacity == 0 {
 		capacity = 4 * (job.MaxNodes(cfg.Jobs) + cfg.Params.InitialNodes)
 	}
-	pool, err := cluster.NewPool(capacity)
+	pool, err := nodepool.NewPool(capacity)
 	if err != nil {
 		return Report{}, err
 	}

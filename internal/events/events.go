@@ -191,6 +191,39 @@ func (e RunFinished) String() string {
 	return fmt.Sprintf("run %s %s", e.ID, e.Status)
 }
 
+// ClusterWindow reports one aggregation window of a federated cluster
+// simulation (internal/clustersim): where the shared virtual clock
+// stands and how the routing policy has spread load across the
+// federation's provider instances.
+type ClusterWindow struct {
+	// System is the system every instance runs; Policy is the routing
+	// policy name.
+	System string
+	Policy string
+	// Index is the 0-based window number; Start and End bound the
+	// window in virtual seconds (End is exclusive, except for the final
+	// partial window which closes at the horizon).
+	Index int
+	Start int64
+	End   int64
+	// Dispatched is the cumulative request count per instance, indexed
+	// by InstanceID; NodesInUse is each instance's pool occupancy at the
+	// window boundary.
+	Dispatched []int
+	NodesInUse []int
+}
+
+func (e ClusterWindow) event() {}
+
+func (e ClusterWindow) String() string {
+	total := 0
+	for _, d := range e.Dispatched {
+		total += d
+	}
+	return fmt.Sprintf("cluster window %d [%d,%d): %s/%s, %d dispatched over %d instances",
+		e.Index, e.Start, e.End, e.System, e.Policy, total, len(e.Dispatched))
+}
+
 // TableRendered announces a finished artifact: a table or figure rendered
 // from completed simulations.
 type TableRendered struct {

@@ -3,6 +3,7 @@ package events
 import (
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -146,6 +147,14 @@ func TestWireEncoding(t *testing.T) {
 			func(w Wire) bool { return w.Index == 2 && w.Total == 9 && w.Key == "k" }},
 		{TableRendered{ID: "table2", Title: "T"}, "table_rendered",
 			func(w Wire) bool { return w.ArtifactID == "table2" && w.Title == "T" }},
+		{ClusterWindow{System: "DCS", Policy: "round-robin", Index: 3,
+			Start: 86400, End: 172800, Dispatched: []int{2, 1}, NodesInUse: []int{16, 8}}, "cluster_window",
+			func(w Wire) bool {
+				return w.System == "DCS" && w.Policy == "round-robin" && w.Index == 3 &&
+					w.Start == 86400 && w.End == 172800 &&
+					len(w.Dispatched) == 2 && w.Dispatched[0] == 2 &&
+					len(w.NodesInUse) == 2 && w.NodesInUse[1] == 8
+			}},
 		{RunFinished{ID: "r1", Status: "canceled", Err: errors.New("ctx")}, "run_finished",
 			func(w Wire) bool { return w.RunID == "r1" && w.Status == "canceled" && w.Error == "ctx" }},
 	}
@@ -165,7 +174,7 @@ func TestWireEncoding(t *testing.T) {
 			t.Errorf("%T marshal: %v", tc.ev, err)
 		}
 		var back Wire
-		if err := json.Unmarshal(data, &back); err != nil || back != w {
+		if err := json.Unmarshal(data, &back); err != nil || !reflect.DeepEqual(back, w) {
 			t.Errorf("%T wire does not round-trip: %+v vs %+v (%v)", tc.ev, back, w, err)
 		}
 	}

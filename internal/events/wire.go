@@ -6,8 +6,8 @@ package events
 // rendered String form so minimal clients can log without switching.
 type Wire struct {
 	// Type is the snake_case event name: "run_queued", "run_started",
-	// "run_completed", "cell_completed", "table_rendered",
-	// "run_finished".
+	// "run_completed", "cell_completed", "cluster_window",
+	// "table_rendered", "run_finished".
 	Type string `json:"type"`
 	// Text is the event's String() rendering.
 	Text string `json:"text"`
@@ -31,6 +31,16 @@ type Wire struct {
 	// TableRendered fields.
 	ArtifactID string `json:"artifact_id,omitempty"`
 	Title      string `json:"title,omitempty"`
+
+	// ClusterWindow fields (Index doubles as the window number; System
+	// carries the federated system). Start/End bound the window in
+	// virtual seconds; Dispatched and NodesInUse are per-instance,
+	// indexed by InstanceID.
+	Policy     string `json:"policy,omitempty"`
+	Start      int64  `json:"start,omitempty"`
+	End        int64  `json:"end,omitempty"`
+	Dispatched []int  `json:"dispatched,omitempty"`
+	NodesInUse []int  `json:"nodes_in_use,omitempty"`
 
 	// Error carries RunCompleted.Err / RunFinished.Err as text (error
 	// values do not survive JSON).
@@ -63,6 +73,15 @@ func Encode(ev Event) Wire {
 		w.Index = e.Index
 		w.Total = e.Total
 		w.Key = e.Key
+	case ClusterWindow:
+		w.Type = "cluster_window"
+		w.System = e.System
+		w.Policy = e.Policy
+		w.Index = e.Index
+		w.Start = e.Start
+		w.End = e.End
+		w.Dispatched = e.Dispatched
+		w.NodesInUse = e.NodesInUse
 	case TableRendered:
 		w.Type = "table_rendered"
 		w.ArtifactID = e.ID

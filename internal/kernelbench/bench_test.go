@@ -1,6 +1,7 @@
 package kernelbench
 
 import (
+	"context"
 	"os"
 	"testing"
 )
@@ -39,6 +40,53 @@ func BenchmarkKernel(b *testing.B) {
 	}
 	if err := budget.Check(report); err != nil {
 		b.Fatalf("budget regression: %v", err)
+	}
+}
+
+// BenchmarkCluster is the federated-orchestration measurement: N=8 DCS
+// provider instances behind one shared clock, one NASA-like provider
+// per instance, round-robin routed. It writes BENCH_cluster.json (to
+// $BENCH_CLUSTER_JSON when set, else the package directory); CI runs it
+// with -benchtime 1x and uploads the JSON alongside BENCH_kernel.json.
+func BenchmarkCluster(b *testing.B) {
+	var report ClusterReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		report, err = RunCluster(context.Background(), DefaultClusterInstances, DefaultClusterDays)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(report.NsPerEvent, "cluster-ns/event")
+	b.ReportMetric(report.AllocsPerEvent, "cluster-allocs/event")
+	b.ReportMetric(report.EventsPerSec, "cluster-events/sec")
+
+	path := os.Getenv("BENCH_CLUSTER_JSON")
+	if path == "" {
+		path = "BENCH_cluster.json"
+	}
+	if err := report.WriteJSON(path); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("cluster report written to %s\n%s", path, report.Text())
+}
+
+// TestRunClusterSmokes keeps the cluster harness covered by plain
+// `go test`: a small federation must step events on every instance and
+// report positive throughput.
+func TestRunClusterSmokes(t *testing.T) {
+	r, err := RunCluster(context.Background(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instances != 4 || r.Providers != 4 {
+		t.Fatalf("sized %d instances / %d providers, want 4/4", r.Instances, r.Providers)
+	}
+	if r.Jobs <= 0 || r.Events <= int64(r.Jobs) {
+		t.Fatalf("jobs %d, events %d: want events to dominate the job count", r.Jobs, r.Events)
+	}
+	if r.EventsPerSec <= 0 || r.NsPerEvent <= 0 {
+		t.Fatalf("non-positive throughput: %+v", r)
 	}
 }
 

@@ -1,0 +1,161 @@
+package kernelbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/clustersim"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/systems"
+)
+
+// DefaultClusterInstances is the standard federation size for the
+// cluster-mode measurement.
+const DefaultClusterInstances = 8
+
+// DefaultClusterDays is the standard accounting window, matching the
+// paper's two-week evaluation.
+const DefaultClusterDays = 14
+
+// ClusterReport is the federated-orchestration measurement
+// (BENCH_cluster.json): N provider instances behind the shared clock
+// with round-robin routing, timed end to end through
+// clustersim.ClusterSim.Run. Events counts the engine events the
+// orchestrator stepped across every instance, so ns/event and
+// allocs/event price the shared-clock loop (earliest-instance
+// selection, dispatch, window aggregation) on top of the kernels it
+// drives.
+type ClusterReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	System    string `json:"system"`
+	Policy    string `json:"policy"`
+	Instances int    `json:"instances"`
+	Providers int    `json:"providers"`
+	// Jobs is the total job count routed through the federation.
+	Jobs           int     `json:"jobs"`
+	Events         int64   `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// WriteJSON writes the report as indented JSON (BENCH_cluster.json).
+func (r ClusterReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Text renders the report as an aligned table for terminals.
+func (r ClusterReport) Text() string {
+	return fmt.Sprintf("cluster: %d %s instances, %s routing, %d providers, %d jobs\n",
+		r.Instances, r.System, r.Policy, r.Providers, r.Jobs) +
+		fmt.Sprintf("%10s %12s %14s %16s\n", "events", "ns/event", "allocs/event", "events/sec") +
+		fmt.Sprintf("%10d %12.1f %14.3f %16.0f\n", r.Events, r.NsPerEvent, r.AllocsPerEvent, r.EventsPerSec)
+}
+
+// clusterWorkloads builds the federation's provider set: one
+// distinct-seed NASA-like HTC organization per instance over the
+// window, the suite's standard per-provider scale.
+func clusterWorkloads(providers, days int) ([]systems.Workload, error) {
+	wls := make([]systems.Workload, providers)
+	for i := range wls {
+		model := synth.NASAiPSC(42 + int64(i))
+		model.Days = days
+		jobs, err := model.Generate()
+		if err != nil {
+			return nil, err
+		}
+		wls[i] = systems.Workload{
+			Name:       fmt.Sprintf("org-%02d", i+1),
+			Class:      job.HTC,
+			Jobs:       jobs,
+			FixedNodes: model.MachineNodes,
+			Params:     policy.HTCDefaults(40, 1.2),
+		}
+	}
+	return wls, nil
+}
+
+// RunCluster executes the cluster-mode measurement: instances DCS
+// provider instances behind one shared clock, one NASA-like provider
+// workload per instance, round-robin routed. Workload generation
+// happens before instrumentation starts, so the figures isolate the
+// orchestrated simulation itself. Non-positive arguments take
+// DefaultClusterInstances and DefaultClusterDays.
+func RunCluster(ctx context.Context, instances, days int) (ClusterReport, error) {
+	if instances <= 0 {
+		instances = DefaultClusterInstances
+	}
+	if days <= 0 {
+		days = DefaultClusterDays
+	}
+	r := ClusterReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		System:    "DCS",
+		Policy:    clustersim.PolicyRoundRobin,
+		Instances: instances,
+		Providers: instances,
+	}
+	wls, err := clusterWorkloads(instances, days)
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	for i := range wls {
+		r.Jobs += len(wls[i].Jobs)
+	}
+	opts := systems.Options{Horizon: sim.Time(days) * sim.Day, Seed: 42}
+	newSim := func() (*clustersim.ClusterSim, error) {
+		return clustersim.New(clustersim.Config{
+			System:    r.System,
+			Policy:    r.Policy,
+			Instances: make([]clustersim.InstanceConfig, instances),
+			Options:   opts,
+		})
+	}
+	// Warm once so one-time runtime costs (pool fills, lazy init) stay
+	// off the measurement.
+	warm, err := newSim()
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	if _, err := warm.Run(ctx, wls, nil); err != nil {
+		return ClusterReport{}, err
+	}
+	cs, err := newSim()
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := cs.Run(ctx, wls, nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	runtime.ReadMemStats(&m1)
+	r.Events = res.Steps
+	if r.Events > 0 {
+		r.NsPerEvent = float64(elapsed.Nanoseconds()) / float64(r.Events)
+		r.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(r.Events)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		r.EventsPerSec = float64(r.Events) / sec
+	}
+	return r, nil
+}

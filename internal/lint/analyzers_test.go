@@ -15,6 +15,13 @@ func TestWalltimeFixtures(t *testing.T) {
 	runFixture(t, []*Analyzer{Walltime}, "internal/sim", "internal/emulation")
 }
 
+func TestClustersimFixtures(t *testing.T) {
+	// The federated subsystem is born under the determinism invariants:
+	// simulation-path for walltime, and detrand applies everywhere, so
+	// the fixture carries findings for both analyzers at once.
+	runFixture(t, []*Analyzer{Walltime, Detrand}, "internal/clustersim")
+}
+
 func TestMapiterFixtures(t *testing.T) {
 	runFixture(t, []*Analyzer{Mapiter}, "mapiter/a")
 }
@@ -40,9 +47,9 @@ func TestSuppressionDirective(t *testing.T) {
 func TestWalltimeAppliesScope(t *testing.T) {
 	protected := []string{
 		"internal/sim", "internal/sim/refheap", "internal/core",
-		"internal/systems", "internal/sched", "internal/policy",
-		"internal/tre", "internal/spot", "internal/synth",
-		"internal/workflow", "internal/scenario",
+		"internal/systems", "internal/clustersim", "internal/sched",
+		"internal/policy", "internal/tre", "internal/spot",
+		"internal/synth", "internal/workflow", "internal/scenario",
 	}
 	for _, p := range protected {
 		if !walltimeApplies(p) {
@@ -115,6 +122,8 @@ func TestFixturesAreDirty(t *testing.T) {
 	}{
 		{Detrand, "detrand/a", 5},
 		{Walltime, "internal/sim", 5},
+		{Walltime, "internal/clustersim", 2},
+		{Detrand, "internal/clustersim", 2},
 		{Mapiter, "mapiter/a", 4},
 		{CtxFirst, "ctxfirst/a", 5},
 		{Deprecated, "deprecated/a", 4},

@@ -1,0 +1,28 @@
+// Package clustersim stands in for the federated cluster simulator
+// (fixture import path internal/clustersim): it is simulation-path, so
+// the walltime analyzer forbids reading the wall clock, and detrand
+// forbids the process-global randomness the shared-clock determinism
+// invariants exclude.
+package clustersim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badWall() {
+	_ = time.Now()          // want `time\.Now reads the wall clock inside simulation-path package internal/clustersim`
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+}
+
+func badRand() int {
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return rand.Intn(8)                // want `rand\.Intn draws from the process-global source`
+}
+
+// seededRoute is the required construction: per-instance randomness
+// from an explicit seed derived from the run seed.
+func seededRoute(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

@@ -26,6 +26,7 @@ var walltimeProtected = []string{
 	"internal/sim",
 	"internal/core",
 	"internal/systems",
+	"internal/clustersim",
 	"internal/sched",
 	"internal/policy",
 	"internal/tre",

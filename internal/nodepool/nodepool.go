@@ -1,8 +1,12 @@
-// Package cluster models the physical substrate of the cloud platform: a
+// Package nodepool models the physical substrate of the cloud platform: a
 // pool of identical single-CPU nodes (the paper scales every trace to
 // one-CPU nodes). The pool enforces capacity and tracks how many nodes each
 // consumer holds; billing and timelines live in internal/metrics.
-package cluster
+//
+// (The package was formerly named internal/cluster; it was renamed so the
+// federated cluster simulator, internal/clustersim, could take the
+// "cluster" name without colliding with this low-level node pool.)
+package nodepool
 
 import "fmt"
 
@@ -18,7 +22,7 @@ type Pool struct {
 // use a generously sized pool to model the paper's "large cloud platform".
 func NewPool(capacity int) (*Pool, error) {
 	if capacity <= 0 {
-		return nil, fmt.Errorf("cluster: capacity %d must be positive", capacity)
+		return nil, fmt.Errorf("nodepool: capacity %d must be positive", capacity)
 	}
 	return &Pool{capacity: capacity, held: make(map[string]int)}, nil
 }
@@ -41,14 +45,14 @@ type ErrInsufficient struct {
 }
 
 func (e *ErrInsufficient) Error() string {
-	return fmt.Sprintf("cluster: requested %d nodes, only %d free", e.Requested, e.Free)
+	return fmt.Sprintf("nodepool: requested %d nodes, only %d free", e.Requested, e.Free)
 }
 
 // Allocate gives owner n more nodes, or fails with *ErrInsufficient leaving
 // the pool unchanged (the paper's provision policy grants fully or rejects).
 func (p *Pool) Allocate(owner string, n int) error {
 	if n <= 0 {
-		return fmt.Errorf("cluster: allocate %d nodes (must be positive)", n)
+		return fmt.Errorf("nodepool: allocate %d nodes (must be positive)", n)
 	}
 	if n > p.Free() {
 		return &ErrInsufficient{Requested: n, Free: p.Free()}
@@ -61,10 +65,10 @@ func (p *Pool) Allocate(owner string, n int) error {
 // Release returns n of owner's nodes to the pool.
 func (p *Pool) Release(owner string, n int) error {
 	if n <= 0 {
-		return fmt.Errorf("cluster: release %d nodes (must be positive)", n)
+		return fmt.Errorf("nodepool: release %d nodes (must be positive)", n)
 	}
 	if p.held[owner] < n {
-		return fmt.Errorf("cluster: %s releasing %d nodes but holds %d", owner, n, p.held[owner])
+		return fmt.Errorf("nodepool: %s releasing %d nodes but holds %d", owner, n, p.held[owner])
 	}
 	p.held[owner] -= n
 	if p.held[owner] == 0 {

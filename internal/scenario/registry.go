@@ -117,11 +117,44 @@ var builtins = map[string]string{
   ],
   "sweep": {"grid": {"provider": "org-blue", "b": [40, 80], "r": [1.2, 1.5]}}
 }`,
+
+	// federation-baseline federates the paper's three organizations:
+	// each provider dispatches to one of three DawningCloud instances
+	// behind a shared clock, round-robin routed.
+	"federation-baseline": `{
+  "name": "federation-baseline",
+  "description": "the paper's three organizations federated: three DawningCloud instances behind one shared clock with round-robin routing, reported against the consolidated run",
+  "seed": 42,
+  "days": 14,
+  "systems": ["DawningCloud"],
+  "providers": [
+    {"name": "org-nasa-htc", "source": {"kind": "synth", "model": "nasa"}},
+    {"name": "org-blue-htc", "source": {"kind": "synth", "model": "blue"}, "policy": {"b": 80, "r": 1.5}},
+    {"name": "org-montage-mtc", "fixed_nodes": 166,
+     "source": {"kind": "workflow", "generator": "paper-montage", "submit_at": 644400}}
+  ],
+  "federation": {"policy": "round-robin"}
+}`,
+
+	// consolidation-vs-federation is the multi-cloud-arbitrage question:
+	// six organizations on one consolidated platform vs split across a
+	// three-instance federation under least-loaded routing.
+	"consolidation-vs-federation": `{
+  "name": "consolidation-vs-federation",
+  "description": "does consolidation beat federation? six NASA-like organizations consolidated on one platform vs spread across three least-loaded DawningCloud instances",
+  "seed": 42,
+  "days": 14,
+  "systems": ["DCS", "DawningCloud"],
+  "providers": [
+    {"name": "org", "count": 6, "source": {"kind": "synth", "model": "nasa"}}
+  ],
+  "federation": {"policy": "least-loaded", "instances": 3}
+}`,
 }
 
 // Names lists the built-in scenarios in presentation order.
 func Names() []string {
-	return []string{"paper-baseline", "scale-10", "scale-100", "million-task", "blue-heavy", "mtc-burst", "mixed-federation"}
+	return []string{"paper-baseline", "scale-10", "scale-100", "million-task", "blue-heavy", "mtc-burst", "mixed-federation", "federation-baseline", "consolidation-vs-federation"}
 }
 
 // Builtin returns the named built-in scenario, parsed and validated.

@@ -30,6 +30,47 @@ type GridPoint struct {
 	TasksPerSecond float64
 }
 
+// FederationInstance summarizes one provider instance of the federated
+// run.
+type FederationInstance struct {
+	Name       string
+	Dispatched int
+	NodeHours  float64
+	PeakNodes  int
+}
+
+// FederationDispatch records one routing decision of the federated run:
+// which instance the policy chose for a provider's workload.
+type FederationDispatch struct {
+	// Time is the dispatch instant in virtual seconds (the workload's
+	// first submission).
+	Time int64
+	// Workload is the provider name; Instance is the target's 0-based
+	// InstanceID.
+	Workload string
+	Instance int
+}
+
+// FederationReport is the federated run's section of the report (nil
+// without a federation block): the spec's member providers routed across
+// N instances of one system behind a shared clock.
+type FederationReport struct {
+	System string
+	Policy string
+	// Providers lists the member providers, in dispatch-owner order.
+	Providers []string
+	// Instances holds the per-instance summaries in InstanceID order.
+	Instances []FederationInstance
+	// Merged aggregates the federation as if it were one platform
+	// (provider rows in workload order, totals summed; peak nodes is the
+	// sum of per-instance peaks).
+	Merged systems.Result
+	// Dispatches is the routing log, in dispatch order.
+	Dispatches []FederationDispatch
+	// Windows counts the ClusterWindow aggregates emitted.
+	Windows int
+}
+
 // Summary condenses the base runs into the economies-of-scale headline.
 type Summary struct {
 	// TotalNodeHours and PeakNodes index the resource provider's totals
@@ -56,8 +97,11 @@ type Report struct {
 	// Scale holds the provider-count sweep (empty without sweep.scale).
 	Scale []ScalePoint
 	// Grid holds the B×R sweep (empty without sweep.grid).
-	Grid    []GridPoint
-	Summary Summary
+	Grid []GridPoint
+	// Federation holds the federated run (nil without a federation
+	// block).
+	Federation *FederationReport `json:",omitempty"`
+	Summary    Summary
 	// Simulations counts distinct simulations executed (cache hits and
 	// deduplicated cells excluded).
 	Simulations int64
@@ -113,9 +157,30 @@ func (r *Report) Render() string {
 		b.WriteByte('\n')
 		b.WriteString(r.gridTable())
 	}
+	if r.Federation != nil {
+		b.WriteByte('\n')
+		b.WriteString(r.federationTable())
+	}
 	b.WriteByte('\n')
 	b.WriteString(r.summaryLines())
 	return b.String()
+}
+
+// federationTable renders the federated run: one row per provider
+// instance plus the merged federation-as-one-platform totals.
+func (r *Report) federationTable() string {
+	f := r.Federation
+	columns := []string{"instance", "dispatched", "node*hours", "peak nodes"}
+	var rows [][]string
+	for _, inst := range f.Instances {
+		rows = append(rows, []string{inst.Name, fmt.Sprintf("%d", inst.Dispatched),
+			fmt.Sprintf("%.0f", inst.NodeHours), fmt.Sprintf("%d", inst.PeakNodes)})
+	}
+	rows = append(rows, []string{"merged", fmt.Sprintf("%d", len(f.Dispatches)),
+		fmt.Sprintf("%.0f", f.Merged.TotalNodeHours), fmt.Sprintf("%d", f.Merged.PeakNodes)})
+	title := fmt.Sprintf("federation: %d %s instances, %s routing", len(f.Instances), f.System, f.Policy)
+	note := fmt.Sprintf("%d providers routed over %d aggregation windows", len(f.Providers), f.Windows)
+	return plot.Table(title, columns, rows, note)
 }
 
 // providerIsMTC reports the provider's workload class as recorded in any
@@ -237,6 +302,18 @@ func (r *Report) gridTable() string {
 func (r *Report) summaryLines() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "simulations executed: %d\n", r.Simulations)
+	if f := r.Federation; f != nil {
+		// The consolidation comparison only makes sense when the whole
+		// provider set was federated.
+		if base, ok := r.Base[f.System]; ok && base.TotalNodeHours > 0 && len(f.Providers) == len(r.Providers) {
+			diff := (f.Merged.TotalNodeHours/base.TotalNodeHours - 1) * 100
+			fmt.Fprintf(&b, "federation vs consolidation: %s routing over %d %s instances consumes %.0f node*hours, %+.1f%% vs the consolidated %s run\n",
+				f.Policy, len(f.Instances), f.System, f.Merged.TotalNodeHours, diff, f.System)
+		} else {
+			fmt.Fprintf(&b, "federation: %s routing over %d %s instances consumes %.0f node*hours\n",
+				f.Policy, len(f.Instances), f.System, f.Merged.TotalNodeHours)
+		}
+	}
 	if _, ok := r.Base["DawningCloud"]; !ok {
 		return b.String()
 	}

@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/clustersim"
 	"repro/internal/events"
 	"repro/internal/par"
 	"repro/internal/registry"
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/systems"
 )
 
@@ -105,7 +107,77 @@ func (c *Compiled) RunContext(ctx context.Context, workers int, sink events.Sink
 	if err != nil {
 		return nil, err
 	}
-	return c.assemble(cells, results, eng.simulations.Load()), nil
+	rep := c.assemble(cells, results, eng.simulations.Load())
+	if c.Spec.Federation != nil {
+		fed, err := c.runFederation(ctx, sink)
+		if err != nil {
+			return nil, err
+		}
+		rep.Federation = fed
+		rep.Simulations++
+	}
+	return rep, nil
+}
+
+// runFederation executes the spec's federation block: the member
+// workloads routed across N instances of one system behind the shared
+// clock (internal/clustersim). It runs after the base cells so the
+// report can compare the federation against the consolidated run.
+func (c *Compiled) runFederation(ctx context.Context, sink events.Sink) (*FederationReport, error) {
+	f := c.Spec.Federation
+	members := c.Spec.FederationMembers()
+	wls := make([]systems.Workload, 0, len(members))
+	for _, name := range members {
+		wl, ok := c.workloadByName(name)
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: federation provider %q missing after compile", c.Spec.Name, name)
+		}
+		wls = append(wls, wl.Clone())
+	}
+	cfg := clustersim.Config{
+		System:    f.System,
+		Policy:    f.Policy,
+		Instances: make([]clustersim.InstanceConfig, f.Instances),
+		Options:   c.Options,
+		Window:    sim.Time(f.WindowSeconds),
+		Events:    sink,
+	}
+	for i := range cfg.Instances {
+		cfg.Instances[i] = clustersim.InstanceConfig{Capacity: f.InstanceCapacity}
+	}
+	cs, err := clustersim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: federation: %w", c.Spec.Name, err)
+	}
+	key := fmt.Sprintf("federation|%s|%s", f.System, f.Policy)
+	sink.Emit(events.RunStarted{System: f.System, Providers: len(wls), Cell: key})
+	res, err := cs.Run(ctx, wls, nil)
+	if err != nil {
+		sink.Emit(events.RunCompleted{System: f.System, Cell: key, Err: err})
+		return nil, fmt.Errorf("scenario %s: federation: %w", c.Spec.Name, err)
+	}
+	sink.Emit(events.RunCompleted{System: f.System, Cell: key, TotalNodeHours: res.Merged.TotalNodeHours})
+	rep := &FederationReport{
+		System:    f.System,
+		Policy:    f.Policy,
+		Providers: members,
+		Merged:    res.Merged,
+		Windows:   res.Windows,
+	}
+	for _, ir := range res.Instances {
+		rep.Instances = append(rep.Instances, FederationInstance{
+			Name:       ir.Name,
+			Dispatched: ir.Dispatched,
+			NodeHours:  ir.Result.TotalNodeHours,
+			PeakNodes:  ir.Result.PeakNodes,
+		})
+	}
+	for _, d := range res.Dispatches {
+		rep.Dispatches = append(rep.Dispatches, FederationDispatch{
+			Time: int64(d.Time), Workload: d.Workload, Instance: int(d.Instance),
+		})
+	}
+	return rep, nil
 }
 
 // cells enumerates the scenario's simulations in deterministic order.

@@ -258,6 +258,102 @@ func TestRunSmallScenarioEndToEnd(t *testing.T) {
 	}
 }
 
+func TestFederationDefaultsAndValidation(t *testing.T) {
+	s, err := ParseBytes([]byte(`{"name":"fed","days":1,"systems":["DawningCloud"],
+		"providers":[{"name":"org","count":3,"source":{"kind":"synth","model":"nasa"}}],
+		"federation":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Federation
+	if f.System != "DawningCloud" || f.Policy != "round-robin" || f.Instances != 3 {
+		t.Errorf("federation defaults = %s/%s/%d, want DawningCloud/round-robin/3", f.System, f.Policy, f.Instances)
+	}
+	if got := s.FederationMembers(); len(got) != 3 || got[0] != "org-01" {
+		t.Errorf("members = %v, want the three expanded providers", got)
+	}
+
+	cases := []struct {
+		name      string
+		src       string
+		wantField string
+	}{
+		{"unknown policy", `{"name":"x","providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"federation":{"policy":"dice-roll"}}`, "federation.policy"},
+		{"unknown system", `{"name":"x","providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"federation":{"system":"VMS"}}`, "federation.system"},
+		{"unknown member", `{"name":"x","providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"federation":{"providers":["ghost"]}}`, "federation.providers[0]"},
+		{"duplicate member", `{"name":"x","providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"federation":{"providers":["p","p"]}}`, "federation.providers[1]"},
+		{"negative window", `{"name":"x","providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"federation":{"window_seconds":-60}}`, "federation.window_seconds"},
+		{"negative capacity", `{"name":"x","providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
+			"federation":{"instance_capacity":-4}}`, "federation.instance_capacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := parseErr(t, tc.src)
+			if !strings.Contains(msg, tc.wantField) {
+				t.Errorf("error %q does not name field %q", msg, tc.wantField)
+			}
+		})
+	}
+}
+
+func TestFederationScenarioEndToEnd(t *testing.T) {
+	s, err := ParseBytes([]byte(`{"name":"fed-run","days":2,"seed":7,
+		"systems":["DawningCloud"],
+		"providers":[{"name":"org","count":4,"source":{"kind":"synth","model":"nasa"}}],
+		"federation":{"policy":"round-robin","instances":2,"window_seconds":43200}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Federation
+	if f == nil {
+		t.Fatal("report has no federation section")
+	}
+	if f.System != "DawningCloud" || f.Policy != "round-robin" {
+		t.Errorf("federation ran %s/%s", f.System, f.Policy)
+	}
+	if len(f.Instances) != 2 {
+		t.Fatalf("instances = %d, want 2", len(f.Instances))
+	}
+	total := 0
+	for _, inst := range f.Instances {
+		total += inst.Dispatched
+	}
+	if total != 4 || len(f.Dispatches) != 4 {
+		t.Errorf("dispatched %d requests with %d log entries, want 4/4", total, len(f.Dispatches))
+	}
+	if f.Instances[0].Dispatched != 2 || f.Instances[1].Dispatched != 2 {
+		t.Errorf("round-robin split = %d/%d, want 2/2", f.Instances[0].Dispatched, f.Instances[1].Dispatched)
+	}
+	// 2-day horizon over 12-hour windows tiles into exactly 4 aggregates.
+	if f.Windows != 4 {
+		t.Errorf("windows = %d, want 4", f.Windows)
+	}
+	if got := len(f.Merged.Providers); got != 4 {
+		t.Errorf("merged provider rows = %d, want 4", got)
+	}
+	// The federation counts as one more executed simulation than the base
+	// cell alone.
+	if rep.Simulations != 2 {
+		t.Errorf("simulations = %d, want 2 (base + federation)", rep.Simulations)
+	}
+	text := rep.Render()
+	for _, want := range []string{"federation: 2 DawningCloud instances, round-robin routing",
+		"federation vs consolidation"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestRunReportsCompileErrors(t *testing.T) {
 	s := &Spec{Name: "bad"}
 	s.ApplyDefaults()

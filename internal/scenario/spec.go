@@ -22,6 +22,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/clustersim"
 	"repro/internal/experiments"
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -76,6 +77,39 @@ type Spec struct {
 	Providers []ProviderSpec `json:"providers"`
 	// Sweep optionally adds B×R grid and provider-count scaling axes.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Federation optionally federates the providers behind one shared
+	// clock: N provider instances of one system with a routing policy
+	// (internal/clustersim), run alongside the consolidated base cells
+	// and reported per instance and merged.
+	Federation *FederationSpec `json:"federation,omitempty"`
+}
+
+// FederationSpec declares the optional federated run: the system the
+// instances run, the routing policy, the federation size and the
+// provider membership.
+type FederationSpec struct {
+	// System is the system every instance runs (federations are
+	// homogeneous); default DawningCloud. It must have federated
+	// instance support (clustersim.FederatedSystems).
+	System string `json:"system,omitempty"`
+	// Policy is the routing policy name from clustersim's registry
+	// (round-robin, least-loaded, cost-aware, spot-price-aware,
+	// pin-to-owner, or a registered extension); default round-robin.
+	Policy string `json:"policy,omitempty"`
+	// Instances is the number of provider instances; default one per
+	// member provider.
+	Instances int `json:"instances,omitempty"`
+	// Providers restricts membership to the named expanded providers;
+	// empty federates every provider. Member workloads are dispatched by
+	// the policy at simulation time; member i's home instance is
+	// i mod Instances (the pin-to-owner policy routes there).
+	Providers []string `json:"providers,omitempty"`
+	// InstanceCapacity is each instance's node pool size; 0 means
+	// unconstrained.
+	InstanceCapacity int `json:"instance_capacity,omitempty"`
+	// WindowSeconds is the ClusterWindow aggregation period in virtual
+	// seconds; 0 means one day.
+	WindowSeconds int64 `json:"window_seconds,omitempty"`
 }
 
 // PoolSpec configures the resource provider's cloud pool.
@@ -217,6 +251,33 @@ func (s *Spec) ApplyDefaults() {
 			p.Source.Tasks = 1000
 		}
 	}
+	if f := s.Federation; f != nil {
+		if f.System == "" {
+			f.System = "DawningCloud"
+		}
+		if canonical, ok := registry.Default.Canonical(f.System); ok {
+			f.System = canonical
+		}
+		if f.Policy == "" {
+			f.Policy = clustersim.PolicyRoundRobin
+		}
+		if f.Instances == 0 {
+			f.Instances = len(s.FederationMembers())
+		}
+	}
+}
+
+// FederationMembers lists the expanded provider names the federation
+// routes: the membership list, or every provider when unset. Empty
+// without a federation block.
+func (s *Spec) FederationMembers() []string {
+	if s.Federation == nil {
+		return nil
+	}
+	if len(s.Federation.Providers) > 0 {
+		return append([]string(nil), s.Federation.Providers...)
+	}
+	return s.ExpandedNames()
 }
 
 // Horizon is the accounting window in seconds.
@@ -277,6 +338,47 @@ func (s *Spec) Validate() error {
 		if err := s.validateSweep(fail); err != nil {
 			return err
 		}
+	}
+	if s.Federation != nil {
+		if err := s.validateFederation(fail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateFederation(fail func(string, string, ...any) error) error {
+	f := s.Federation
+	if !registry.Default.Has(f.System) {
+		return fail("federation.system", "unknown system %q (registered: %s)",
+			f.System, strings.Join(registry.Default.Names(), ", "))
+	}
+	if !clustersim.CanFederate(f.System) {
+		return fail("federation.system", "system %q has no federated instance support (supported: %s)",
+			f.System, strings.Join(clustersim.FederatedSystems(), ", "))
+	}
+	if !clustersim.HasPolicy(f.Policy) {
+		return fail("federation.policy", "unknown routing policy %q (registered: %s)",
+			f.Policy, strings.Join(clustersim.PolicyNames(), ", "))
+	}
+	if f.Instances < 1 {
+		return fail("federation.instances", "instance count %d < 1", f.Instances)
+	}
+	if f.InstanceCapacity < 0 {
+		return fail("federation.instance_capacity", "capacity %d < 0", f.InstanceCapacity)
+	}
+	if f.WindowSeconds < 0 {
+		return fail("federation.window_seconds", "window %d < 0", f.WindowSeconds)
+	}
+	seen := make(map[string]bool)
+	for i, name := range f.Providers {
+		if !s.hasExpandedProvider(name) {
+			return fail(fmt.Sprintf("federation.providers[%d]", i), "unknown provider %q", name)
+		}
+		if seen[name] {
+			return fail(fmt.Sprintf("federation.providers[%d]", i), "provider %q listed twice", name)
+		}
+		seen[name] = true
 	}
 	return nil
 }

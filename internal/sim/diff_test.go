@@ -53,6 +53,75 @@ func refOps(e *refheap.Engine) kernelOps {
 	}
 }
 
+// fastStepOps drives the fast kernel through the exported step
+// primitives alone: run and runAll are reimplemented as the documented
+// `for HasPending() { Step() }` loop with a driver-local stop flag —
+// exactly the loop an external orchestrator (internal/clustersim) runs —
+// so a trace-identical replay proves Step/PeekNextTime/HasPending
+// compose back into Run/RunAll semantics.
+func fastStepOps(e *Engine) kernelOps {
+	stopped := false
+	return kernelOps{
+		name:     "fast-step",
+		now:      e.Now,
+		length:   e.Len,
+		at:       func(t int64, fn func()) int64 { return int64(e.At(t, fn)) },
+		schedule: func(d int64, fn func()) int64 { return int64(e.Schedule(d, fn)) },
+		cancel:   func(id int64) bool { return e.Cancel(EventID(id)) },
+		every:    e.Every,
+		stop:     func() { stopped = true },
+		run: func(until int64) {
+			stopped = false
+			for !stopped && e.HasPending() {
+				if t, _ := e.PeekNextTime(); t > until {
+					break
+				}
+				e.Step()
+			}
+			if !stopped && e.Now() < until {
+				e.Advance(until - e.Now())
+			}
+		},
+		runAll: func() {
+			stopped = false
+			for !stopped && e.Step() {
+			}
+		},
+	}
+}
+
+// refStepOps is fastStepOps for the refheap reference kernel.
+func refStepOps(e *refheap.Engine) kernelOps {
+	stopped := false
+	return kernelOps{
+		name:     "ref-step",
+		now:      e.Now,
+		length:   e.Len,
+		at:       e.At,
+		schedule: e.Schedule,
+		cancel:   e.Cancel,
+		every:    e.Every,
+		stop:     func() { stopped = true },
+		run: func(until int64) {
+			stopped = false
+			for !stopped && e.HasPending() {
+				if t, _ := e.PeekNextTime(); t > until {
+					break
+				}
+				e.Step()
+			}
+			if !stopped && e.Now() < until {
+				e.Advance(until - e.Now())
+			}
+		},
+		runAll: func() {
+			stopped = false
+			for !stopped && e.Step() {
+			}
+		},
+	}
+}
+
 // traceEntry is one observable effect: an event executing (kind "fire"),
 // a tick of an Every timer, or the boolean outcome of a Cancel.
 type traceEntry struct {
@@ -173,6 +242,33 @@ func TestKernelDifferentialTrace(t *testing.T) {
 		for i := range fast {
 			if fast[i] != ref[i] {
 				t.Fatalf("seed %d: trace[%d] differs:\n fast %+v\n ref  %+v", seed, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestKernelStepPrimitiveDifferentialTrace replays the same seeded
+// scripts through run loops built from the exported step primitives
+// (HasPending/PeekNextTime/Step) on both kernels, and requires traces
+// identical to the Run/RunAll-driven replay: externally stepping a
+// kernel — the mode internal/clustersim depends on — must be
+// observationally indistinguishable from its own run loop.
+func TestKernelStepPrimitiveDifferentialTrace(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		base := script(seed, fastOps(New()))
+		for _, stepped := range [][]traceEntry{
+			script(seed, fastStepOps(New())),
+			script(seed, refStepOps(refheap.New())),
+		} {
+			if len(base) != len(stepped) {
+				t.Fatalf("seed %d: trace lengths differ: run-driven %d, step-driven %d",
+					seed, len(base), len(stepped))
+			}
+			for i := range base {
+				if base[i] != stepped[i] {
+					t.Fatalf("seed %d: trace[%d] differs:\n run-driven  %+v\n step-driven %+v",
+						seed, i, base[i], stepped[i])
+				}
 			}
 		}
 	}

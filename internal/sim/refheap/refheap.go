@@ -160,6 +160,34 @@ func (e *Engine) Every(interval Time, fn func()) (stop func()) {
 // Stop makes the current Run return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// HasPending reports whether at least one event is pending. Mirrors
+// sim.Engine.HasPending so the differential suite can drive both kernels
+// through the same step-primitive loop.
+func (e *Engine) HasPending() bool { return len(e.queue) > 0 }
+
+// PeekNextTime reports the virtual time of the earliest pending event
+// without executing it. ok is false when no event is pending.
+func (e *Engine) PeekNextTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].time, true
+}
+
+// Step executes exactly the earliest pending event, advancing the clock
+// to its timestamp, and reports whether an event ran. Like the fast
+// kernel's Step it neither consults nor resets the Stop flag.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*event)
+	delete(e.pending, next.seq)
+	e.now = next.time
+	next.fn()
+	return true
+}
+
 // cancelCheckEvery matches the fast kernel's context-poll cadence.
 const cancelCheckEvery = 4096
 
@@ -180,11 +208,12 @@ func (e *Engine) RunContext(ctx context.Context, until Time) error {
 	return e.run(until, ctx, ctx.Done())
 }
 
-// run is the shared event loop.
+// run is the shared event loop, a thin window/cancellation policy over
+// the step primitives.
 func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) error {
 	e.stopped = false
 	executed := 0
-	for len(e.queue) > 0 && !e.stopped {
+	for e.HasPending() && !e.stopped {
 		if done != nil {
 			if executed++; executed%cancelCheckEvery == 0 {
 				select {
@@ -194,14 +223,10 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 				}
 			}
 		}
-		next := e.queue[0]
-		if next.time > until {
+		if next, _ := e.PeekNextTime(); next > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		delete(e.pending, next.seq)
-		e.now = next.time
-		next.fn()
+		e.Step()
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -213,11 +238,7 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 // that fire during the call, until the queue drains.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := heap.Pop(&e.queue).(*event)
-		delete(e.pending, next.seq)
-		e.now = next.time
-		next.fn()
+	for !e.stopped && e.Step() {
 	}
 }
 

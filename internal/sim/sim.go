@@ -434,6 +434,45 @@ func (e *Engine) Every(interval Time, fn func()) (stop func()) {
 // Stop makes the current Run return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// HasPending reports whether at least one live (scheduled, uncancelled)
+// event is pending. Together with PeekNextTime and Step it forms the
+// engine's step-primitive interface: `for e.HasPending() { e.Step() }`
+// replays exactly the event sequence RunAll would execute, which is what
+// lets an external orchestrator (internal/clustersim) interleave several
+// engines behind one shared clock.
+func (e *Engine) HasPending() bool {
+	_, ok := e.peekLive()
+	return ok
+}
+
+// PeekNextTime reports the virtual time of the earliest pending event
+// without executing it. ok is false when no event is pending.
+func (e *Engine) PeekNextTime() (Time, bool) {
+	top, ok := e.peekLive()
+	if !ok {
+		return 0, false
+	}
+	return top.time, true
+}
+
+// Step executes exactly the earliest pending event, advancing the clock
+// to its timestamp, and reports whether an event ran (false means the
+// queue was empty). Step neither consults nor resets the Stop flag —
+// window policy belongs to the loop driving it, exactly as in Run.
+func (e *Engine) Step() bool {
+	top, ok := e.peekLive()
+	if !ok {
+		return false
+	}
+	fn := e.slab[top.slot].fn
+	e.popTop()
+	e.live--
+	e.freeSlot(top.slot)
+	e.now = top.time
+	fn()
+	return true
+}
+
 // cancelCheckEvery is how many events execute between context checks in
 // RunContext. Events take microseconds, so a few thousand of them keep
 // cancellation latency well under a millisecond without paying a channel
@@ -462,14 +501,14 @@ func (e *Engine) RunContext(ctx context.Context, until Time) error {
 	return e.run(until, ctx, ctx.Done())
 }
 
-// run is the shared event loop. A nil done channel skips cancellation
-// polling entirely, keeping the uncancellable path allocation- and
-// select-free.
+// run is the shared event loop, a thin window/cancellation policy over
+// the step primitives. A nil done channel skips cancellation polling
+// entirely, keeping the uncancellable path allocation- and select-free.
 func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) error {
 	e.stopped = false
 	executed := 0
 	for !e.stopped {
-		top, ok := e.peekLive()
+		next, ok := e.PeekNextTime()
 		if !ok {
 			break
 		}
@@ -482,15 +521,10 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 				}
 			}
 		}
-		if top.time > until {
+		if next > until {
 			break
 		}
-		fn := e.slab[top.slot].fn
-		e.popTop()
-		e.live--
-		e.freeSlot(top.slot)
-		e.now = top.time
-		fn()
+		e.Step()
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -502,17 +536,7 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 // that fire during the call, until the queue drains.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for !e.stopped {
-		top, ok := e.peekLive()
-		if !ok {
-			break
-		}
-		fn := e.slab[top.slot].fn
-		e.popTop()
-		e.live--
-		e.freeSlot(top.slot)
-		e.now = top.time
-		fn()
+	for !e.stopped && e.Step() {
 	}
 }
 

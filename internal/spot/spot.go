@@ -22,7 +22,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/csf"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -53,6 +53,42 @@ func init() {
 	registry.Default.MustRegister(Name, registry.Func(Run))
 }
 
+// PriceWalk is the spot market's hourly price process — the
+// mean-reverting walk described above — exported so other packages
+// (internal/clustersim's spot-price-aware routing policy) can observe a
+// deterministic per-instance price series without running a full
+// ssp-spot simulation. The zero value is unusable; construct with
+// NewPriceWalk.
+type PriceWalk struct {
+	price float64
+	rng   *rand.Rand
+}
+
+// NewPriceWalk returns a walk over its own seeded random source,
+// starting at the long-run mean price (below the standing bid).
+func NewPriceWalk(seed int64) *PriceWalk {
+	return &PriceWalk{price: meanPrice, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Price reports the current price as a fraction of the on-demand rate.
+func (w *PriceWalk) Price() float64 { return w.price }
+
+// Tick advances the walk by one hour and returns the new price.
+func (w *PriceWalk) Tick() float64 {
+	w.price += meanRevert*(meanPrice-w.price) + w.rng.NormFloat64()*priceStep
+	if w.price < minPrice {
+		w.price = minPrice
+	}
+	if w.price > maxPrice {
+		w.price = maxPrice
+	}
+	return w.price
+}
+
+// Bid reports the providers' standing bid price, the threshold the
+// spot-price-aware routing policy compares prices against.
+func Bid() float64 { return bidPrice }
+
 // Run simulates the spot-priced SSP system. opts.Seed drives the price
 // process, so runs are reproducible given identical inputs. The context
 // cancels the simulation mid-run; an aborted run returns ctx.Err().
@@ -67,43 +103,100 @@ func Run(ctx context.Context, workloads []systems.Workload, opts systems.Options
 			capacity += workloads[i].FixedNodes
 		}
 	}
-	engine := sim.New()
-	pool, err := cluster.NewPool(capacity)
+	inst, err := Open(capacity, opts)
 	if err != nil {
 		return systems.Result{}, err
+	}
+	for i := range workloads {
+		if err := inst.Attach(&workloads[i]); err != nil {
+			return systems.Result{}, err
+		}
+	}
+	if err := inst.Engine().RunContext(ctx, horizon); err != nil {
+		return systems.Result{}, fmt.Errorf("spot: %s run aborted: %w", Name, err)
+	}
+	return inst.Finalize(horizon)
+}
+
+// Instance is an open ssp-spot simulation that accepts provider
+// workloads incrementally; see systems.FixedInstance for the
+// open/attach/finalize lifecycle it shares. The i-th attached workload's
+// price process is seeded opts.Seed + i*7919 + 1 — a pure function of
+// the instance's own seed and membership order, so a federated
+// instance's results do not depend on how many sibling instances exist
+// or how their events interleave.
+type Instance struct {
+	opts      systems.Options
+	engine    *sim.Engine
+	pool      *nodepool.Pool
+	acct      *metrics.Accountant
+	setup     float64
+	prov      *csf.ProvisionService
+	providers []*spotProvider
+	seen      map[string]bool
+}
+
+// Open opens an empty ssp-spot instance over a pool of capacity nodes.
+// Attached workloads must already be valid; capacity must be positive.
+func Open(capacity int, opts systems.Options) (*Instance, error) {
+	engine := sim.New()
+	pool, err := nodepool.NewPool(capacity)
+	if err != nil {
+		return nil, err
 	}
 	acct := metrics.NewAccountant(engine.Now)
 	setup := opts.SetupCost
 	if setup == 0 {
 		setup = csf.DefaultNodeSetupSeconds
 	}
-	prov := csf.NewProvisionService(pool, acct, opts.Provision, setup)
+	return &Instance{
+		opts:   opts,
+		engine: engine,
+		pool:   pool,
+		acct:   acct,
+		setup:  setup,
+		prov:   csf.NewProvisionService(pool, acct, opts.Provision, setup),
+		seen:   make(map[string]bool),
+	}, nil
+}
 
-	providers := make([]*spotProvider, 0, len(workloads))
-	for i := range workloads {
-		wl := &workloads[i]
-		p := &spotProvider{
-			engine:  engine,
-			prov:    prov,
-			wl:      wl,
-			size:    wl.FixedNodes,
-			price:   meanPrice,
-			rng:     rand.New(rand.NewSource(opts.Seed + int64(i)*7919 + 1)),
-			running: make(map[int]runningTask),
-		}
-		if err := p.schedule(); err != nil {
-			return systems.Result{}, fmt.Errorf("spot: workload %s: %w", wl.Name, err)
-		}
-		providers = append(providers, p)
+// Engine exposes the instance's simulation engine so an orchestrator can
+// drive it through the step primitives.
+func (x *Instance) Engine() *sim.Engine { return x.engine }
+
+// PoolLoad snapshots the instance's node pool occupancy.
+func (x *Instance) PoolLoad() (inUse, capacity int) {
+	return x.pool.InUse(), x.pool.Capacity()
+}
+
+// Attach admits one provider workload: its spot cluster, market ticks
+// and job arrivals are scheduled on the instance clock.
+func (x *Instance) Attach(wl *systems.Workload) error {
+	if x.seen[wl.Name] {
+		return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
 	}
-
-	if err := engine.RunContext(ctx, horizon); err != nil {
-		return systems.Result{}, fmt.Errorf("spot: %s run aborted: %w", Name, err)
+	p := &spotProvider{
+		engine:  x.engine,
+		prov:    x.prov,
+		wl:      wl,
+		size:    wl.FixedNodes,
+		walk:    NewPriceWalk(x.opts.Seed + int64(len(x.providers))*7919 + 1),
+		running: make(map[int]runningTask),
 	}
-	acct.CloseAll(horizon, true)
+	if err := p.schedule(); err != nil {
+		return fmt.Errorf("spot: workload %s: %w", wl.Name, err)
+	}
+	x.providers = append(x.providers, p)
+	x.seen[wl.Name] = true
+	return nil
+}
 
-	aggs := make([]systems.ProviderAgg, 0, len(providers))
-	for _, p := range providers {
+// Finalize settles open leases at horizon and assembles the Result over
+// every attached workload, in attach order.
+func (x *Instance) Finalize(horizon sim.Time) (systems.Result, error) {
+	x.acct.CloseAll(horizon, true)
+	aggs := make([]systems.ProviderAgg, 0, len(x.providers))
+	for _, p := range x.providers {
 		a := systems.ProviderAgg{
 			Name:      p.wl.Name,
 			Class:     p.wl.Class,
@@ -119,7 +212,7 @@ func Run(ctx context.Context, workloads []systems.Workload, opts systems.Options
 		}
 		aggs = append(aggs, a)
 	}
-	return systems.BuildResult(Name, horizon, acct, setup, prov.RejectedRequests(), aggs), nil
+	return systems.BuildResult(Name, horizon, x.acct, x.setup, x.prov.RejectedRequests(), aggs), nil
 }
 
 // runningTask tracks one dispatched job so an interruption can cancel its
@@ -138,10 +231,9 @@ type spotProvider struct {
 	wl     *systems.Workload
 	size   int
 
-	price float64
-	rng   *rand.Rand
-	held  bool
-	free  int
+	walk *PriceWalk
+	held bool
+	free int
 
 	queue   []*job.Job
 	running map[int]runningTask
@@ -222,17 +314,11 @@ func (p *spotProvider) schedule() error {
 // tick advances the hourly price walk and flips the lease state across
 // the bid boundary.
 func (p *spotProvider) tick() {
-	p.price += meanRevert*(meanPrice-p.price) + p.rng.NormFloat64()*priceStep
-	if p.price < minPrice {
-		p.price = minPrice
-	}
-	if p.price > maxPrice {
-		p.price = maxPrice
-	}
+	price := p.walk.Tick()
 	switch {
-	case p.held && p.price > bidPrice:
+	case p.held && price > bidPrice:
 		p.interrupt()
-	case !p.held && p.price <= bidPrice:
+	case !p.held && price <= bidPrice:
 		p.tryAcquire()
 	}
 }
@@ -240,7 +326,7 @@ func (p *spotProvider) tick() {
 // tryAcquire leases the whole cluster when the price allows; a rejected
 // request (capacity-bound pool) is retried at the next tick.
 func (p *spotProvider) tryAcquire() {
-	if p.held || p.finished || p.price > bidPrice {
+	if p.held || p.finished || p.walk.Price() > bidPrice {
 		return
 	}
 	granted := p.prov.RequestDynamic(p.wl.Name, p.size)

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/csf"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -32,37 +32,90 @@ func RunDRP(ctx context.Context, workloads []Workload, opts Options) (Result, er
 	if capacity == 0 {
 		capacity = defaultDRPPoolCapacity
 	}
-	engine := sim.New()
-	pool, err := cluster.NewPool(capacity)
+	inst, err := OpenDRP(capacity, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	acct := metrics.NewAccountant(engine.Now)
-	setup := setupCostOr(opts, csf.DefaultNodeSetupSeconds)
-	prov := csf.NewProvisionService(pool, acct, opts.Provision, setup)
-
-	aggs := make([]ProviderAgg, 0, len(workloads))
-	runners := make([]func() ProviderAgg, 0, len(workloads))
 	for i := range workloads {
-		wl := &workloads[i]
-		switch wl.Class {
-		case job.HTC:
-			runners = append(runners, runDRPHTC(engine, prov, wl))
-		case job.MTC:
-			runners = append(runners, runDRPMTC(engine, prov, wl))
-		default:
-			return Result{}, fmt.Errorf("systems: workload %s: unknown class %v", wl.Name, wl.Class)
+		if err := inst.Attach(&workloads[i]); err != nil {
+			return Result{}, err
 		}
 	}
-
-	if err := engine.RunContext(ctx, horizon); err != nil {
+	if err := inst.Engine().RunContext(ctx, horizon); err != nil {
 		return Result{}, fmt.Errorf("systems: DRP run aborted: %w", err)
 	}
-	acct.CloseAll(horizon, true)
-	for _, collect := range runners {
+	return inst.Finalize(horizon)
+}
+
+// DRPInstance is an open direct-resource-provision simulation that
+// accepts provider workloads incrementally; see FixedInstance for the
+// open/attach/finalize lifecycle it shares.
+type DRPInstance struct {
+	engine  *sim.Engine
+	pool    *nodepool.Pool
+	acct    *metrics.Accountant
+	setup   float64
+	prov    *csf.ProvisionService
+	runners []func() ProviderAgg
+	seen    map[string]bool
+}
+
+// OpenDRP opens an empty DRP instance over a pool of capacity nodes.
+// Attached workloads must already be valid; see OpenFixed.
+func OpenDRP(capacity int, opts Options) (*DRPInstance, error) {
+	engine := sim.New()
+	pool, err := nodepool.NewPool(capacity)
+	if err != nil {
+		return nil, err
+	}
+	acct := metrics.NewAccountant(engine.Now)
+	setup := setupCostOr(opts, csf.DefaultNodeSetupSeconds)
+	return &DRPInstance{
+		engine: engine,
+		pool:   pool,
+		acct:   acct,
+		setup:  setup,
+		prov:   csf.NewProvisionService(pool, acct, opts.Provision, setup),
+		seen:   make(map[string]bool),
+	}, nil
+}
+
+// Engine exposes the instance's simulation engine so an orchestrator can
+// drive it through the step primitives.
+func (x *DRPInstance) Engine() *sim.Engine { return x.engine }
+
+// PoolLoad snapshots the instance's node pool occupancy.
+func (x *DRPInstance) PoolLoad() (inUse, capacity int) {
+	return x.pool.InUse(), x.pool.Capacity()
+}
+
+// Attach admits one provider workload, scheduling its end users' leases
+// on the instance clock.
+func (x *DRPInstance) Attach(wl *Workload) error {
+	if x.seen[wl.Name] {
+		return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
+	}
+	switch wl.Class {
+	case job.HTC:
+		x.runners = append(x.runners, runDRPHTC(x.engine, x.prov, wl))
+	case job.MTC:
+		x.runners = append(x.runners, runDRPMTC(x.engine, x.prov, wl))
+	default:
+		return fmt.Errorf("systems: workload %s: unknown class %v", wl.Name, wl.Class)
+	}
+	x.seen[wl.Name] = true
+	return nil
+}
+
+// Finalize settles open leases at horizon and assembles the Result over
+// every attached workload, in attach order.
+func (x *DRPInstance) Finalize(horizon sim.Time) (Result, error) {
+	x.acct.CloseAll(horizon, true)
+	aggs := make([]ProviderAgg, 0, len(x.runners))
+	for _, collect := range x.runners {
 		aggs = append(aggs, collect())
 	}
-	return BuildResult("DRP", horizon, acct, setup, prov.RejectedRequests(), aggs), nil
+	return BuildResult("DRP", horizon, x.acct, x.setup, x.prov.RejectedRequests(), aggs), nil
 }
 
 // drpLease is one end user's whole-job lease: submit acquires, the same

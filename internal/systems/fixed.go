@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/csf"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -37,7 +37,8 @@ func RunSSP(ctx context.Context, workloads []Workload, opts Options) (Result, er
 
 // runFixed drives the DCS/SSP emulated system of Figure 8: per-provider
 // servers and schedulers with fixed resources and no resource provision
-// service interaction after startup.
+// service interaction after startup. It is the blocking wrapper over the
+// open/attach/finalize instance API below.
 func runFixed(ctx context.Context, system string, owned bool, workloads []Workload, opts Options) (Result, error) {
 	if err := ValidateWorkloads(workloads); err != nil {
 		return Result{}, err
@@ -49,69 +50,139 @@ func runFixed(ctx context.Context, system string, owned bool, workloads []Worklo
 			capacity += workloads[i].FixedNodes
 		}
 	}
-	engine := sim.New()
-	pool, err := cluster.NewPool(capacity)
+	inst, err := OpenFixed(system, owned, capacity, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	acct := metrics.NewAccountant(engine.Now)
-	setup := setupCostOr(opts, csf.DefaultNodeSetupSeconds)
-	prov := csf.NewProvisionService(pool, acct, opts.Provision, setup)
-
-	type slot struct {
-		wl     *Workload
-		server completedCounter
-	}
-	slots := make([]slot, 0, len(workloads))
 	for i := range workloads {
-		wl := &workloads[i]
-		params := policy.Params{
-			InitialNodes:      wl.FixedNodes,
-			ThresholdRatio:    neverRatio,
-			ScanInterval:      wl.Params.ScanInterval,
-			IdleCheckInterval: wl.Params.IdleCheckInterval,
-		}
-		if params.ScanInterval <= 0 {
-			params.ScanInterval = 60
-		}
-		if params.IdleCheckInterval <= 0 {
-			params.IdleCheckInterval = 3600
-		}
-		switch wl.Class {
-		case job.HTC:
-			srv, err := tre.NewHTCServer(engine, prov, tre.Config{Name: wl.Name, Params: params})
-			if err != nil {
-				return Result{}, err
-			}
-			if err := startAndFeedHTC(engine, srv, wl); err != nil {
-				return Result{}, err
-			}
-			slots = append(slots, slot{wl: wl, server: srv})
-		case job.MTC:
-			srv, err := tre.NewMTCServer(engine, prov, tre.Config{
-				Name:                wl.Name,
-				Params:              params,
-				DestroyOnCompletion: true,
-			})
-			if err != nil {
-				return Result{}, err
-			}
-			if err := startAndFeedMTC(engine, srv, wl); err != nil {
-				return Result{}, err
-			}
-			slots = append(slots, slot{wl: wl, server: srv})
-		default:
-			return Result{}, fmt.Errorf("systems: workload %s: unknown class %v", wl.Name, wl.Class)
+		if err := inst.Attach(&workloads[i]); err != nil {
+			return Result{}, err
 		}
 	}
-
-	if err := engine.RunContext(ctx, horizon); err != nil {
+	if err := inst.Engine().RunContext(ctx, horizon); err != nil {
 		return Result{}, fmt.Errorf("systems: %s run aborted: %w", system, err)
 	}
-	acct.CloseAll(horizon, !owned)
+	return inst.Finalize(horizon)
+}
 
-	aggs := make([]ProviderAgg, 0, len(slots))
-	for _, s := range slots {
+// FixedInstance is an open DCS/SSP simulation that accepts provider
+// workloads incrementally: OpenFixed, Attach each provider while the
+// virtual clock has not passed its first submission, drive the engine
+// (RunContext, or the sim step primitives under a federated
+// orchestrator such as internal/clustersim), then Finalize to settle
+// accounting and assemble the Result.
+type FixedInstance struct {
+	system string
+	owned  bool
+	opts   Options
+	engine *sim.Engine
+	pool   *nodepool.Pool
+	acct   *metrics.Accountant
+	setup  float64
+	prov   *csf.ProvisionService
+	slots  []fixedSlot
+	seen   map[string]bool
+}
+
+type fixedSlot struct {
+	wl     *Workload
+	server completedCounter
+}
+
+// OpenFixed opens an empty DCS (owned=true) or SSP (owned=false)
+// instance over a pool of capacity nodes. Capacity must be explicit and
+// positive: an open instance cannot derive it from workloads it has not
+// seen yet (the blocking runners sum FixedNodes before opening).
+//
+// Attached workloads must already be valid (Workload.Validate);
+// ValidateWorkloads over the whole intended set is the callers'
+// responsibility, which keeps the attach path free of redundant O(jobs)
+// re-validation.
+func OpenFixed(system string, owned bool, capacity int, opts Options) (*FixedInstance, error) {
+	engine := sim.New()
+	pool, err := nodepool.NewPool(capacity)
+	if err != nil {
+		return nil, err
+	}
+	acct := metrics.NewAccountant(engine.Now)
+	setup := setupCostOr(opts, csf.DefaultNodeSetupSeconds)
+	return &FixedInstance{
+		system: system,
+		owned:  owned,
+		opts:   opts,
+		engine: engine,
+		pool:   pool,
+		acct:   acct,
+		setup:  setup,
+		prov:   csf.NewProvisionService(pool, acct, opts.Provision, setup),
+		seen:   make(map[string]bool),
+	}, nil
+}
+
+// Engine exposes the instance's simulation engine so an orchestrator can
+// drive it through the step primitives.
+func (x *FixedInstance) Engine() *sim.Engine { return x.engine }
+
+// PoolLoad snapshots the instance's node pool occupancy.
+func (x *FixedInstance) PoolLoad() (inUse, capacity int) {
+	return x.pool.InUse(), x.pool.Capacity()
+}
+
+// Attach admits one provider workload: its runtime environment is
+// created and its job arrivals are scheduled on the instance clock. The
+// workload's first submission must not be in the instance's past.
+func (x *FixedInstance) Attach(wl *Workload) error {
+	if x.seen[wl.Name] {
+		return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
+	}
+	params := policy.Params{
+		InitialNodes:      wl.FixedNodes,
+		ThresholdRatio:    neverRatio,
+		ScanInterval:      wl.Params.ScanInterval,
+		IdleCheckInterval: wl.Params.IdleCheckInterval,
+	}
+	if params.ScanInterval <= 0 {
+		params.ScanInterval = 60
+	}
+	if params.IdleCheckInterval <= 0 {
+		params.IdleCheckInterval = 3600
+	}
+	switch wl.Class {
+	case job.HTC:
+		srv, err := tre.NewHTCServer(x.engine, x.prov, tre.Config{Name: wl.Name, Params: params})
+		if err != nil {
+			return err
+		}
+		if err := startAndFeedHTC(x.engine, srv, wl); err != nil {
+			return err
+		}
+		x.slots = append(x.slots, fixedSlot{wl: wl, server: srv})
+	case job.MTC:
+		srv, err := tre.NewMTCServer(x.engine, x.prov, tre.Config{
+			Name:                wl.Name,
+			Params:              params,
+			DestroyOnCompletion: true,
+		})
+		if err != nil {
+			return err
+		}
+		if err := startAndFeedMTC(x.engine, srv, wl); err != nil {
+			return err
+		}
+		x.slots = append(x.slots, fixedSlot{wl: wl, server: srv})
+	default:
+		return fmt.Errorf("systems: workload %s: unknown class %v", wl.Name, wl.Class)
+	}
+	x.seen[wl.Name] = true
+	return nil
+}
+
+// Finalize settles open leases at horizon and assembles the Result over
+// every attached workload, in attach order.
+func (x *FixedInstance) Finalize(horizon sim.Time) (Result, error) {
+	x.acct.CloseAll(horizon, !x.owned)
+	aggs := make([]ProviderAgg, 0, len(x.slots))
+	for _, s := range x.slots {
 		a := ProviderAgg{
 			Name:      s.wl.Name,
 			Class:     s.wl.Class,
@@ -120,7 +191,7 @@ func runFixed(ctx context.Context, system string, owned bool, workloads []Worklo
 			Completed: s.server.CompletedBy(horizon),
 			Adjusted:  -1,
 		}
-		if owned {
+		if x.owned {
 			a.Adjusted = 0 // DCS providers own their machines
 		}
 		if s.wl.Class == job.MTC {
@@ -128,8 +199,8 @@ func runFixed(ctx context.Context, system string, owned bool, workloads []Worklo
 		}
 		aggs = append(aggs, a)
 	}
-	res := BuildResult(system, horizon, acct, setup, prov.RejectedRequests(), aggs)
-	if owned {
+	res := BuildResult(x.system, horizon, x.acct, x.setup, x.prov.RejectedRequests(), aggs)
+	if x.owned {
 		// Owned machines incur no cloud setup work.
 		res.OverheadSeconds = 0
 		res.OverheadPerHour = 0

@@ -3,7 +3,7 @@ package tre
 import (
 	"testing"
 
-	"repro/internal/cluster"
+	"repro/internal/nodepool"
 	"repro/internal/csf"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -14,7 +14,7 @@ import (
 
 type fixture struct {
 	engine *sim.Engine
-	pool   *cluster.Pool
+	pool   *nodepool.Pool
 	acct   *metrics.Accountant
 	prov   *csf.ProvisionService
 }
@@ -22,7 +22,7 @@ type fixture struct {
 func newFixture(t *testing.T, capacity int) *fixture {
 	t.Helper()
 	engine := sim.New()
-	pool, err := cluster.NewPool(capacity)
+	pool, err := nodepool.NewPool(capacity)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,8 @@
 //
 //	dcserve [-addr :8377] [-workers 0] [-queue 256] [-ttl 15m]
 //	        [-max-runs 2048] [-grace 15s] [-quiet]
+//	        [-data DIR] [-snapshot-every 4096] [-no-fsync]
+//	        [-worker-id local] [-lease 30s] [-max-retries 3]
 //
 // API (JSON everywhere; see internal/service/api):
 //
@@ -16,17 +18,28 @@
 //	                            | {"system":"DawningCloud","workload":"nasa"}
 //	                            | {"experiments":["table2","table3"]}
 //	GET    /v1/runs             list runs + service stats
+//	                            (?status= filter, ?limit=/?cursor= pagination)
 //	GET    /v1/runs/{id}        status; result when done
 //	GET    /v1/runs/{id}/events NDJSON event stream (SSE with Accept: text/event-stream)
 //	DELETE /v1/runs/{id}        cancel
 //	GET    /v1/scenarios        built-in scenario catalog
-//	GET    /healthz             liveness + dedup/queue counters
+//	GET    /healthz             liveness + dedup/queue/durability counters
 //
 // Identical submissions share one run: the response's "deduped" flag and
 // the /healthz cache-hit counters make the sharing observable. A full
 // queue answers 503 with Retry-After. SIGINT/SIGTERM shut down
 // gracefully: intake stops, in-flight runs are canceled, and the
 // process exits once the workers drain (bounded by -grace).
+//
+// -data makes the service durable: every run's lifecycle is written
+// through a checksummed write-ahead log under DIR (compacted into a
+// snapshot every -snapshot-every records), and a restart over the same
+// directory resumes interrupted runs and serves finished results from
+// disk — kill -9 included. Workers hold heartbeat-refreshed leases on
+// executing runs; a run whose lease goes -lease stale is re-queued up
+// to -max-retries times, then parked in the dead_letter state. -no-fsync
+// trades crash safety on power loss for append throughput (the log is
+// still written and survives process crashes).
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 	"time"
 
 	dawningcloud "repro"
+	"repro/internal/runstore"
 	"repro/internal/service/api"
 )
 
@@ -59,17 +73,52 @@ func run(args []string) int {
 		maxRuns = fs.Int("max-runs", 2048, "run-store cap (oldest finished runs evicted beyond it)")
 		grace   = fs.Duration("grace", 15*time.Second, "shutdown grace period for draining workers")
 		quiet   = fs.Bool("quiet", false, "disable the access/lifecycle log on stderr")
+
+		dataDir    = fs.String("data", "", "durable run-store directory (empty = in-memory only)")
+		snapEvery  = fs.Int("snapshot-every", 4096, "compact the WAL into a snapshot every N records (-1 disables)")
+		noFsync    = fs.Bool("no-fsync", false, "skip fsync on WAL appends (survives process crashes, not power loss)")
+		workerID   = fs.String("worker-id", "local", "name for this process's worker claims in the durable store")
+		lease      = fs.Duration("lease", 30*time.Second, "worker lease TTL before a silent run is re-queued")
+		maxRetries = fs.Int("max-retries", 3, "stale-claim requeues before a run is dead-lettered")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	eng := dawningcloud.NewEngine(dawningcloud.WithServiceConfig(dawningcloud.ServiceConfig{
+	engOpts := []dawningcloud.EngineOption{dawningcloud.WithServiceConfig(dawningcloud.ServiceConfig{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		TTL:        *ttl,
 		MaxRuns:    *maxRuns,
-	}))
+		WorkerID:   *workerID,
+		LeaseTTL:   *lease,
+		MaxRetries: *maxRetries,
+	})}
+	if *dataDir != "" {
+		store, err := runstore.Open(runstore.Options{
+			Dir:           *dataDir,
+			SnapshotEvery: *snapEvery,
+			NoSync:        *noFsync,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcserve: open run store: %v\n", err)
+			return 1
+		}
+		defer store.Close()
+		engOpts = append(engOpts, dawningcloud.WithRunStore(store))
+		if truncated := store.Stats().TruncatedBytes; truncated > 0 {
+			fmt.Fprintf(os.Stderr, "dcserve: run store: truncated %d bytes of torn WAL tail\n", truncated)
+		}
+	}
+	eng := dawningcloud.NewEngine(engOpts...)
+	if *dataDir != "" {
+		// Force the lazily-created run service up now so recovery (and
+		// the worker pool for resumed runs) happens at boot, not on the
+		// first request.
+		stats := eng.ServiceStats()
+		fmt.Fprintf(os.Stderr, "dcserve: run store %s: %d runs restored (%d resumed, %d requeued, %d dead-lettered)\n",
+			*dataDir, stats.Stored, stats.RecoveredRuns, stats.Requeues, stats.DeadLetters)
+	}
 	var apiOpts []api.Option
 	if !*quiet {
 		apiOpts = append(apiOpts, api.WithLog(os.Stderr))

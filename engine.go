@@ -10,6 +10,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/par"
 	"repro/internal/registry"
+	"repro/internal/runstore"
 	"repro/internal/service"
 	"repro/internal/systems"
 
@@ -55,6 +56,7 @@ type Engine struct {
 	reg *registry.Registry
 
 	svcCfg  ServiceConfig
+	store   RunStore
 	svcOnce sync.Once
 	svc     *service.Service
 }
@@ -99,6 +101,20 @@ type ServiceConfig struct {
 	// MaxRuns caps the run store, evicting the oldest finished runs
 	// beyond it (default 2048).
 	MaxRuns int
+	// WorkerID names this process's worker claims in a durable run
+	// store (default "local"); see WithRunStore.
+	WorkerID string
+	// LeaseTTL is how stale a running run's heartbeat may grow before
+	// the service's reconciler treats its worker as lost and re-queues
+	// the run (default 30s). HeartbeatEvery and ReconcileEvery default
+	// to LeaseTTL/3 and LeaseTTL/2.
+	LeaseTTL       time.Duration
+	HeartbeatEvery time.Duration
+	ReconcileEvery time.Duration
+	// MaxRetries bounds self-healing: a run may be re-queued this many
+	// times after stale claims; the next one dead-letters it (default
+	// 3; negative means no retries).
+	MaxRetries int
 }
 
 // WithServiceConfig sets the run-service tuning for a new engine.
@@ -108,18 +124,52 @@ func WithServiceConfig(cfg ServiceConfig) EngineOption {
 	return func(e *Engine) { e.svcCfg = cfg }
 }
 
+// RunStore is the pluggable persistence layer behind the engine's run
+// service. runstore.NewMem() (the default) keeps runs in memory;
+// runstore.Open(runstore.Options{Dir: ...}) makes the engine
+// crash-recoverable: every submission, claim, requeue and result is
+// written through a checksummed WAL with snapshot compaction, and a
+// restarted engine over the same directory resumes interrupted runs and
+// serves finished results from disk.
+type RunStore = runstore.Store
+
+// WithRunStore plugs a persistence layer into a new engine's run
+// service. The caller owns the store's lifecycle: open it before
+// NewEngine, close it after Engine.Shutdown. Recovery happens when the
+// run service first starts (first Submit/Handles/ServiceStats call).
+func WithRunStore(store RunStore) EngineOption {
+	return func(e *Engine) { e.store = store }
+}
+
 // runService returns the engine's run service, creating it on first
 // use so engines that only ever resolve names own no extra state.
 func (e *Engine) runService() *service.Service {
 	e.svcOnce.Do(func() {
 		e.svc = service.New(service.Config{
-			Workers:    e.svcCfg.Workers,
-			QueueDepth: e.svcCfg.QueueDepth,
-			TTL:        e.svcCfg.TTL,
-			MaxRuns:    e.svcCfg.MaxRuns,
+			Workers:        e.svcCfg.Workers,
+			QueueDepth:     e.svcCfg.QueueDepth,
+			TTL:            e.svcCfg.TTL,
+			MaxRuns:        e.svcCfg.MaxRuns,
+			WorkerID:       e.svcCfg.WorkerID,
+			LeaseTTL:       e.svcCfg.LeaseTTL,
+			HeartbeatEvery: e.svcCfg.HeartbeatEvery,
+			ReconcileEvery: e.svcCfg.ReconcileEvery,
+			MaxRetries:     e.svcCfg.MaxRetries,
+			Store:          e.store,
+			Rehydrate:      e.rehydrateTask,
+			EncodeResult:   encodeRunResult,
+			DecodeResult:   decodeRunResult,
 		})
 	})
 	return e.svc
+}
+
+// persistSpecs reports whether submissions should carry a serialized
+// spec for crash recovery. Only durable stores need one: serializing a
+// million-job workload on every in-memory submission would be pure
+// overhead.
+func (e *Engine) persistSpecs() bool {
+	return e.store != nil && e.store.Durable()
 }
 
 // Submit starts req asynchronously and returns its handle: a stable run

@@ -21,7 +21,7 @@ import (
 )
 
 // RunStatus is a submitted run's lifecycle state: queued, running, done,
-// failed or canceled.
+// failed, canceled or dead_letter.
 type RunStatus = service.Status
 
 // The run lifecycle states.
@@ -36,7 +36,15 @@ const (
 	RunStatusFailed = service.StatusFailed
 	// RunStatusCanceled: aborted by Cancel or engine shutdown.
 	RunStatusCanceled = service.StatusCanceled
+	// RunStatusDeadLetter: abandoned by the self-healing fleet after
+	// the run's worker claim went stale more than MaxRetries times.
+	RunStatusDeadLetter = service.StatusDeadLetter
 )
+
+// ParseRunStatus maps a wire-form status string ("queued", "running",
+// "done", "failed", "canceled", "dead_letter") back to its RunStatus.
+// dcserve's ?status= filter routes through it.
+func ParseRunStatus(s string) (RunStatus, error) { return service.ParseStatus(s) }
 
 // Submission-path sentinel errors, re-exported for errors.Is.
 var (
@@ -143,6 +151,11 @@ func (h *RunHandle) ResultView(build func(RunResult) any) any {
 	return h.run.Memo(func(v any) any { return build(h.resolve(v)) })
 }
 
+// Retries reports how many times the run was re-queued after a stale
+// worker claim (crash-recovery resumes included); MaxRetries of them
+// park the run in RunStatusDeadLetter.
+func (h *RunHandle) Retries() int { return h.run.Retries() }
+
 // Done returns a channel closed when the run reaches a terminal status.
 func (h *RunHandle) Done() <-chan struct{} { return h.run.Done() }
 
@@ -230,6 +243,13 @@ type (
 	// RunQueuedEvent announces a submission accepted into the run
 	// service.
 	RunQueuedEvent = events.RunQueued
+	// RunRequeuedEvent announces the self-healing path: a run whose
+	// worker claim went stale returned to the queue for a new attempt.
+	RunRequeuedEvent = events.RunRequeued
+	// RunDeadLetteredEvent reports a run abandoned after MaxRetries
+	// stale claims; a RunFinishedEvent with status "dead_letter"
+	// follows it.
+	RunDeadLetteredEvent = events.RunDeadLettered
 	// RunFinishedEvent closes a run's stream with its terminal status.
 	RunFinishedEvent = events.RunFinished
 )
@@ -281,10 +301,17 @@ func (e *Engine) buildSystemRequest(req SubmitRequest, cfg runConfig) (service.R
 	for i := range workloads {
 		hashWorkload(h, &workloads[i])
 	}
+	var spec []byte
+	if e.persistSpecs() {
+		if spec, err = specForSystem(canonical, workloads, cfg); err != nil {
+			return service.Request{}, fmt.Errorf("dawningcloud: submit %s: persist spec: %w", canonical, err)
+		}
+	}
 	return service.Request{
 		Key:   h.Sum(),
 		Kind:  "system",
 		Label: fmt.Sprintf("system %s (%d providers)", canonical, len(workloads)),
+		Spec:  spec,
 		Sink:  cfg.sink,
 		// Asynchronous runs clone at execution time: the run may start
 		// long after Submit returned, and cloning inside the worker
@@ -334,10 +361,17 @@ func (e *Engine) buildScenarioRequest(req SubmitRequest, cfg runConfig) (service
 		return service.Request{}, fmt.Errorf("dawningcloud: submit scenario %s: %w", spec.Name, err)
 	}
 	workers := cfg.workers
+	var persisted []byte
+	if e.persistSpecs() {
+		if persisted, err = specForScenario(specJSON, cfg); err != nil {
+			return service.Request{}, fmt.Errorf("dawningcloud: submit scenario %s: persist spec: %w", spec.Name, err)
+		}
+	}
 	return service.Request{
 		Key:   service.NewHasher("scenario").Str(string(specJSON)).Sum(),
 		Kind:  "scenario",
 		Label: fmt.Sprintf("scenario %s", spec.Name),
+		Spec:  persisted,
 		Sink:  cfg.sink,
 		Task: func(ctx context.Context, sink events.Sink) (any, error) {
 			return scenario.RunContext(ctx, spec, workers, sink)
@@ -367,10 +401,17 @@ func (e *Engine) buildSuiteRequest(req SubmitRequest, cfg runConfig) (service.Re
 	for _, id := range ids {
 		h.Str(id)
 	}
+	var spec []byte
+	if e.persistSpecs() {
+		if spec, err = specForSuite(ids, seed, days, cfg); err != nil {
+			return service.Request{}, fmt.Errorf("dawningcloud: submit experiments: persist spec: %w", err)
+		}
+	}
 	return service.Request{
 		Key:   h.Sum(),
 		Kind:  "suite",
 		Label: fmt.Sprintf("suite seed=%d days=%d [%s]", seed, days, strings.Join(ids, ",")),
+		Spec:  spec,
 		Sink:  cfg.sink,
 		Task: func(ctx context.Context, sink events.Sink) (any, error) {
 			suite := experiments.NewSuite(seed)

@@ -169,6 +169,44 @@ func (e RunQueued) String() string {
 	return fmt.Sprintf("run %s queued", e.ID)
 }
 
+// RunRequeued announces the self-healing path: a run whose worker claim
+// went stale (crashed process, lost worker) has been returned to the
+// queue for another attempt.
+type RunRequeued struct {
+	// ID is the run's stable identity in the run store.
+	ID string
+	// Retries is the run's total requeue count so far (bounded by the
+	// service's MaxRetries).
+	Retries int
+	// Reason says why ("lease expired", "recovered after restart").
+	Reason string
+}
+
+func (e RunRequeued) event() {}
+
+func (e RunRequeued) String() string {
+	return fmt.Sprintf("run %s requeued (retry %d): %s", e.ID, e.Retries, e.Reason)
+}
+
+// RunDeadLettered reports a run abandoned by the self-healing loop: its
+// claim went stale more than MaxRetries times, so instead of burning a
+// worker slot forever it is parked in the terminal dead-letter state,
+// visible via the API for operator inspection.
+type RunDeadLettered struct {
+	// ID is the run's stable identity in the run store.
+	ID string
+	// Retries is how many requeues were spent before giving up.
+	Retries int
+	// Err describes the final failure.
+	Err error
+}
+
+func (e RunDeadLettered) event() {}
+
+func (e RunDeadLettered) String() string {
+	return fmt.Sprintf("run %s dead-lettered after %d retries: %v", e.ID, e.Retries, e.Err)
+}
+
 // RunFinished closes a run's stream: the terminal lifecycle status of a
 // stored run ("done", "failed" or "canceled"). It is distinct from
 // RunCompleted, which reports one simulation inside the run; a scenario

@@ -21,6 +21,8 @@ func TestStringForms(t *testing.T) {
 		{CellCompleted{Index: 2, Total: 7, Key: "DCS|n=2"}, []string{"cell 2/7 done", "DCS|n=2"}},
 		{TableRendered{ID: "table2", Title: "NASA"}, []string{"rendered table2", "NASA"}},
 		{RunQueued{ID: "run-000007", Label: "scenario x"}, []string{"run run-000007 queued", "scenario x"}},
+		{RunRequeued{ID: "r1", Retries: 2, Reason: "lease expired"}, []string{"run r1 requeued", "retry 2", "lease expired"}},
+		{RunDeadLettered{ID: "r1", Retries: 3, Err: errors.New("gone")}, []string{"run r1 dead-lettered", "3 retries", "gone"}},
 		{RunFinished{ID: "run-000007", Status: "done"}, []string{"run run-000007 done"}},
 		{RunFinished{ID: "r1", Status: "failed", Err: errors.New("boom")}, []string{"r1 failed", "boom"}},
 	}
@@ -155,6 +157,10 @@ func TestWireEncoding(t *testing.T) {
 					len(w.Dispatched) == 2 && w.Dispatched[0] == 2 &&
 					len(w.NodesInUse) == 2 && w.NodesInUse[1] == 8
 			}},
+		{RunRequeued{ID: "r2", Retries: 1, Reason: "lease expired"}, "run_requeued",
+			func(w Wire) bool { return w.RunID == "r2" && w.Retries == 1 && w.Reason == "lease expired" }},
+		{RunDeadLettered{ID: "r3", Retries: 3, Err: errors.New("stale")}, "run_dead_lettered",
+			func(w Wire) bool { return w.RunID == "r3" && w.Retries == 3 && w.Error == "stale" }},
 		{RunFinished{ID: "r1", Status: "canceled", Err: errors.New("ctx")}, "run_finished",
 			func(w Wire) bool { return w.RunID == "r1" && w.Status == "canceled" && w.Error == "ctx" }},
 	}

@@ -7,7 +7,8 @@ package events
 type Wire struct {
 	// Type is the snake_case event name: "run_queued", "run_started",
 	// "run_completed", "cell_completed", "cluster_window",
-	// "table_rendered", "run_finished".
+	// "table_rendered", "run_requeued", "run_dead_lettered",
+	// "run_finished".
 	Type string `json:"type"`
 	// Text is the event's String() rendering.
 	Text string `json:"text"`
@@ -42,8 +43,12 @@ type Wire struct {
 	Dispatched []int  `json:"dispatched,omitempty"`
 	NodesInUse []int  `json:"nodes_in_use,omitempty"`
 
-	// Error carries RunCompleted.Err / RunFinished.Err as text (error
-	// values do not survive JSON).
+	// RunRequeued / RunDeadLettered fields (RunID identifies the run).
+	Retries int    `json:"retries,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+
+	// Error carries RunCompleted.Err / RunDeadLettered.Err /
+	// RunFinished.Err as text (error values do not survive JSON).
 	Error string `json:"error,omitempty"`
 }
 
@@ -86,6 +91,18 @@ func Encode(ev Event) Wire {
 		w.Type = "table_rendered"
 		w.ArtifactID = e.ID
 		w.Title = e.Title
+	case RunRequeued:
+		w.Type = "run_requeued"
+		w.RunID = e.ID
+		w.Retries = e.Retries
+		w.Reason = e.Reason
+	case RunDeadLettered:
+		w.Type = "run_dead_lettered"
+		w.RunID = e.ID
+		w.Retries = e.Retries
+		if e.Err != nil {
+			w.Error = e.Err.Error()
+		}
 	case RunFinished:
 		w.Type = "run_finished"
 		w.RunID = e.ID

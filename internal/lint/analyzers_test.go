@@ -22,6 +22,14 @@ func TestClustersimFixtures(t *testing.T) {
 	runFixture(t, []*Analyzer{Walltime, Detrand}, "internal/clustersim")
 }
 
+func TestRunstoreFixtures(t *testing.T) {
+	// The durable run store is a real-time persistence layer: WAL
+	// timestamps and lease expiry genuinely read the host clock, so
+	// walltime must stay silent over it — while detrand still applies,
+	// which is what keeps the fixture dirty.
+	runFixture(t, []*Analyzer{Walltime, Detrand}, "internal/runstore")
+}
+
 func TestMapiterFixtures(t *testing.T) {
 	runFixture(t, []*Analyzer{Mapiter}, "mapiter/a")
 }
@@ -58,7 +66,8 @@ func TestWalltimeAppliesScope(t *testing.T) {
 	}
 	exempt := []string{
 		"internal/emulation", "internal/service", "internal/events",
-		"internal/kernelbench", "internal/simulator", ".", "cmd/dcsim",
+		"internal/runstore", "internal/kernelbench", "internal/simulator",
+		".", "cmd/dcsim",
 	}
 	for _, p := range exempt {
 		if walltimeApplies(p) {
@@ -124,6 +133,7 @@ func TestFixturesAreDirty(t *testing.T) {
 		{Walltime, "internal/sim", 5},
 		{Walltime, "internal/clustersim", 2},
 		{Detrand, "internal/clustersim", 2},
+		{Detrand, "internal/runstore", 2},
 		{Mapiter, "mapiter/a", 4},
 		{CtxFirst, "ctxfirst/a", 5},
 		{Deprecated, "deprecated/a", 4},

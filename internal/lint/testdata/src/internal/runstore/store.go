@@ -1,0 +1,40 @@
+// Package runstore stands in for the durable run store (fixture import
+// path internal/runstore). Persistence is a real-time layer — WAL
+// records carry wall-clock timestamps, worker leases expire against
+// the host clock — so the package is walltime-EXEMPT: the time.Now
+// calls below must raise no finding. Detrand still applies everywhere;
+// the process-global draws keep this fixture dirty for the
+// fixtures-must-stay-dirty guard.
+package runstore
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampRecord is legitimate wall-clock use — durability metadata, not
+// simulated time — and must stay silent under the walltime analyzer.
+func stampRecord() time.Time {
+	return time.Now()
+}
+
+// leaseStale is the other sanctioned shape: lease arithmetic against
+// the host clock.
+func leaseStale(lastBeat time.Time, ttl time.Duration) bool {
+	return time.Since(lastBeat) >= ttl
+}
+
+func jitterBad() time.Duration {
+	return time.Duration(rand.Intn(250)) * time.Millisecond // want `rand\.Intn draws from the process-global source`
+}
+
+func backoffBad() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+}
+
+// seededJitter is the required construction: randomness from an
+// explicit seed that arrives through configuration.
+func seededJitter(seed int64, n int) time.Duration {
+	r := rand.New(rand.NewSource(seed))
+	return time.Duration(r.Intn(n)) * time.Millisecond
+}

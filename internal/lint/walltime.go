@@ -10,9 +10,10 @@ import (
 // the discrete-event kernel; a stray time.Now() or time.Sleep() in a
 // system model makes results depend on host scheduling and corrupts
 // the byte-pinned goldens. The real-time layers — internal/emulation,
-// internal/service, internal/events, the benches, the commands — and
-// all test files are exempt: they genuinely operate in wall-clock
-// time.
+// internal/service, internal/events, internal/runstore (WAL record
+// timestamps and worker-lease expiry are wall-clock facts), the
+// benches, the commands — and all test files are exempt: they
+// genuinely operate in wall-clock time.
 var Walltime = &Analyzer{
 	Name: "walltime",
 	Doc: "forbid time.Now/Since/Sleep/After/... in simulation-path " +

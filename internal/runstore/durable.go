@@ -1,0 +1,232 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Data directory layout:
+//
+//	<dir>/snapshot.json  — the reduced state at the last compaction,
+//	                       written to a temp file and renamed into
+//	                       place, so it is always whole or absent.
+//	<dir>/wal.log        — checksummed records appended since the
+//	                       snapshot (see wal.go for the framing).
+//
+// Open loads the snapshot (if any) and replays the WAL over it; a torn
+// WAL tail is truncated, not fatal. A crash between writing a snapshot
+// and truncating the WAL replays already-compacted records over the
+// snapshot, which is safe because replay is idempotent (all record
+// fields are absolute).
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.log"
+
+	// DefaultSnapshotEvery is the record count between compactions.
+	DefaultSnapshotEvery = 4096
+)
+
+// Options configures a durable store.
+type Options struct {
+	// Dir is the data directory (created if missing). Required.
+	Dir string
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appended records (default DefaultSnapshotEvery; negative disables
+	// compaction).
+	SnapshotEvery int
+	// NoSync skips the per-append fsync. Heartbeat records are never
+	// fsynced regardless (losing a heartbeat costs at most one spurious
+	// requeue of an idempotent run); every other record is flushed to
+	// disk before Append returns unless NoSync is set.
+	NoSync bool
+}
+
+// snapshot is the on-disk snapshot document.
+type snapshot struct {
+	Version int        `json:"version"`
+	Runs    []RunState `json:"runs"`
+}
+
+// Durable is the WAL+snapshot store behind `dcserve -data`.
+type Durable struct {
+	opts Options
+
+	mu        sync.Mutex
+	wal       *os.File
+	states    map[string]*RunState
+	sinceSnap int
+	appends   int64
+	snaps     int64
+	truncated int64
+	closed    bool
+}
+
+// Open opens (or initializes) the data directory, recovers the reduced
+// run state from snapshot + WAL, and truncates any torn WAL tail left
+// by a crash.
+func Open(opts Options) (*Durable, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("runstore: open: empty data dir")
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: open: %w", err)
+	}
+	d := &Durable{opts: opts, states: make(map[string]*RunState)}
+
+	snapPath := filepath.Join(opts.Dir, snapshotFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("runstore: corrupt snapshot %s: %w", snapPath, err)
+		}
+		for i := range snap.Runs {
+			st := snap.Runs[i]
+			d.states[st.ID] = &st
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runstore: read snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(opts.Dir, walFile)
+	recs, truncated, err := replayWALFile(walPath)
+	if err != nil {
+		return nil, err
+	}
+	d.truncated = truncated
+	for i := range recs {
+		apply(d.states, &recs[i])
+	}
+	d.sinceSnap = len(recs)
+	d.appends = int64(len(recs)) // replayed records are still in the WAL
+
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: open wal for append: %w", err)
+	}
+	d.wal = wal
+	return d, nil
+}
+
+// Durable reports true.
+func (d *Durable) Durable() bool { return true }
+
+// Append writes one checksummed record to the WAL (fsynced unless
+// NoSync, except heartbeats), folds it into the reduced state, and
+// compacts into a snapshot when due.
+func (d *Durable) Append(rec *Record) error {
+	line, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("runstore: append to closed store")
+	}
+	if _, err := d.wal.Write(line); err != nil {
+		return fmt.Errorf("runstore: append wal: %w", err)
+	}
+	if !d.opts.NoSync && rec.Op != OpHeartbeat {
+		if err := d.wal.Sync(); err != nil {
+			return fmt.Errorf("runstore: sync wal: %w", err)
+		}
+	}
+	apply(d.states, rec)
+	d.appends++
+	d.sinceSnap++
+	if d.opts.SnapshotEvery > 0 && d.sinceSnap >= d.opts.SnapshotEvery {
+		if err := d.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot forces a compaction now (normally driven by SnapshotEvery).
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("runstore: snapshot closed store")
+	}
+	return d.snapshotLocked()
+}
+
+// snapshotLocked writes the reduced state atomically (temp file +
+// rename + dir sync) and resets the WAL. Caller holds d.mu.
+func (d *Durable) snapshotLocked() error {
+	data, err := json.Marshal(snapshot{Version: 1, Runs: sortedStates(d.states)})
+	if err != nil {
+		return fmt.Errorf("runstore: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(d.opts.Dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("runstore: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("runstore: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("runstore: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("runstore: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.opts.Dir, snapshotFile)); err != nil {
+		return fmt.Errorf("runstore: publish snapshot: %w", err)
+	}
+	if dir, err := os.Open(d.opts.Dir); err == nil {
+		dir.Sync() // make the rename durable before truncating the WAL
+		dir.Close()
+	}
+	// The snapshot now owns every record; a crash before this truncate
+	// replays them over it, which reduce idempotence absorbs.
+	if err := d.wal.Truncate(0); err != nil {
+		return fmt.Errorf("runstore: reset wal: %w", err)
+	}
+	if _, err := d.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("runstore: rewind wal: %w", err)
+	}
+	d.sinceSnap = 0
+	d.snaps++
+	return nil
+}
+
+// Runs returns the reduced run states in submission order.
+func (d *Durable) Runs() []RunState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return sortedStates(d.states)
+}
+
+// Stats snapshots the durability counters.
+func (d *Durable) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{WALRecords: d.appends, Snapshots: d.snaps, TruncatedBytes: d.truncated}
+}
+
+// Close syncs and closes the WAL. Further appends fail.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.wal.Sync(); err != nil {
+		d.wal.Close()
+		return fmt.Errorf("runstore: close: sync wal: %w", err)
+	}
+	return d.wal.Close()
+}

@@ -1,0 +1,47 @@
+package runstore
+
+import "sync"
+
+// Mem is the in-memory store: it reduces records exactly like Durable
+// but persists nothing, so a service over it behaves like the original
+// memory-only run store. It is the default when no data directory is
+// configured, and the reduction twin the durable tests compare against.
+type Mem struct {
+	mu      sync.Mutex
+	states  map[string]*RunState
+	appends int64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{states: make(map[string]*RunState)}
+}
+
+// Durable reports false: nothing survives the process.
+func (m *Mem) Durable() bool { return false }
+
+// Append folds the record into the in-memory state.
+func (m *Mem) Append(rec *Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	apply(m.states, rec)
+	m.appends++
+	return nil
+}
+
+// Runs returns the reduced run states in submission order.
+func (m *Mem) Runs() []RunState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedStates(m.states)
+}
+
+// Stats counts appends; Mem never snapshots.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{WALRecords: m.appends}
+}
+
+// Close is a no-op.
+func (m *Mem) Close() error { return nil }

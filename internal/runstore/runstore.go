@@ -1,0 +1,198 @@
+// Package runstore is the pluggable persistence layer behind the run
+// service (internal/service): every lifecycle transition of a stored
+// run — submission, worker claim, heartbeat, requeue, terminal finish,
+// eviction — is recorded as a Record through the Store interface, and a
+// Store can play the reduced per-run state back so a restarted service
+// resumes exactly where the crashed one stopped.
+//
+// Two implementations ship:
+//
+//   - Mem keeps the reduced state in memory only. It is the default
+//     behind the service and preserves the pre-durability behavior
+//     exactly: nothing survives the process.
+//   - Durable appends every record to a write-ahead log with a per-record
+//     checksum and periodically compacts the log into an atomic snapshot
+//     file; Open replays snapshot + WAL (truncating a torn tail) so a
+//     `dcserve -data <dir>` restart serves finished results from disk
+//     and re-queues the runs the crash interrupted.
+//
+// The package deliberately lives outside dclint's walltime-protected
+// set: it is a real-I/O, wall-clock layer (fsync, lease timestamps)
+// with no simulation-path code.
+package runstore
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// Op is the kind of lifecycle transition a Record describes.
+type Op string
+
+// The record vocabulary. Replay folds records left-to-right with
+// last-writer-wins field semantics, so re-applying a prefix (snapshot
+// plus an overlapping WAL after a crash between snapshot and truncate)
+// is idempotent.
+const (
+	// OpSubmit creates the run: identity, content key, kind, label and
+	// the serialized submission spec a restart rehydrates the task from.
+	OpSubmit Op = "submit"
+	// OpClaim moves the run to running under a worker's lease.
+	OpClaim Op = "claim"
+	// OpHeartbeat refreshes the claim's lease timestamp.
+	OpHeartbeat Op = "heartbeat"
+	// OpRequeue returns a stale-claimed run to the queue with its
+	// incremented retry count.
+	OpRequeue Op = "requeue"
+	// OpFinish records the terminal state — status, error, and (for
+	// successful durable runs) the encoded result — in one atomic
+	// record, so a crash can never persist a "done" without its result.
+	OpFinish Op = "finish"
+	// OpDrop removes an evicted run from the store.
+	OpDrop Op = "drop"
+)
+
+// Record is one durable lifecycle transition. Only the fields relevant
+// to the Op are set; all values are absolute (never deltas) so replay
+// is idempotent.
+type Record struct {
+	Op Op     `json:"op"`
+	ID string `json:"id"`
+
+	// At timestamps the transition (claim, heartbeat, requeue, finish).
+	At time.Time `json:"at,omitzero"`
+
+	// OpSubmit fields.
+	Seq     int64           `json:"seq,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Label   string          `json:"label,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Created time.Time       `json:"created,omitzero"`
+
+	// OpClaim fields.
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+
+	// OpRequeue fields (Retries is the absolute count after the bump).
+	Retries int `json:"retries,omitempty"`
+
+	// OpFinish fields.
+	Status string          `json:"status,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// RunState is the reduced state of one run after replaying its records:
+// what a restarted service needs to rebuild the run.
+type RunState struct {
+	ID    string          `json:"id"`
+	Seq   int64           `json:"seq"`
+	Key   string          `json:"key,omitempty"`
+	Kind  string          `json:"kind,omitempty"`
+	Label string          `json:"label,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+
+	Worker   string    `json:"worker,omitempty"`
+	Attempt  int       `json:"attempt,omitempty"`
+	LastBeat time.Time `json:"last_beat,omitzero"`
+
+	Created  time.Time `json:"created,omitzero"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Stats counts a store's durability activity.
+type Stats struct {
+	// WALRecords is the number of records appended since Open (Durable)
+	// or construction (Mem), counting records replayed from the log at
+	// Open — i.e. total log activity visible to this store instance.
+	WALRecords int64 `json:"wal_records"`
+	// Snapshots is the number of compactions performed since Open.
+	Snapshots int64 `json:"snapshots"`
+	// TruncatedBytes reports how much of a torn WAL tail recovery cut
+	// off at Open (0 for a clean log).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+}
+
+// Store records run lifecycle transitions and plays the reduced state
+// back at boot. Implementations must be safe for concurrent use.
+type Store interface {
+	// Durable reports whether records survive a process restart. The
+	// service skips result encoding for non-durable stores, keeping the
+	// in-memory path free of serialization cost.
+	Durable() bool
+	// Append records one transition.
+	Append(rec *Record) error
+	// Runs returns the reduced state of every recorded run in
+	// submission (Seq) order. For Durable this is the recovered state
+	// at Open plus everything appended since; a fresh store is empty.
+	Runs() []RunState
+	// Stats snapshots the durability counters.
+	Stats() Stats
+	// Close releases the store's resources (a no-op for Mem).
+	Close() error
+}
+
+// apply folds one record into the state map: the single reduction
+// shared by Mem, Durable and WAL replay, so every path recovers the
+// same state from the same records.
+func apply(states map[string]*RunState, rec *Record) {
+	if rec.Op == OpSubmit {
+		states[rec.ID] = &RunState{
+			ID: rec.ID, Seq: rec.Seq, Key: rec.Key, Kind: rec.Kind,
+			Label: rec.Label, Spec: rec.Spec, Status: "queued",
+			Created: rec.Created, Retries: rec.Retries,
+		}
+		return
+	}
+	st, ok := states[rec.ID]
+	if !ok {
+		// A record for an unknown run: its submit was compacted away
+		// after a drop, or the WAL lost its head. Ignore; replay must
+		// stay total.
+		return
+	}
+	switch rec.Op {
+	case OpClaim:
+		st.Status = "running"
+		st.Worker, st.Attempt = rec.Worker, rec.Attempt
+		st.LastBeat = rec.At
+		if st.Started.IsZero() {
+			st.Started = rec.At
+		}
+	case OpHeartbeat:
+		st.LastBeat = rec.At
+	case OpRequeue:
+		st.Status = "queued"
+		st.Worker = ""
+		st.Retries = rec.Retries
+	case OpFinish:
+		st.Status = rec.Status
+		st.Error = rec.Error
+		st.Finished = rec.At
+		st.Worker = ""
+		if len(rec.Result) > 0 {
+			st.Result = rec.Result
+		}
+	case OpDrop:
+		delete(states, rec.ID)
+	}
+}
+
+// sortedStates flattens a state map into Seq order.
+func sortedStates(states map[string]*RunState) []RunState {
+	out := make([]RunState, 0, len(states))
+	for _, st := range states {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

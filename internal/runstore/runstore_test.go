@@ -1,0 +1,295 @@
+package runstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// sampleRecords is a run's full happy-path lifecycle plus a second run
+// that survives a requeue, a third that dead-letters, and a fourth that
+// is dropped.
+func sampleRecords() []*Record {
+	t0 := time.Unix(1_700_000_000, 0).UTC()
+	return []*Record{
+		{Op: OpSubmit, ID: "a-000001", Seq: 1, Key: "ka", Kind: "scenario", Label: "scenario a",
+			Spec: json.RawMessage(`{"scenario":{"name":"a"}}`), Created: t0},
+		{Op: OpSubmit, ID: "b-000002", Seq: 2, Key: "kb", Kind: "system", Label: "system b",
+			Spec: json.RawMessage(`{"system":"DCS"}`), Created: t0.Add(time.Second)},
+		{Op: OpSubmit, ID: "c-000003", Seq: 3, Key: "kc", Kind: "system", Label: "system c",
+			Spec: json.RawMessage(`{"system":"SSP"}`), Created: t0.Add(2 * time.Second)},
+		{Op: OpSubmit, ID: "d-000004", Seq: 4, Kind: "system", Label: "system d", Created: t0},
+
+		{Op: OpClaim, ID: "a-000001", Worker: "w1", Attempt: 1, At: t0.Add(3 * time.Second)},
+		{Op: OpHeartbeat, ID: "a-000001", At: t0.Add(5 * time.Second)},
+		{Op: OpFinish, ID: "a-000001", Status: "done", At: t0.Add(9 * time.Second),
+			Result: json.RawMessage(`{"report":1}`)},
+
+		{Op: OpClaim, ID: "b-000002", Worker: "w1", Attempt: 1, At: t0.Add(4 * time.Second)},
+		{Op: OpRequeue, ID: "b-000002", Retries: 1, At: t0.Add(40 * time.Second)},
+		{Op: OpClaim, ID: "b-000002", Worker: "w2", Attempt: 2, At: t0.Add(41 * time.Second)},
+
+		{Op: OpClaim, ID: "c-000003", Worker: "w1", Attempt: 1, At: t0.Add(6 * time.Second)},
+		{Op: OpRequeue, ID: "c-000003", Retries: 3, At: t0.Add(50 * time.Second)},
+		{Op: OpFinish, ID: "c-000003", Status: "dead_letter",
+			Error: "lease expired 3 times", At: t0.Add(51 * time.Second)},
+
+		{Op: OpDrop, ID: "d-000004"},
+	}
+}
+
+func appendAll(t *testing.T, s Store, recs []*Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := s.Append(rec); err != nil {
+			t.Fatalf("append %s %s: %v", rec.Op, rec.ID, err)
+		}
+	}
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, d, sampleRecords())
+	before := d.Runs()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := re.Stats().TruncatedBytes; got != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", got)
+	}
+	after := re.Runs()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("state changed across restart:\nbefore %+v\nafter  %+v", before, after)
+	}
+
+	// Spot-check the reduction itself.
+	if len(after) != 3 {
+		t.Fatalf("got %d runs, want 3 (one dropped)", len(after))
+	}
+	if after[0].Status != "done" || string(after[0].Result) != `{"report":1}` {
+		t.Fatalf("run a: %+v", after[0])
+	}
+	if after[1].Status != "running" || after[1].Retries != 1 || after[1].Worker != "w2" || after[1].Attempt != 2 {
+		t.Fatalf("run b: %+v", after[1])
+	}
+	if after[2].Status != "dead_letter" || after[2].Error == "" {
+		t.Fatalf("run c: %+v", after[2])
+	}
+}
+
+// TestMemDurableEquivalence proves both stores reduce the same records
+// to the same state — the property service recovery rests on.
+func TestMemDurableEquivalence(t *testing.T) {
+	m := NewMem()
+	d, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	appendAll(t, m, sampleRecords())
+	appendAll(t, d, sampleRecords())
+	if !reflect.DeepEqual(m.Runs(), d.Runs()) {
+		t.Fatalf("Mem and Durable reduced differently:\nmem     %+v\ndurable %+v", m.Runs(), d.Runs())
+	}
+	if m.Durable() || !d.Durable() {
+		t.Fatal("Durable() flags wrong")
+	}
+}
+
+// TestTornTailTruncated injects a torn trailing record — the shape a
+// kill -9 mid-write leaves — and asserts recovery keeps every intact
+// record, truncates the tail cleanly, and the log accepts appends
+// again.
+func TestTornTailTruncated(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tear func(b []byte) []byte
+		// survivors counts runs after recovery: tears that destroy the
+		// final record (the OpDrop of run d) resurrect run d (4 runs);
+		// pure garbage after an intact log leaves the drop applied (3).
+		survivors int
+	}{
+		{"partial-line", func(b []byte) []byte { return b[:len(b)-7] }, 4}, // mid-record, newline lost
+		{"flipped-byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-10] ^= 0x41 // corrupt the final record's body; its checksum must catch it
+			return c
+		}, 4},
+		{"garbage-tail", func(b []byte) []byte { return append(b, []byte("\x00\xff half a record")...) }, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := sampleRecords()
+			appendAll(t, d, recs)
+			d.Close()
+
+			walPath := filepath.Join(dir, walFile)
+			b, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(walPath, tc.tear(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("recovery must not be fatal: %v", err)
+			}
+			if re.Stats().TruncatedBytes == 0 {
+				t.Fatal("no bytes reported truncated")
+			}
+			// Every record before the tear survives.
+			runs := re.Runs()
+			if len(runs) != tc.survivors {
+				t.Fatalf("got %d runs after torn-tail recovery, want %d", len(runs), tc.survivors)
+			}
+
+			// The truncated log is a clean append boundary again.
+			if err := re.Append(recs[len(recs)-1]); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			re.Close()
+			re2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			if got := re2.Stats().TruncatedBytes; got != 0 {
+				t.Fatalf("second recovery truncated %d bytes from a repaired log", got)
+			}
+			if len(re2.Runs()) != 3 {
+				t.Fatalf("got %d runs, want 3 after re-appended drop", len(re2.Runs()))
+			}
+		})
+	}
+}
+
+// TestSnapshotCompaction drives the WAL past SnapshotEvery and asserts
+// the state survives compaction and restart.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, d, sampleRecords())
+	if snaps := d.Stats().Snapshots; snaps < 3 {
+		t.Fatalf("14 records over SnapshotEvery=4 produced %d snapshots", snaps)
+	}
+	before := d.Runs()
+	d.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walFile)); err == nil && fi.Size() > 1024 {
+		t.Fatalf("wal not compacted: %d bytes", fi.Size())
+	}
+
+	re, err := Open(Options{Dir: dir, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !reflect.DeepEqual(before, re.Runs()) {
+		t.Fatalf("state changed across snapshot+restart:\nbefore %+v\nafter  %+v", before, re.Runs())
+	}
+}
+
+// TestSnapshotWALOverlapIdempotent simulates a crash between writing
+// the snapshot and truncating the WAL: the same records replay over the
+// snapshot that already contains them, and reduction idempotence must
+// absorb it.
+func TestSnapshotWALOverlapIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	appendAll(t, d, recs)
+	want := d.Runs()
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Re-create the pre-truncate WAL: every record again, after the
+	// snapshot already absorbed them.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		line, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !reflect.DeepEqual(want, re.Runs()) {
+		t.Fatalf("overlapping snapshot+wal replay diverged:\nwant %+v\ngot  %+v", want, re.Runs())
+	}
+}
+
+// TestNoSyncStillRecovers: NoSync trades the fsync for speed but the
+// file write still lands; a graceful Close must leave a fully
+// replayable log.
+func TestNoSyncStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, d, sampleRecords())
+	want := d.Runs()
+	d.Close()
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !reflect.DeepEqual(want, re.Runs()) {
+		t.Fatal("NoSync log did not round-trip")
+	}
+}
+
+func TestOpenRejectsEmptyDirAndCorruptSnapshot(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("corrupt snapshot accepted; must be surfaced, not silently dropped")
+	}
+}

@@ -1,0 +1,112 @@
+package runstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record framing: one record per line, `crc32hex json\n`, where the
+// checksum covers exactly the JSON bytes. A crash can tear only the
+// tail of an append-only file, so recovery scans lines from the start
+// and stops at the first one that is short, unparsable or fails its
+// checksum; everything before that offset is intact, and the file is
+// truncated back to it so the next append starts from a clean boundary.
+
+// encodeRecord renders one framed WAL line.
+func encodeRecord(rec *Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: encode %s record for %s: %w", rec.Op, rec.ID, err)
+	}
+	line := make([]byte, 0, len(body)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(body))
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeLine verifies and parses one framed line (without the trailing
+// newline). It reports ok=false for any form of corruption.
+func decodeLine(line []byte) (rec Record, ok bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return Record{}, false
+	}
+	body := line[9:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return Record{}, false
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// replayWAL reads every intact record from r, stopping at the first
+// torn or corrupt line. It returns the records and the byte offset of
+// the first bad line (== total valid length; the caller truncates the
+// file there).
+func replayWAL(r io.Reader) (recs []Record, valid int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// A partial line with no newline is a torn tail: stop, do
+			// not count it as valid.
+			return recs, valid, nil
+		}
+		if err != nil {
+			return recs, valid, fmt.Errorf("runstore: read wal: %w", err)
+		}
+		rec, ok := decodeLine(bytes.TrimSuffix(line, []byte("\n")))
+		if !ok {
+			// Corrupt record: everything from here on is suspect (the
+			// log is append-only, so a bad record means the crash
+			// happened mid-write of this line; later bytes are noise).
+			return recs, valid, nil
+		}
+		recs = append(recs, rec)
+		valid += int64(len(line))
+	}
+}
+
+// replayWALFile replays the WAL at path and truncates any torn tail in
+// place, returning the intact records and how many bytes were cut.
+func replayWALFile(path string) (recs []Record, truncated int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("runstore: open wal: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("runstore: size wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("runstore: rewind wal: %w", err)
+	}
+	recs, valid, err := replayWAL(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	if valid < size {
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, 0, fmt.Errorf("runstore: truncate torn wal tail: %w", err)
+		}
+		truncated = size - valid
+	}
+	return recs, truncated, nil
+}

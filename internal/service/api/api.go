@@ -6,6 +6,7 @@
 //
 //	POST   /v1/runs             submit a run (scenario, system or suite request)
 //	GET    /v1/runs             list stored runs + service stats
+//	                            (?status= filter, ?limit=/?cursor= pagination)
 //	GET    /v1/runs/{id}        one run's status, and its result when done
 //	GET    /v1/runs/{id}/events typed event stream (NDJSON; SSE via Accept)
 //	DELETE /v1/runs/{id}        cancel the run
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -344,6 +346,9 @@ func builtinWorkload(req submitBody) (dawningcloud.Workload, int64, error) {
 type listResponse struct {
 	Runs  []runListEntry            `json:"runs"`
 	Stats dawningcloud.ServiceStats `json:"stats"`
+	// NextCursor is set when ?limit= truncated the listing: pass it
+	// back as ?cursor= to continue from the next run.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 type runListEntry struct {
@@ -351,11 +356,70 @@ type runListEntry struct {
 	Links links `json:"links"`
 }
 
+// handleList serves GET /v1/runs: the stored runs newest first, plus
+// service stats. Query parameters:
+//
+//	?status=  keep only runs in that lifecycle state ("queued",
+//	          "running", "done", "failed", "canceled", "dead_letter")
+//	?limit=   page size; the response carries next_cursor while more
+//	          runs remain
+//	?cursor=  resume a paged listing after the run ID a previous
+//	          response returned in next_cursor
+//
+// With no parameters the full list comes back in one response, exactly
+// as before pagination existed.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter *dawningcloud.RunStatus
+	if v := q.Get("status"); v != "" {
+		st, err := dawningcloud.ParseRunStatus(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				"unknown status %q (known: queued, running, done, failed, canceled, dead_letter)", v)
+			return
+		}
+		filter = &st
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", v)
+			return
+		}
+		limit = n
+	}
 	handles := s.eng.Handles()
-	resp := listResponse{Runs: make([]runListEntry, len(handles)), Stats: s.eng.ServiceStats()}
-	for i, h := range handles {
-		resp.Runs[i] = runListEntry{RunInfo: h.Snapshot(), Links: runLinks(h.ID())}
+	if cursor := q.Get("cursor"); cursor != "" {
+		idx := -1
+		for i, h := range handles {
+			if h.ID() == cursor {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Evicted mid-pagination or plain wrong: fail loudly instead
+			// of silently restarting the client from page one.
+			writeError(w, http.StatusBadRequest, "unknown or expired cursor %q", cursor)
+			return
+		}
+		handles = handles[idx+1:]
+	}
+	resp := listResponse{Runs: []runListEntry{}, Stats: s.eng.ServiceStats()}
+	for _, h := range handles {
+		info := h.Snapshot()
+		if filter != nil && info.Status != *filter {
+			continue
+		}
+		if limit > 0 && len(resp.Runs) >= limit {
+			// One more match exists beyond the page: hand the client a
+			// resume point. A page that exactly exhausts the list carries
+			// no cursor.
+			resp.NextCursor = resp.Runs[len(resp.Runs)-1].ID
+			break
+		}
+		resp.Runs = append(resp.Runs, runListEntry{RunInfo: info, Links: runLinks(h.ID())})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,143 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	dawningcloud "repro"
+)
+
+type wireList struct {
+	Runs []struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	} `json:"runs"`
+	NextCursor string                    `json:"next_cursor"`
+	Stats      dawningcloud.ServiceStats `json:"stats"`
+}
+
+// submitNDone submits n distinct fast system runs (same workload,
+// different seeds — different content hashes) and waits for all of
+// them to finish.
+func submitNDone(t *testing.T, base string, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		_, data := postJSON(t, base+"/v1/runs",
+			fmt.Sprintf(`{"system":"dcs","workload":"montage","seed":%d}`, i+1))
+		var sub wireSubmit
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatalf("submit %d: %v\n%s", i, err, data)
+		}
+		ids[i] = sub.ID
+	}
+	for _, id := range ids {
+		pollDone(t, base, id, time.Minute)
+	}
+	return ids
+}
+
+// TestListStatusFilter: ?status= narrows the listing to one lifecycle
+// state, an empty match is an empty array (not null), and an unknown
+// status is a 400 naming the vocabulary.
+func TestListStatusFilter(t *testing.T) {
+	srv, _ := newTestServer(t, dawningcloud.ServiceConfig{Workers: 2})
+	ids := submitNDone(t, srv.URL, 2)
+
+	var done wireList
+	getJSON(t, srv.URL+"/v1/runs?status=done", &done)
+	if len(done.Runs) != len(ids) {
+		t.Errorf("status=done returned %d runs, want %d", len(done.Runs), len(ids))
+	}
+	for _, r := range done.Runs {
+		if r.Status != "done" {
+			t.Errorf("run %s leaked into status=done with status %q", r.ID, r.Status)
+		}
+	}
+
+	var failed wireList
+	resp := getJSON(t, srv.URL+"/v1/runs?status=failed", &failed)
+	if resp.StatusCode != http.StatusOK || failed.Runs == nil || len(failed.Runs) != 0 {
+		t.Errorf("status=failed = %d, runs %v; want 200 with empty array", resp.StatusCode, failed.Runs)
+	}
+
+	// dead_letter is part of the queryable vocabulary.
+	if resp := getJSON(t, srv.URL+"/v1/runs?status=dead_letter", &wireList{}); resp.StatusCode != http.StatusOK {
+		t.Errorf("status=dead_letter = %d, want 200", resp.StatusCode)
+	}
+
+	var apiErr apiError
+	resp = getJSON(t, srv.URL+"/v1/runs?status=haunted", &apiErr)
+	if resp.StatusCode != http.StatusBadRequest || apiErr.Error == "" {
+		t.Errorf("status=haunted = %d %q, want 400 with explanation", resp.StatusCode, apiErr.Error)
+	}
+}
+
+// TestListPagination pages a 5-run store through limit/cursor: every
+// run appears exactly once across pages, next_cursor disappears on the
+// final page, and a page that exactly exhausts the list carries no
+// cursor.
+func TestListPagination(t *testing.T) {
+	srv, _ := newTestServer(t, dawningcloud.ServiceConfig{Workers: 2})
+	ids := submitNDone(t, srv.URL, 5)
+
+	seen := map[string]int{}
+	cursor := ""
+	pages := 0
+	for {
+		url := srv.URL + "/v1/runs?limit=2"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var page wireList
+		getJSON(t, url, &page)
+		pages++
+		if len(page.Runs) > 2 {
+			t.Fatalf("page %d has %d runs, limit was 2", pages, len(page.Runs))
+		}
+		for _, r := range page.Runs {
+			seen[r.ID]++
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		if got, want := page.NextCursor, page.Runs[len(page.Runs)-1].ID; got != want {
+			t.Fatalf("next_cursor = %q, want last entry %q", got, want)
+		}
+		cursor = page.NextCursor
+		if pages > 10 {
+			t.Fatal("pagination never terminated")
+		}
+	}
+	if len(seen) != len(ids) {
+		t.Errorf("paged union has %d runs, want %d", len(seen), len(ids))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("run %s appeared %d times across pages", id, n)
+		}
+	}
+
+	// A limit that exactly exhausts the list must not dangle a cursor.
+	var exact wireList
+	getJSON(t, srv.URL+"/v1/runs?limit=5", &exact)
+	if len(exact.Runs) != 5 || exact.NextCursor != "" {
+		t.Errorf("limit=5 over 5 runs = %d runs, cursor %q; want all 5, no cursor", len(exact.Runs), exact.NextCursor)
+	}
+}
+
+// TestListBadPaginationParams: malformed limit and unknown cursor are
+// loud 400s, never a silent restart from page one.
+func TestListBadPaginationParams(t *testing.T) {
+	srv, _ := newTestServer(t, dawningcloud.ServiceConfig{Workers: 1})
+	for _, q := range []string{"limit=0", "limit=-3", "limit=two", "cursor=run-nope"} {
+		var apiErr apiError
+		resp := getJSON(t, srv.URL+"/v1/runs?"+q, &apiErr)
+		if resp.StatusCode != http.StatusBadRequest || apiErr.Error == "" {
+			t.Errorf("?%s = %d %q, want 400 with explanation", q, resp.StatusCode, apiErr.Error)
+		}
+	}
+}

@@ -1,0 +1,513 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/runstore"
+)
+
+// jsonCodec is the trivial result codec the durable tests share: every
+// test result is a JSON-round-trippable string.
+func jsonEncode(kind string, result any) ([]byte, error) { return json.Marshal(result) }
+
+func jsonDecode(kind string, data []byte) (any, error) {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rehydrateConst returns a Rehydrate hook that ignores the spec and
+// rebuilds every run as a task returning v.
+func rehydrateConst(v any) func(kind string, spec []byte) (Task, error) {
+	return func(kind string, spec []byte) (Task, error) { return constTask(v), nil }
+}
+
+// fakeClock is a manually-advanced clock for lease tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// collectEvents drains a finished run's event history.
+func collectEvents(t *testing.T, r *Run) []events.Event {
+	t.Helper()
+	var evs []events.Event
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for ev := range r.Events(ctx) {
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestDurableRestartServesFinishedResult: a run completed against a
+// durable store is served from disk after a restart — same ID, same
+// status, same result — and identical submissions keep hitting the
+// dedup cache across the restart without re-executing.
+func TestDurableRestartServesFinishedResult(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := runstore.Open(runstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Workers: 1, Store: st1, EncodeResult: jsonEncode})
+	r1, _, err := s1.Submit(Request{
+		Key: "persist-me", Kind: "test", Label: "one",
+		Spec: []byte(`{"n":1}`), Task: constTask("payload"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Result(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := runstore.Open(runstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2 := New(Config{Workers: 1, Store: st2, DecodeResult: jsonDecode})
+	defer s2.Shutdown(context.Background())
+
+	r2, ok := s2.Get(r1.ID())
+	if !ok {
+		t.Fatalf("run %s not restored", r1.ID())
+	}
+	if st := r2.Status(); st != StatusDone {
+		t.Fatalf("restored status = %v, want done", st)
+	}
+	v, err := r2.Result(context.Background())
+	if err != nil || v != "payload" {
+		t.Fatalf("restored result = %v, %v; want payload", v, err)
+	}
+	if r2.Kind() != "test" || r2.Label() != "one" {
+		t.Errorf("restored identity = %q/%q", r2.Kind(), r2.Label())
+	}
+
+	// The dedup cache survived: an identical submission is a cache hit,
+	// not an execution.
+	r3, reused, err := s2.Submit(Request{
+		Key: "persist-me", Kind: "test", Task: constTask("other"),
+	})
+	if err != nil || !reused || r3.ID() != r1.ID() {
+		t.Fatalf("resubmit = %v reused %v err %v, want cache hit on %s", r3.ID(), reused, err, r1.ID())
+	}
+	stats := s2.Stats()
+	if stats.Executed != 0 || stats.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 0 executed, 1 cache hit", stats)
+	}
+	if stats.WALRecords == 0 {
+		t.Errorf("stats.WALRecords = 0, want persisted records surfaced")
+	}
+}
+
+// TestDurableCrashMidRunResumes simulates kill -9 while a run is
+// executing: the data directory is copied at the instant the worker
+// holds the claim (everything before the copy is on disk, nothing
+// after), and a second service opened over the copy must resume the
+// run through its Rehydrate hook and finish it.
+func TestDurableCrashMidRunResumes(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := runstore.Open(runstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st1.Close()
+	s1 := New(Config{Workers: 1, Store: st1, EncodeResult: jsonEncode})
+	defer s1.Shutdown(context.Background())
+
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	r1, _, err := s1.Submit(Request{
+		Key: "interrupted", Kind: "test", Label: "crashy",
+		Spec: []byte(`{"resume":true}`), Task: blockingTask(started, release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // claim is on disk: OpSubmit + OpClaim appended
+
+	// "kill -9": snapshot the data dir exactly as the dying process
+	// would leave it.
+	crashDir := t.TempDir()
+	copyDataDir(t, dir, crashDir)
+
+	st2, err := runstore.Open(runstore.Options{Dir: crashDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2 := New(Config{
+		Workers: 1, Store: st2,
+		EncodeResult: jsonEncode, DecodeResult: jsonDecode,
+		Rehydrate: rehydrateConst("recovered"),
+	})
+	defer s2.Shutdown(context.Background())
+
+	r2, ok := s2.Get(r1.ID())
+	if !ok {
+		t.Fatalf("interrupted run %s not restored", r1.ID())
+	}
+	v, err := r2.Result(context.Background())
+	if err != nil || v != "recovered" {
+		t.Fatalf("resumed result = %v, %v; want recovered", v, err)
+	}
+	if got := r2.Retries(); got != 1 {
+		t.Errorf("retries = %d, want 1 (the crashed attempt)", got)
+	}
+	stats := s2.Stats()
+	if stats.RecoveredRuns != 1 || stats.Requeues != 1 {
+		t.Errorf("stats = %+v, want 1 recovered, 1 requeue", stats)
+	}
+
+	// The event history tells the story: queued first, a requeue
+	// explaining the restart, finished last.
+	evs := collectEvents(t, r2)
+	if len(evs) < 3 {
+		t.Fatalf("events = %v, want queued/requeued/.../finished", evs)
+	}
+	if _, ok := evs[0].(events.RunQueued); !ok {
+		t.Errorf("first event = %T, want RunQueued", evs[0])
+	}
+	rq, ok := evs[1].(events.RunRequeued)
+	if !ok || rq.Retries != 1 || rq.Reason != "recovered after restart" {
+		t.Errorf("second event = %#v, want RunRequeued{Retries:1, recovered after restart}", evs[1])
+	}
+	if _, ok := evs[len(evs)-1].(events.RunFinished); !ok {
+		t.Errorf("last event = %T, want RunFinished", evs[len(evs)-1])
+	}
+}
+
+// copyDataDir clones a run-store data directory byte-for-byte, the
+// moral equivalent of rebooting over the same disk.
+func copyDataDir(t *testing.T, from, to string) {
+	t.Helper()
+	entries, err := os.ReadDir(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(from, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(to, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoverRehydrateFailureFinishesFailed: a non-terminal run whose
+// spec cannot be rebuilt does not vanish — it comes back failed with an
+// explanatory error.
+func TestRecoverRehydrateFailureFinishesFailed(t *testing.T) {
+	store := runstore.NewMem()
+	if err := store.Append(&runstore.Record{
+		Op: runstore.OpSubmit, ID: "run-lost", Seq: 1, Kind: "test",
+		Spec: []byte(`{}`), Created: time.Unix(1, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, Store: store, Rehydrate: func(kind string, spec []byte) (Task, error) {
+		return nil, errors.New("schema moved on")
+	}})
+	defer s.Shutdown(context.Background())
+
+	r, ok := s.Get("run-lost")
+	if !ok {
+		t.Fatal("run not restored")
+	}
+	if st := r.Status(); st != StatusFailed {
+		t.Fatalf("status = %v, want failed", st)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "lost at restart") {
+		t.Errorf("err = %v, want lost-at-restart explanation", err)
+	}
+}
+
+// TestRecoverDeadLettersSpentRun: a run that was mid-execution with its
+// retries already spent dead-letters at boot instead of looping
+// forever. The store state is manufactured record by record, which also
+// exercises replay of the full op vocabulary.
+func TestRecoverDeadLettersSpentRun(t *testing.T) {
+	store := runstore.NewMem()
+	recs := []*runstore.Record{
+		{Op: runstore.OpSubmit, ID: "run-spent", Seq: 1, Kind: "test", Spec: []byte(`{}`), Created: time.Unix(1, 0)},
+		{Op: runstore.OpRequeue, ID: "run-spent", Retries: 1, At: time.Unix(2, 0)},
+		{Op: runstore.OpClaim, ID: "run-spent", Worker: "w1", Attempt: 2, At: time.Unix(3, 0)},
+	}
+	for _, rec := range recs {
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(Config{
+		Workers: 1, Store: store, MaxRetries: 1,
+		Rehydrate: rehydrateConst("never-runs"),
+	})
+	defer s.Shutdown(context.Background())
+
+	r, ok := s.Get("run-spent")
+	if !ok {
+		t.Fatal("run not restored")
+	}
+	if st := r.Status(); st != StatusDeadLetter {
+		t.Fatalf("status = %v, want dead_letter", st)
+	}
+	if err := r.Err(); !errors.Is(err, ErrLeaseExpired) {
+		t.Errorf("err = %v, want ErrLeaseExpired", err)
+	}
+	if stats := s.Stats(); stats.DeadLetters != 1 {
+		t.Errorf("stats.DeadLetters = %d, want 1", stats.DeadLetters)
+	}
+	evs := collectEvents(t, r)
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	var sawDead bool
+	for _, ev := range evs {
+		if _, ok := ev.(events.RunDeadLettered); ok {
+			sawDead = true
+		}
+	}
+	if !sawDead {
+		t.Errorf("events %v missing RunDeadLettered", evs)
+	}
+}
+
+// leaseTestService builds a service with a fake clock, background
+// timers parked (huge heartbeat/reconcile periods), and the given
+// retry budget, so tests drive Reconcile directly.
+func leaseTestService(t *testing.T, clock *fakeClock, maxRetries int) *Service {
+	t.Helper()
+	s := New(Config{
+		Workers:        1,
+		Now:            clock.Now,
+		LeaseTTL:       30 * time.Second,
+		HeartbeatEvery: time.Hour,
+		ReconcileEvery: time.Hour,
+		MaxRetries:     maxRetries,
+	})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return s
+}
+
+// TestReconcileRequeuesStaleClaim: an attempt that stops heartbeating
+// past the lease TTL is returned to the queue; the next attempt
+// completes and the stale attempt's late result is discarded.
+func TestReconcileRequeuesStaleClaim(t *testing.T) {
+	clock := newFakeClock()
+	s := leaseTestService(t, clock, 3)
+
+	var attempts atomic.Int32
+	started := make(chan struct{}, 4)
+	task := func(ctx context.Context, sink events.Sink) (any, error) {
+		n := attempts.Add(1)
+		started <- struct{}{}
+		if n == 1 {
+			<-ctx.Done() // wedged first attempt: only the lease cancel frees it
+			return nil, fmt.Errorf("attempt 1 canceled: %w", context.Cause(ctx))
+		}
+		return "second attempt", nil
+	}
+	r, _, err := s.Submit(Request{Key: "stale", Kind: "test", Task: task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // attempt 1 holds the claim
+
+	// Fresh claim: a pass now must do nothing.
+	if rq, dl := s.Reconcile(); rq != 0 || dl != 0 {
+		t.Fatalf("premature reconcile = %d requeued, %d dead-lettered", rq, dl)
+	}
+
+	clock.Advance(31 * time.Second) // past LeaseTTL with no heartbeat
+	rq, dl := s.Reconcile()
+	if rq != 1 || dl != 0 {
+		t.Fatalf("reconcile = %d requeued, %d dead-lettered; want 1, 0", rq, dl)
+	}
+	<-started // attempt 2
+
+	v, err := r.Result(context.Background())
+	if err != nil || v != "second attempt" {
+		t.Fatalf("result = %v, %v; want second attempt", v, err)
+	}
+	if got := r.Retries(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	stats := s.Stats()
+	if stats.Requeues != 1 || stats.DeadLetters != 0 {
+		t.Errorf("stats = %+v, want 1 requeue, 0 dead letters", stats)
+	}
+	var sawRequeue bool
+	for _, ev := range collectEvents(t, r) {
+		if rq, ok := ev.(events.RunRequeued); ok {
+			sawRequeue = true
+			if rq.Retries != 1 || rq.Reason != "lease expired" {
+				t.Errorf("RunRequeued = %#v", rq)
+			}
+		}
+	}
+	if !sawRequeue {
+		t.Error("no RunRequeued event")
+	}
+}
+
+// TestReconcileDeadLettersAfterMaxRetries: a run whose every attempt
+// goes stale burns through its retry budget and lands in dead_letter,
+// terminal and explained.
+func TestReconcileDeadLettersAfterMaxRetries(t *testing.T) {
+	clock := newFakeClock()
+	s := leaseTestService(t, clock, 1)
+
+	started := make(chan struct{}, 4)
+	task := func(ctx context.Context, sink events.Sink) (any, error) {
+		started <- struct{}{}
+		<-ctx.Done() // every attempt wedges
+		return nil, fmt.Errorf("wedged: %w", context.Cause(ctx))
+	}
+	r, _, err := s.Submit(Request{Key: "doomed", Kind: "test", Task: task})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	<-started // attempt 1
+	clock.Advance(31 * time.Second)
+	if rq, dl := s.Reconcile(); rq != 1 || dl != 0 {
+		t.Fatalf("first reconcile = %d, %d; want requeue", rq, dl)
+	}
+	<-started // attempt 2
+	clock.Advance(31 * time.Second)
+	if rq, dl := s.Reconcile(); rq != 0 || dl != 1 {
+		t.Fatalf("second reconcile = %d, %d; want dead-letter", rq, dl)
+	}
+
+	if _, err := r.Result(context.Background()); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("result err = %v, want ErrLeaseExpired", err)
+	}
+	if st := r.Status(); st != StatusDeadLetter {
+		t.Fatalf("status = %v, want dead_letter", st)
+	}
+	stats := s.Stats()
+	if stats.DeadLetters != 1 || stats.Requeues != 1 {
+		t.Errorf("stats = %+v, want 1 dead letter, 1 requeue", stats)
+	}
+
+	// Event invariant holds even on this path: queued first, the
+	// dead-letter explanation, then the terminal run_finished.
+	evs := collectEvents(t, r)
+	if _, ok := evs[0].(events.RunQueued); !ok {
+		t.Errorf("first event = %T, want RunQueued", evs[0])
+	}
+	if _, ok := evs[len(evs)-1].(events.RunFinished); !ok {
+		t.Errorf("last event = %T, want RunFinished", evs[len(evs)-1])
+	}
+	dead, ok := evs[len(evs)-2].(events.RunDeadLettered)
+	if !ok || dead.Retries != 1 {
+		t.Errorf("penultimate event = %#v, want RunDeadLettered{Retries:1}", evs[len(evs)-2])
+	}
+}
+
+// TestHeartbeatKeepsClaimFresh: a healthy worker's heartbeats advance
+// the lease, so even a long-running task is never reconciled away.
+func TestHeartbeatKeepsClaimFresh(t *testing.T) {
+	clock := newFakeClock()
+	s := New(Config{
+		Workers:        1,
+		Now:            clock.Now,
+		LeaseTTL:       30 * time.Second,
+		HeartbeatEvery: time.Millisecond, // real-time ticker, fake-clock timestamps
+		ReconcileEvery: time.Hour,
+		MaxRetries:     3,
+	})
+	defer s.Shutdown(context.Background())
+
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	r, _, err := s.Submit(Request{Key: "healthy", Kind: "test", Task: blockingTask(started, release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Advance the clock past the TTL, then wait for the millisecond
+	// heartbeat ticker to stamp the new time before scanning — the
+	// internal lastBeat is readable here (same package).
+	clock.Advance(31 * time.Second)
+	want := clock.Now()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.mu.Lock()
+		lb := r.lastBeat
+		r.mu.Unlock()
+		if !lb.Before(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never stamped the advanced clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rq, dl := s.Reconcile(); rq != 0 || dl != 0 {
+		t.Fatalf("reconcile requeued a heartbeating run: %d, %d", rq, dl)
+	}
+	close(release)
+	v, err := r.Result(context.Background())
+	if err != nil || v != "ok" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+	if got := r.Retries(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+}
+
+// TestParseStatus round-trips every status and rejects junk.
+func TestParseStatus(t *testing.T) {
+	for _, st := range []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled, StatusDeadLetter} {
+		got, err := ParseStatus(st.String())
+		if err != nil || got != st {
+			t.Errorf("ParseStatus(%q) = %v, %v", st.String(), got, err)
+		}
+	}
+	if _, err := ParseStatus("haunted"); err == nil {
+		t.Error("ParseStatus accepted junk")
+	}
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/runstore"
+)
+
+// reconcileLoop runs the stale-claim scan at the configured cadence for
+// the service's lifetime. It starts with the worker pool: a service
+// that never executes a queued run has no claims to heal.
+func (s *Service) reconcileLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ReconcileEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Reconcile()
+		case <-s.base.Done():
+			return
+		}
+	}
+}
+
+// Reconcile performs one self-healing pass: every running run whose
+// worker claim has gone a full LeaseTTL without a heartbeat is returned
+// to the queue for a fresh attempt, or dead-lettered once its retries
+// are spent. It returns how many runs took each path. The background
+// loop calls it on a timer; tests and operators may call it directly —
+// concurrent passes are safe (the per-run transition re-checks
+// staleness under the run's lock, so only one pass wins).
+//
+// A healthy in-process worker cannot trip this: its heartbeat runs at
+// LeaseTTL/3 by default. The claims that do trip it are real losses —
+// a crashed fleet member's runs recovered at boot but wedged again, a
+// worker goroutine stuck beyond the lease on a non-cancelable task —
+// and requeueing advances the attempt generation, so even if the old
+// attempt limps back to life its result and events are dropped.
+func (s *Service) Reconcile() (requeued, deadLettered int) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	var stale []*Run
+	for _, r := range s.order {
+		if r.claimStale(now, s.cfg.LeaseTTL) {
+			stale = append(stale, r)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, r := range stale {
+		if r.Retries() >= s.cfg.MaxRetries {
+			err := fmt.Errorf("service: run %s: worker claim stale after %d retries: %w",
+				r.id, r.Retries(), ErrLeaseExpired)
+			if r.finishAs(StatusDeadLetter, nil, err, false, 0) {
+				deadLettered++
+			}
+			continue
+		}
+		retries, ok := r.requeueStale(s.base, now, s.cfg.LeaseTTL, "lease expired",
+			fmt.Errorf("service: run %s attempt superseded: %w", r.id, ErrLeaseExpired))
+		if !ok {
+			continue // a heartbeat or finish won the race
+		}
+		s.record(&runstore.Record{Op: runstore.OpRequeue, ID: r.id, Retries: retries, At: now})
+		s.mu.Lock()
+		s.requeues++
+		s.mu.Unlock()
+		s.enqueue(r)
+		requeued++
+	}
+	return requeued, deadLettered
+}

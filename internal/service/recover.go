@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/runstore"
+)
+
+// recover rebuilds the service from the store's replayed state at
+// construction. A fresh store (and every in-memory store) is empty and
+// this is a no-op; a durable store reopened over an existing data dir
+// yields the crashed process's runs:
+//
+//   - terminal runs come back with their persisted result (done runs
+//     whose result cannot be decoded demote to failed) and a
+//     synthesized event history, and done runs re-enter the dedup
+//     cache — identical submissions keep hitting across restarts;
+//   - queued runs are rehydrated via Config.Rehydrate and re-queued;
+//   - running runs lost their worker with the process: they count one
+//     retry and re-queue (or dead-letter once retries are spent).
+//
+// Runs that cannot be rehydrated (no spec, no rehydrator, or the
+// rehydrator fails) finish as failed — visible, explained, and
+// persisted — rather than silently vanishing.
+func (s *Service) recover() {
+	states := s.store.Runs()
+	if len(states) == 0 {
+		return
+	}
+	now := s.cfg.Now()
+	var resume []*Run
+	s.mu.Lock()
+	for i := range states {
+		st := &states[i]
+		if st.Seq > s.seq {
+			s.seq = st.Seq
+		}
+		if r := s.restoreLocked(st, now); r != nil {
+			resume = append(resume, r)
+		}
+	}
+	if len(resume) > 0 {
+		// Resumed work must not wait for the next submission to start
+		// the lazily-launched pool.
+		s.startWorkersLocked()
+	}
+	s.mu.Unlock()
+	for _, r := range resume {
+		s.enqueue(r)
+	}
+}
+
+// restoreLocked rebuilds one run from its reduced store state and
+// returns it when it needs a worker (recovered queued/running runs).
+// Caller holds s.mu.
+func (s *Service) restoreLocked(st *runstore.RunState, now time.Time) *Run {
+	status, err := ParseStatus(st.Status)
+	if err != nil {
+		// A status this build does not know (downgrade over a newer data
+		// dir). Leave the record on disk untouched; just don't serve it.
+		s.storeErrs.Add(1)
+		return nil
+	}
+	ctx, cancel := context.WithCancelCause(s.base)
+	r := &Run{
+		id: st.ID, seq: st.Seq, key: st.Key, kind: st.Kind, label: st.Label,
+		spec:    st.Spec,
+		svc:     s,
+		created: st.Created,
+		ctx:     ctx, cancel: cancel,
+		gen: 1, retries: st.Retries,
+		status: StatusQueued,
+		wake:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	r.events = append(r.events, events.RunQueued{ID: r.id, Label: r.label})
+	s.runs[r.id] = r
+	s.order = append(s.order, r)
+
+	if status.Terminal() {
+		s.restoreTerminalLocked(r, st, status, now)
+		return nil
+	}
+
+	task, rerr := s.rehydrateTask(st)
+	if rerr != nil {
+		s.finishRestoredLocked(r, StatusFailed, now,
+			fmt.Errorf("service: run %s lost at restart: %w", r.id, rerr))
+		s.failed++
+		return nil
+	}
+	r.task = task
+	if status == StatusRunning {
+		// The claim died with the old process; that spends a retry.
+		if r.retries >= s.cfg.MaxRetries {
+			s.finishRestoredLocked(r, StatusDeadLetter, now,
+				fmt.Errorf("service: run %s: worker claim stale after %d retries: %w",
+					r.id, r.retries, ErrLeaseExpired))
+			s.deadLetters++
+			return nil
+		}
+		r.retries++
+		r.events = append(r.events, events.RunRequeued{
+			ID: r.id, Retries: r.retries, Reason: "recovered after restart"})
+		s.record(&runstore.Record{Op: runstore.OpRequeue, ID: r.id, Retries: r.retries, At: now})
+		s.requeues++
+	}
+	if st.Key != "" {
+		s.byKey[st.Key] = r
+	}
+	s.recovered++
+	return r
+}
+
+// restoreTerminalLocked finishes rebuilding an already-terminal run:
+// timestamps, error, decoded result, synthesized closing events.
+// Caller holds s.mu.
+func (s *Service) restoreTerminalLocked(r *Run, st *runstore.RunState, status Status, now time.Time) {
+	r.started = st.Started
+	r.finished = st.Finished
+	if r.finished.IsZero() {
+		r.finished = now // defensive: never expose a terminal run with no finish time
+	}
+	if st.Error != "" {
+		r.err = errors.New(st.Error)
+	}
+	if status == StatusDone {
+		res, derr := s.decodeResult(st)
+		if derr != nil {
+			// The run finished, but this process cannot serve its result;
+			// demote to failed and persist the demotion so the next boot
+			// agrees.
+			s.finishRestoredLocked(r, StatusFailed, now,
+				fmt.Errorf("service: run %s result lost at restart: %w", r.id, derr))
+			s.failed++
+			return
+		}
+		r.result = res
+		if st.Key != "" {
+			s.byKey[st.Key] = r // the dedup cache survives restarts
+		}
+	}
+	r.status = status
+	if status == StatusDeadLetter {
+		r.events = append(r.events, events.RunDeadLettered{ID: r.id, Retries: r.retries, Err: r.err})
+	}
+	r.events = append(r.events, events.RunFinished{ID: r.id, Status: status.String(), Err: r.err})
+	close(r.done)
+	r.cancel(nil)
+}
+
+// finishRestoredLocked terminalizes a run during recovery — a boot-time
+// transition (lost spec, lost result, retries spent), not a replay of
+// history — so it also persists the new terminal record. Caller holds
+// s.mu; the run is not yet visible to workers, so direct field writes
+// are safe.
+func (s *Service) finishRestoredLocked(r *Run, st Status, now time.Time, err error) {
+	r.status = st
+	r.err = err
+	r.finished = now
+	r.task, r.sink = nil, nil
+	if st == StatusDeadLetter {
+		r.events = append(r.events, events.RunDeadLettered{ID: r.id, Retries: r.retries, Err: err})
+	}
+	r.events = append(r.events, events.RunFinished{ID: r.id, Status: st.String(), Err: err})
+	close(r.done)
+	r.cancel(nil)
+	rec := &runstore.Record{Op: runstore.OpFinish, ID: r.id, Status: st.String(), At: now}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.record(rec)
+}
+
+// rehydrateTask rebuilds a recovered run's Task from its persisted spec.
+func (s *Service) rehydrateTask(st *runstore.RunState) (Task, error) {
+	if len(st.Spec) == 0 {
+		return nil, errors.New("no spec persisted")
+	}
+	if s.cfg.Rehydrate == nil {
+		return nil, errors.New("no rehydrator configured")
+	}
+	task, err := s.cfg.Rehydrate(st.Kind, st.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if task == nil {
+		return nil, fmt.Errorf("rehydrating %q returned no task", st.Kind)
+	}
+	return task, nil
+}
+
+// decodeResult rebuilds a recovered done run's result value.
+func (s *Service) decodeResult(st *runstore.RunState) (any, error) {
+	if len(st.Result) == 0 {
+		return nil, errors.New("no result persisted")
+	}
+	if s.cfg.DecodeResult == nil {
+		return nil, errors.New("no result decoder configured")
+	}
+	return s.cfg.DecodeResult(st.Kind, st.Result)
+}

@@ -14,15 +14,27 @@ import (
 // Run is one stored execution: a stable identity, a lifecycle status, a
 // replayable typed event stream, a cancel switch and an awaitable
 // result. All methods are safe for concurrent use.
+//
+// A run may execute more than once: when a worker's claim goes stale
+// (crashed process, wedged fleet member) the reconciler re-queues the
+// run for a fresh attempt. Attempts are numbered by a generation
+// counter (gen); events, heartbeats and results from a superseded
+// attempt are dropped, so a zombie worker finishing late can never
+// clobber the retry's state.
 type Run struct {
 	id, key, kind, label string
+	seq                  int64
 	task                 Task
 	sink                 events.Sink
 	svc                  *Service
 	created              time.Time
-
-	ctx    context.Context //dclint:allow ctxfirst -- the run's execution context by design: runs outlive the submitting call and are canceled via cancel
-	cancel context.CancelCauseFunc
+	// spec is the serialized submission a restart rehydrates the task
+	// from; empty means the run is not crash-recoverable.
+	spec []byte
+	// transient marks inline runs: they execute on their caller's
+	// goroutine under the caller's context, so they are neither
+	// persisted nor lease-managed.
+	transient bool
 
 	// joins counts submissions that attached to this run after the one
 	// that created it (dedup reuses and cache hits).
@@ -31,7 +43,19 @@ type Run struct {
 	memoOnce sync.Once
 	memo     any
 
-	mu       sync.Mutex
+	mu     sync.Mutex
+	ctx    context.Context //dclint:allow ctxfirst -- the current attempt's execution context by design: runs outlive the submitting call and are canceled via cancel
+	cancel context.CancelCauseFunc
+	// gen is the attempt generation: bumped by every requeue, compared
+	// by everything an attempt reports back.
+	gen int
+	// retries counts requeues (bounded by Config.MaxRetries).
+	retries int
+	// worker and lastBeat describe the current claim ("" when not
+	// running); the reconciler re-queues the run once lastBeat ages
+	// past the lease TTL.
+	worker   string
+	lastBeat time.Time
 	status   Status
 	started  time.Time
 	finished time.Time
@@ -61,6 +85,14 @@ func (r *Run) Status() Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.status
+}
+
+// Retries reports how many times the run has been re-queued after a
+// stale worker claim (including a crash-recovery resume).
+func (r *Run) Retries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
 }
 
 // terminalSince returns the status and, when terminal, the finish time.
@@ -99,12 +131,15 @@ func (r *Run) Err() error {
 // terminal run is unaffected. Cancel is idempotent and returns without
 // waiting; receive on Done to wait for the abort to land.
 func (r *Run) Cancel() {
-	r.cancel(ErrCanceled)
+	r.mu.Lock()
+	cancel := r.cancel
+	r.mu.Unlock()
+	cancel(ErrCanceled)
 	// A queued run has no executing goroutine to notice the canceled
 	// context; finalize it here so waiters are released immediately. The
 	// check-and-finish is atomic (finishIfQueued holds the lock across
-	// both), so a worker that flips the run to Running first wins and
-	// the task's own return records the terminal state instead.
+	// both), so a worker that already started the task wins and the
+	// task's own return records the terminal state instead.
 	r.finishIfQueued(fmt.Errorf("service: run %s canceled while queued: %w", r.id, context.Canceled))
 }
 
@@ -137,7 +172,10 @@ type Info struct {
 	Error  string `json:"error,omitempty"`
 	// Deduped is filled by callers that track per-submission reuse; the
 	// run itself does not know how many submissions share it.
-	Deduped  bool       `json:"deduped,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Retries counts stale-claim requeues (crash-recovery resumes
+	// included); MaxRetries of them park the run in dead_letter.
+	Retries  int        `json:"retries,omitempty"`
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
@@ -150,7 +188,8 @@ func (r *Run) Snapshot() Info {
 	defer r.mu.Unlock()
 	info := Info{
 		ID: r.id, Kind: r.kind, Label: r.label,
-		Status: r.status, Created: r.created, Events: len(r.events),
+		Status: r.status, Retries: r.retries,
+		Created: r.created, Events: len(r.events),
 	}
 	if r.err != nil {
 		info.Error = r.err.Error()
@@ -210,39 +249,108 @@ func (r *Run) Events(ctx context.Context) <-chan events.Event {
 // cannot emit after returning; this only guards misuse).
 func (r *Run) appendEvent(ev events.Event) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.status.Terminal() {
-		r.mu.Unlock()
 		return
 	}
-	r.events = append(r.events, ev)
-	close(r.wake)
-	r.wake = make(chan struct{})
-	r.mu.Unlock()
+	r.appendEventLocked(ev)
 }
 
-// begin moves Queued to Running; false if the run is already terminal
-// (canceled while queued).
-func (r *Run) begin() bool {
+// appendEventFrom is appendEvent for a specific attempt: events from a
+// superseded (requeued-over) attempt are dropped so a zombie worker
+// cannot interleave its progress into the retry's stream. It reports
+// whether the event was recorded (the caller tees it onward only then).
+func (r *Run) appendEventFrom(gen int, ev events.Event) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.status != StatusQueued {
+	if r.status.Terminal() || r.gen != gen {
 		return false
 	}
-	r.status = StatusRunning
-	r.started = r.svc.cfg.Now()
+	r.appendEventLocked(ev)
 	return true
 }
 
-// runTask executes the task with a sink that records into the replay
-// buffer and tees to the request's synchronous sink. A panicking task
-// fails the run instead of killing the worker.
-func (r *Run) runTask() (res any, err error) {
+// appendEventLocked records and wakes. Caller holds r.mu.
+func (r *Run) appendEventLocked(ev events.Event) {
+	r.events = append(r.events, ev)
+	close(r.wake)
+	r.wake = make(chan struct{})
+}
+
+// begin moves Queued to Running for a new attempt under worker's claim;
+// ok is false if the run is no longer queued (canceled while queued, or
+// already claimed). The returned generation and context identify the
+// attempt: everything the worker reports back is guarded by them.
+func (r *Run) begin(worker string, now time.Time) (gen int, ctx context.Context, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusQueued {
+		return 0, nil, false
+	}
+	r.status = StatusRunning
+	r.worker = worker
+	r.lastBeat = now
+	r.started = now
+	return r.gen, r.ctx, true
+}
+
+// beat refreshes the attempt's lease; false once the attempt is
+// superseded or the run left Running (the heartbeat loop exits then).
+func (r *Run) beat(gen int, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gen != gen || r.status != StatusRunning {
+		return false
+	}
+	r.lastBeat = now
+	return true
+}
+
+// claimStale reports whether the run holds a worker claim whose lease
+// has aged out.
+func (r *Run) claimStale(now time.Time, ttl time.Duration) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status == StatusRunning && r.worker != "" && now.Sub(r.lastBeat) >= ttl
+}
+
+// requeueStale atomically returns a stale-claimed run to Queued for a
+// fresh attempt: the generation advances (orphaning the zombie
+// attempt), the old context is canceled with cause, and a new context
+// is derived from base. It re-checks staleness under the lock, so a
+// heartbeat racing the reconciler wins.
+func (r *Run) requeueStale(base context.Context, now time.Time, ttl time.Duration, reason string, cause error) (retries int, ok bool) {
+	r.mu.Lock()
+	if r.status != StatusRunning || r.worker == "" || now.Sub(r.lastBeat) < ttl {
+		r.mu.Unlock()
+		return 0, false
+	}
+	r.gen++
+	r.retries++
+	retries = r.retries
+	oldCancel := r.cancel
+	r.ctx, r.cancel = context.WithCancelCause(base)
+	r.status = StatusQueued
+	r.worker = ""
+	r.started = time.Time{}
+	r.appendEventLocked(events.RunRequeued{ID: r.id, Retries: retries, Reason: reason})
+	r.mu.Unlock()
+	oldCancel(cause)
+	return retries, true
+}
+
+// runTask executes the attempt's task with a sink that records into the
+// replay buffer and tees to the request's synchronous sink (both
+// guarded by the attempt generation). A panicking task fails the run
+// instead of killing the worker.
+func (r *Run) runTask(gen int, ctx context.Context) (res any, err error) {
 	r.mu.Lock()
 	task, tee := r.task, r.sink
 	r.mu.Unlock()
 	sink := events.Sink(func(ev events.Event) {
-		r.appendEvent(ev)
-		tee.Emit(ev)
+		if r.appendEventFrom(gen, ev) {
+			tee.Emit(ev)
+		}
 	})
 	defer func() {
 		if p := recover(); p != nil {
@@ -251,41 +359,61 @@ func (r *Run) runTask() (res any, err error) {
 			err = fmt.Errorf("service: run %s panicked: %v\n%s", r.id, p, debug.Stack())
 		}
 	}()
-	return task(r.ctx, sink)
+	return task(ctx, sink)
 }
 
-// finish records the terminal state exactly once: result and error, the
-// status (Canceled when the run's own context was canceled, Failed on
-// any other error, Done otherwise), the closing RunFinished event, and
-// the done signal.
+// statusAuto tells finishAs to infer Done/Failed/Canceled from the
+// error and context; any other value forces that terminal status.
+const statusAuto Status = -1
+
+// finish records the terminal state exactly once, with no attempt
+// guard (cancellation, shutdown and recovery paths).
 func (r *Run) finish(res any, err error) {
-	r.finishWith(res, err, false)
+	r.finishAs(statusAuto, res, err, false, 0)
+}
+
+// finishAttempt is finish for a worker's attempt: a superseded attempt
+// (the reconciler requeued the run meanwhile) is dropped.
+func (r *Run) finishAttempt(gen int, res any, err error) {
+	r.finishAs(statusAuto, res, err, false, gen)
 }
 
 // finishIfQueued finishes the run only if no worker has begun it: the
 // queued-status check and the terminal transition happen under one
 // lock, so it cannot race begin into finishing an executing task.
 func (r *Run) finishIfQueued(err error) bool {
-	return r.finishWith(nil, err, true)
+	return r.finishAs(statusAuto, nil, err, true, 0)
 }
 
-func (r *Run) finishWith(res any, err error, onlyQueued bool) bool {
+// finishAs is the one terminal transition: status (inferred or forced),
+// result and error, the closing RunFinished event (preceded by
+// RunDeadLettered when the reconciler gave up on the run), the done
+// signal and the service-side retirement. gen != 0 restricts the finish
+// to that attempt generation; onlyQueued restricts it to unclaimed runs.
+func (r *Run) finishAs(forced Status, res any, err error, onlyQueued bool, gen int) bool {
 	r.mu.Lock()
-	if r.status.Terminal() || (onlyQueued && r.status != StatusQueued) {
+	if r.status.Terminal() || (onlyQueued && r.status != StatusQueued) || (gen != 0 && gen != r.gen) {
 		r.mu.Unlock()
 		return false
 	}
-	st := StatusDone
-	if err != nil {
-		if r.ctx.Err() != nil {
-			st = StatusCanceled
-		} else {
-			st = StatusFailed
+	st := forced
+	if st == statusAuto {
+		st = StatusDone
+		if err != nil {
+			if r.ctx.Err() != nil {
+				st = StatusCanceled
+			} else {
+				st = StatusFailed
+			}
 		}
 	}
 	r.result, r.err = res, err
 	r.status = st
+	r.worker = ""
 	r.finished = r.svc.cfg.Now()
+	if st == StatusDeadLetter {
+		r.events = append(r.events, events.RunDeadLettered{ID: r.id, Retries: r.retries, Err: err})
+	}
 	r.events = append(r.events, events.RunFinished{ID: r.id, Status: st.String(), Err: err})
 	// The task closure captures the submitted workloads (possibly
 	// millions of jobs); the run outlives execution by the TTL, so drop
@@ -293,9 +421,10 @@ func (r *Run) finishWith(res any, err error, onlyQueued bool) bool {
 	r.task, r.sink = nil, nil
 	close(r.wake)
 	r.wake = make(chan struct{})
+	cancel := r.cancel
 	r.mu.Unlock()
 	close(r.done)
-	r.cancel(nil) // release the context's resources
-	r.svc.retire(r, st)
+	cancel(nil) // release the context's resources
+	r.svc.retire(r, st, res, err)
 	return true
 }

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/events"
+	"repro/internal/runstore"
 )
 
 // Status is a run's lifecycle state.
@@ -25,6 +27,10 @@ const (
 	StatusFailed
 	// StatusCanceled: aborted by Cancel or service shutdown.
 	StatusCanceled
+	// StatusDeadLetter: abandoned by the self-healing loop after the
+	// run's worker claim went stale more than MaxRetries times. Terminal
+	// and non-reusable, kept visible for operator inspection.
+	StatusDeadLetter
 )
 
 // String returns the lowercase wire form ("queued", "running", ...).
@@ -40,14 +46,38 @@ func (s Status) String() string {
 		return "failed"
 	case StatusCanceled:
 		return "canceled"
+	case StatusDeadLetter:
+		return "dead_letter"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
 }
 
+// ParseStatus inverts String: it maps a wire form back to the Status.
+// It accepts exactly the strings String produces (API filters and
+// durable-store recovery both route through it).
+func ParseStatus(s string) (Status, error) {
+	switch s {
+	case "queued":
+		return StatusQueued, nil
+	case "running":
+		return StatusRunning, nil
+	case "done":
+		return StatusDone, nil
+	case "failed":
+		return StatusFailed, nil
+	case "canceled":
+		return StatusCanceled, nil
+	case "dead_letter":
+		return StatusDeadLetter, nil
+	default:
+		return 0, fmt.Errorf("service: unknown status %q", s)
+	}
+}
+
 // Terminal reports whether the run has finished (successfully or not).
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled || s == StatusDeadLetter
 }
 
 // MarshalJSON encodes the status as its wire string.
@@ -63,6 +93,10 @@ var (
 	ErrShutdown = errors.New("service: shutting down")
 	// ErrCanceled is the cancellation cause installed by Run.Cancel.
 	ErrCanceled = errors.New("service: run canceled")
+	// ErrLeaseExpired is the cancellation cause a requeued attempt's
+	// context carries: the reconciler decided the claim was stale and
+	// handed the run to a fresh attempt.
+	ErrLeaseExpired = errors.New("service: worker lease expired")
 )
 
 // Task is the unit of work a run executes. It must honor ctx and may
@@ -82,6 +116,11 @@ type Request struct {
 	Label string
 	// Task executes the work.
 	Task Task
+	// Spec is the submission serialized well enough that
+	// Config.Rehydrate can rebuild Task from it after a restart. Empty
+	// means the run is not crash-recoverable: a durable service that
+	// finds it queued or running at boot fails it as lost.
+	Spec []byte
 	// Sink, when non-nil, additionally receives the task's events
 	// synchronously from the emitting goroutine (the run's own buffer
 	// always records them). It must be safe for concurrent use.
@@ -107,8 +146,45 @@ type Config struct {
 	// cancellation aborts them all (default context.Background()).
 	BaseContext context.Context //dclint:allow ctxfirst -- http.Server-style lifecycle config: the root every run context derives from
 	// Now is the clock (default time.Now; tests override it to drive
-	// TTL eviction deterministically).
+	// TTL eviction and lease expiry deterministically).
 	Now func() time.Time
+
+	// Store persists the run lifecycle. Nil takes the in-memory store
+	// (runstore.NewMem()): identical observable behavior, nothing
+	// outlives the process. A durable store (runstore.Open) makes the
+	// service crash-recoverable: New replays its state, resumes queued
+	// and running runs, and serves finished results from disk.
+	Store runstore.Store
+	// Rehydrate rebuilds a submission's Task from its persisted Spec at
+	// recovery ("scenario" from its definition, say). Nil means
+	// recovered non-terminal runs fail as lost instead of resuming.
+	Rehydrate func(kind string, spec []byte) (Task, error)
+	// EncodeResult serializes a successful result for the durable
+	// store; DecodeResult inverts it at recovery. Both nil is valid
+	// (results then do not survive a restart: recovered done runs fail
+	// as lost). Only consulted when Store is durable.
+	EncodeResult func(kind string, result any) ([]byte, error)
+	DecodeResult func(kind string, data []byte) (any, error)
+
+	// WorkerID names this process's claims in the store (default
+	// "local"). Operators running several dcserve processes against
+	// distinct data dirs use it to tell fleets apart in listings.
+	WorkerID string
+	// LeaseTTL is how stale a running run's heartbeat may grow before
+	// the reconciler treats its worker as lost and re-queues the run
+	// (default 30s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the claim-refresh cadence while a task executes
+	// (default LeaseTTL/3).
+	HeartbeatEvery time.Duration
+	// ReconcileEvery is the stale-claim scan cadence (default
+	// LeaseTTL/2).
+	ReconcileEvery time.Duration
+	// MaxRetries bounds the self-healing loop: a run may be re-queued
+	// this many times; the next stale claim dead-letters it instead
+	// (default 3; negative means no retries — the first stale claim
+	// dead-letters).
+	MaxRetries int
 }
 
 func (c *Config) applyDefaults() {
@@ -130,11 +206,32 @@ func (c *Config) applyDefaults() {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Store == nil {
+		c.Store = runstore.NewMem()
+	}
+	if c.WorkerID == "" {
+		c.WorkerID = "local"
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 3
+	}
+	if c.ReconcileEvery <= 0 {
+		c.ReconcileEvery = c.LeaseTTL / 2
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
 }
 
 // Stats is a snapshot of the service's counters. Submitted counts every
-// accepted submission; Executed only the distinct tasks actually run, so
-// Submitted - Executed is the work the dedup/cache layer absorbed.
+// accepted submission; Executed counts task attempts actually run (a
+// requeued run executes more than once), so Submitted - Executed is the
+// work the dedup/cache layer absorbed, minus retry attempts.
 type Stats struct {
 	Submitted int64 `json:"submitted"`
 	Executed  int64 `json:"executed"`
@@ -147,6 +244,24 @@ type Stats struct {
 	Done     int64 `json:"done"`
 	Failed   int64 `json:"failed"`
 	Canceled int64 `json:"canceled"`
+	// DeadLetters: runs abandoned after MaxRetries stale claims.
+	DeadLetters int64 `json:"dead_letters"`
+
+	// RecoveredRuns: non-terminal runs resumed from the durable store at
+	// boot. Requeues: stale claims returned to the queue (reconciler
+	// requeues plus restart resumes of previously-running runs).
+	RecoveredRuns int64 `json:"recovered_runs"`
+	Requeues      int64 `json:"requeues"`
+
+	// WALRecords and Snapshots mirror the persistence layer: total
+	// write-ahead-log activity seen by the store (appends plus records
+	// replayed at open) and compactions taken. Zero for the in-memory
+	// store only until its first record.
+	WALRecords int64 `json:"wal_records"`
+	Snapshots  int64 `json:"snapshots"`
+	// StoreErrors counts persistence appends that failed after the
+	// submission was accepted (the run still completes in memory).
+	StoreErrors int64 `json:"store_errors,omitempty"`
 
 	// Queued/Running/Stored describe the store right now.
 	Queued  int `json:"queued"`
@@ -161,8 +276,16 @@ type Stats struct {
 // stable IDs, identical submissions share one execution, queued runs
 // execute on a bounded worker pool, and finished runs age out after the
 // configured TTL.
+//
+// Every lifecycle transition is recorded in the configured
+// runstore.Store. With a durable store the service is crash-recoverable
+// (see New) and self-healing: workers hold heartbeat-refreshed leases
+// on the runs they execute, and a reconciler re-queues runs whose lease
+// went stale — bounded by MaxRetries, beyond which the run is
+// dead-lettered.
 type Service struct {
 	cfg        Config
+	store      runstore.Store
 	base       context.Context //dclint:allow ctxfirst -- service-lifetime root derived from Config.BaseContext at construction
 	baseCancel context.CancelCauseFunc
 	queue      chan *Run
@@ -177,21 +300,47 @@ type Service struct {
 	wg        sync.WaitGroup
 
 	submitted, executed, cacheHits, deduped, evicted int64
-	done, failed, canceled                           int64
+	done, failed, canceled, deadLetters              int64
+	recovered, requeues                              int64
+
+	storeErrs atomic.Int64
 }
 
 // New builds a service. Workers start lazily on the first queued
-// submission, so a service used only for inline runs owns no goroutines.
+// submission, so a service used only for inline runs owns no
+// goroutines.
+//
+// When cfg.Store already holds state (a durable store reopened over an
+// existing data dir), New recovers it before returning: terminal runs
+// are rebuilt with their persisted results and a synthesized event
+// history, non-terminal runs are rehydrated via cfg.Rehydrate and
+// re-queued (previously-running ones count a retry — their worker died
+// with the old process), and the worker pool starts immediately when
+// anything resumed.
 func New(cfg Config) *Service {
 	cfg.applyDefaults()
 	base, cancel := context.WithCancelCause(cfg.BaseContext)
-	return &Service{
+	s := &Service{
 		cfg:        cfg,
+		store:      cfg.Store,
 		base:       base,
 		baseCancel: cancel,
 		queue:      make(chan *Run, cfg.QueueDepth),
 		runs:       make(map[string]*Run),
 		byKey:      make(map[string]*Run),
+	}
+	s.recover()
+	return s
+}
+
+// record persists a lifecycle transition, counting (not propagating)
+// failures: the run proceeds in memory either way, and the operator
+// sees store_errors climb on /healthz. The submission path is the
+// exception — it propagates the append error so a caller is never told
+// "accepted" for work the log never saw.
+func (s *Service) record(rec *runstore.Record) {
+	if err := s.store.Append(rec); err != nil {
+		s.storeErrs.Add(1)
 	}
 }
 
@@ -204,15 +353,18 @@ func (s *Service) newRunLocked(req Request, ctx context.Context, cancel context.
 	}
 	r := &Run{
 		id:      id,
+		seq:     s.seq,
 		key:     req.Key,
 		kind:    req.Kind,
 		label:   req.Label,
 		task:    req.Task,
 		sink:    req.Sink,
+		spec:    req.Spec,
 		svc:     s,
 		created: s.cfg.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
+		gen:     1,
 		status:  StatusQueued,
 		wake:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -229,7 +381,9 @@ func (s *Service) newRunLocked(req Request, ctx context.Context, cancel context.
 // handle. reused reports that an identical run (same Key) was already
 // stored — in flight (dedup) or finished (cache hit) — and is being
 // returned instead of a new execution. A full queue fails with ErrBusy;
-// a shut-down service with ErrShutdown.
+// a shut-down service with ErrShutdown. With a durable store, Submit
+// returns only after the submission is on disk — an accepted run
+// survives a crash.
 func (s *Service) Submit(req Request) (r *Run, reused bool, err error) {
 	if req.Task == nil {
 		return nil, false, fmt.Errorf("service: submit %q: nil task", req.Label)
@@ -266,11 +420,27 @@ func (s *Service) Submit(req Request) (r *Run, reused bool, err error) {
 	// appending after the enqueue would race a fast task's RunStarted
 	// (or be dropped entirely by the terminal guard).
 	r.appendEvent(events.RunQueued{ID: r.id, Label: r.label})
+	// Persist before the enqueue makes the run visible to workers, so
+	// the log never sees a claim for a run it does not know. An append
+	// failure rejects the submission: better a retryable error now than
+	// a run the store would not recover.
+	if err := s.store.Append(&runstore.Record{
+		Op: runstore.OpSubmit, ID: r.id, Seq: r.seq,
+		Key: r.key, Kind: r.kind, Label: r.label,
+		Spec: req.Spec, Created: r.created,
+	}); err != nil {
+		s.removeLocked(r)
+		s.submitted--
+		s.mu.Unlock()
+		cancel(err)
+		return nil, false, fmt.Errorf("service: submit %q: persist: %w", req.Label, err)
+	}
 	select {
 	case s.queue <- r:
 	default:
 		s.removeLocked(r)
 		s.submitted-- // rejected, not accepted
+		s.record(&runstore.Record{Op: runstore.OpDrop, ID: r.id})
 		s.mu.Unlock()
 		cancel(ErrBusy)
 		return nil, false, ErrBusy
@@ -286,7 +456,9 @@ func (s *Service) Submit(req Request) (r *Run, reused bool, err error) {
 // from cache: they exist so blocking callers (Engine.Run and friends)
 // keep their exact pre-handle semantics — same goroutine, same context,
 // events delivered synchronously — while still flowing through the run
-// lifecycle. The returned run is terminal.
+// lifecycle. They are transient: never persisted (they die with their
+// caller, so recovering one is meaningless) and never lease-managed.
+// The returned run is terminal.
 func (s *Service) RunInline(ctx context.Context, req Request) (*Run, error) {
 	if req.Task == nil {
 		return nil, fmt.Errorf("service: run %q: nil task", req.Label)
@@ -301,13 +473,15 @@ func (s *Service) RunInline(ctx context.Context, req Request) (*Run, error) {
 	s.evictLocked()
 	req.Key = "" // inline runs are not shared
 	r := s.newRunLocked(req, runCtx, cancel)
+	r.transient = true
 	s.mu.Unlock()
 	r.appendEvent(events.RunQueued{ID: r.id, Label: r.label})
 	s.execute(r)
 	return r, nil
 }
 
-// startWorkersLocked launches the worker pool once. Caller holds s.mu.
+// startWorkersLocked launches the worker pool and the stale-claim
+// reconciler once. Caller holds s.mu.
 func (s *Service) startWorkersLocked() {
 	if s.workersOn {
 		return
@@ -317,6 +491,8 @@ func (s *Service) startWorkersLocked() {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.reconcileLoop()
 }
 
 func (s *Service) worker() {
@@ -340,16 +516,77 @@ func (s *Service) worker() {
 	}
 }
 
-// execute moves a run through Running to a terminal status.
+// enqueue hands a run to the worker pool. Unlike Submit's intake path,
+// callers here (reconciler requeues, boot recovery) must not drop the
+// run on a momentarily full queue — that would strand a persisted run
+// as queued-forever — so overflow falls back to a goroutine that waits
+// for a slot, bounded by the service lifetime.
+func (s *Service) enqueue(r *Run) {
+	select {
+	case s.queue <- r:
+	default:
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			select {
+			case s.queue <- r:
+			case <-s.base.Done():
+				r.finishIfQueued(fmt.Errorf("service: run %s aborted by shutdown: %w", r.id, ErrShutdown))
+			}
+		}()
+	}
+}
+
+// execute moves a run through Running to a terminal status, holding a
+// heartbeat-refreshed claim for the attempt's duration (persisted runs
+// only; inline runs are transient and lease-free).
 func (s *Service) execute(r *Run) {
-	if !r.begin() {
+	worker := s.cfg.WorkerID
+	if r.transient {
+		worker = ""
+	}
+	now := s.cfg.Now()
+	gen, ctx, ok := r.begin(worker, now)
+	if !ok {
 		return // canceled while queued
 	}
 	s.mu.Lock()
 	s.executed++
 	s.mu.Unlock()
-	res, err := r.runTask()
-	r.finish(res, err)
+	if !r.transient {
+		s.record(&runstore.Record{Op: runstore.OpClaim, ID: r.id, Worker: worker, Attempt: gen, At: now})
+		stop := s.startHeartbeat(r, gen, ctx)
+		defer stop()
+	}
+	res, err := r.runTask(gen, ctx)
+	r.finishAttempt(gen, res, err)
+}
+
+// startHeartbeat refreshes the attempt's claim every HeartbeatEvery
+// until the attempt ends (its context is canceled on finish and on
+// requeue) or the returned stop is called. Heartbeats mark liveness,
+// they do not carry state, so the store may skip fsyncing them.
+func (s *Service) startHeartbeat(r *Run, gen int, ctx context.Context) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(s.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				now := s.cfg.Now()
+				if !r.beat(gen, now) {
+					return // superseded or no longer running
+				}
+				s.record(&runstore.Record{Op: runstore.OpHeartbeat, ID: r.id, At: now})
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // Get returns the stored run with the given ID.
@@ -375,14 +612,19 @@ func (s *Service) Runs() []*Run {
 
 // Stats snapshots the counters.
 func (s *Service) Stats() Stats {
+	storeStats := s.store.Stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
 		Submitted: s.submitted, Executed: s.executed,
 		CacheHits: s.cacheHits, Deduped: s.deduped, Evicted: s.evicted,
 		Done: s.done, Failed: s.failed, Canceled: s.canceled,
-		Stored:  len(s.runs),
-		Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
+		DeadLetters:   s.deadLetters,
+		RecoveredRuns: s.recovered, Requeues: s.requeues,
+		WALRecords: storeStats.WALRecords, Snapshots: storeStats.Snapshots,
+		StoreErrors: s.storeErrs.Load(),
+		Stored:      len(s.runs),
+		Workers:     s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
 	}
 	for _, r := range s.order {
 		switch r.Status() {
@@ -397,11 +639,11 @@ func (s *Service) Stats() Stats {
 
 // Shutdown stops intake, cancels every queued and running run, and waits
 // (bounded by ctx) for the workers to exit. Inline runs execute under
-// their caller's context and are unaffected. Shutdown is idempotent.
+// their caller's context and are unaffected. The store is not closed:
+// its lifecycle belongs to whoever opened it. Shutdown is idempotent.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
-	started := s.workersOn
 	pending := make([]*Run, 0, len(s.order))
 	for _, r := range s.order {
 		if !r.Status().Terminal() {
@@ -418,9 +660,6 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		// wins and the task finishes itself by observing the canceled
 		// base context.
 		r.finishIfQueued(fmt.Errorf("service: run %s aborted by shutdown: %w", r.id, ErrShutdown))
-	}
-	if !started {
-		return nil
 	}
 	done := make(chan struct{})
 	go func() {
@@ -476,6 +715,11 @@ func (s *Service) dropLocked(r *Run) {
 	if r.key != "" && s.byKey[r.key] == r {
 		delete(s.byKey, r.key)
 	}
+	if !r.transient {
+		// Evict from disk too, or the store would resurrect the run at
+		// the next boot and re-grow without bound.
+		s.record(&runstore.Record{Op: runstore.OpDrop, ID: r.id})
+	}
 	s.evicted++
 }
 
@@ -514,9 +758,27 @@ func (s *Service) cancelIfSole(r *Run) bool {
 	return true
 }
 
-// retire is called by Run.finish to update terminal counters and retire
-// non-reusable keys so the next identical submission executes afresh.
-func (s *Service) retire(r *Run, st Status) {
+// retire is called by Run.finishAs to persist the terminal record,
+// update terminal counters and retire non-reusable keys so the next
+// identical submission executes afresh.
+func (s *Service) retire(r *Run, st Status, res any, err error) {
+	if !r.transient {
+		rec := &runstore.Record{
+			Op: runstore.OpFinish, ID: r.id,
+			Status: st.String(), At: s.cfg.Now(),
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if st == StatusDone && s.store.Durable() && s.cfg.EncodeResult != nil {
+			if data, encErr := s.cfg.EncodeResult(r.kind, res); encErr != nil {
+				s.storeErrs.Add(1)
+			} else {
+				rec.Result = data
+			}
+		}
+		s.record(rec)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch st {
@@ -526,6 +788,8 @@ func (s *Service) retire(r *Run, st Status) {
 		s.failed++
 	case StatusCanceled:
 		s.canceled++
+	case StatusDeadLetter:
+		s.deadLetters++
 	}
 	if st != StatusDone && r.key != "" && s.byKey[r.key] == r {
 		delete(s.byKey, r.key)

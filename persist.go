@@ -1,0 +1,135 @@
+package dawningcloud
+
+// This file is the crash-recovery codec behind WithRunStore: how a
+// submission is serialized into the durable run store's WAL
+// (persistedSpec), how a restarted engine rebuilds the executable task
+// from it (rehydrateTask), and how finished results round-trip to disk
+// (encodeRunResult / decodeRunResult). The service layer stays ignorant
+// of request forms; everything kind-specific lives here.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/service"
+)
+
+// persistedSpec is the serialized form of one submission, written into
+// the durable store's OpSubmit record. Exactly one request form is
+// populated, mirroring SubmitRequest; Workers and Options carry the
+// execution knobs that shape the result (scenario/suite reject
+// non-zero Options at build time, so persisting them is system-only).
+//
+// System submissions persist their full workloads — for the paper
+// traces that is megabytes of jobs per record, the honest price of
+// byte-identical recovery. Scenario and suite runs (the service's
+// production shapes) persist only their compact declarative specs.
+type persistedSpec struct {
+	System    string     `json:"system,omitempty"`
+	Workloads []Workload `json:"workloads,omitempty"`
+	Options   Options    `json:"options,omitzero"`
+
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+
+	Experiments []string `json:"experiments,omitempty"`
+	Seed        int64    `json:"seed,omitempty"`
+	Days        int      `json:"days,omitempty"`
+
+	Workers int `json:"workers,omitempty"`
+}
+
+// specForSystem serializes a system submission (canonical name, the
+// as-submitted workloads, options).
+func specForSystem(canonical string, workloads []Workload, cfg runConfig) ([]byte, error) {
+	return json.Marshal(persistedSpec{
+		System: canonical, Workloads: workloads,
+		Options: cfg.opts, Workers: cfg.workers,
+	})
+}
+
+// specForScenario wraps the spec's canonical JSON (already computed for
+// the content hash).
+func specForScenario(specJSON []byte, cfg runConfig) ([]byte, error) {
+	return json.Marshal(persistedSpec{Scenario: specJSON, Workers: cfg.workers})
+}
+
+// specForSuite serializes a suite submission (expanded artifact IDs,
+// resolved seed and days).
+func specForSuite(ids []string, seed int64, days int, cfg runConfig) ([]byte, error) {
+	return json.Marshal(persistedSpec{
+		Experiments: ids, Seed: seed, Days: days, Workers: cfg.workers,
+	})
+}
+
+// rehydrateTask rebuilds a recovered run's executable task from its
+// persisted spec: decode, reconstruct the SubmitRequest union, and run
+// it back through the same buildRequest path a live submission takes —
+// same validation, same content hash, same task body. kind
+// cross-checks that the spec matches the run's recorded kind.
+func (e *Engine) rehydrateTask(kind string, spec []byte) (service.Task, error) {
+	var ps persistedSpec
+	if err := json.Unmarshal(spec, &ps); err != nil {
+		return nil, fmt.Errorf("dawningcloud: rehydrate %s: %w", kind, err)
+	}
+	req := SubmitRequest{
+		System:      ps.System,
+		Workloads:   ps.Workloads,
+		Experiments: ps.Experiments,
+		Seed:        ps.Seed,
+		Days:        ps.Days,
+	}
+	if len(ps.Scenario) > 0 {
+		sc, err := ParseScenario(ps.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("dawningcloud: rehydrate scenario: %w", err)
+		}
+		req.Scenario = sc
+	}
+	sreq, err := e.buildRequest(req, runConfig{opts: ps.Options, workers: ps.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("dawningcloud: rehydrate %s: %w", kind, err)
+	}
+	if sreq.Kind != kind {
+		return nil, fmt.Errorf("dawningcloud: rehydrate: spec builds a %q task, run recorded as %q", sreq.Kind, kind)
+	}
+	return sreq.Task, nil
+}
+
+// encodeRunResult serializes a finished run's result for the durable
+// store. All three result forms (systems.Result, *scenario.Report,
+// []experiments.Artifact) are plain exported-field structs, so their
+// JSON forms round-trip losslessly.
+func encodeRunResult(kind string, result any) ([]byte, error) {
+	data, err := json.Marshal(result)
+	if err != nil {
+		return nil, fmt.Errorf("dawningcloud: encode %s result: %w", kind, err)
+	}
+	return data, nil
+}
+
+// decodeRunResult inverts encodeRunResult at recovery, restoring the
+// exact dynamic type resolveResult and ResultView switch on.
+func decodeRunResult(kind string, data []byte) (any, error) {
+	switch kind {
+	case "system":
+		var r Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("dawningcloud: decode system result: %w", err)
+		}
+		return r, nil
+	case "scenario":
+		var rep ScenarioReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("dawningcloud: decode scenario result: %w", err)
+		}
+		return &rep, nil
+	case "suite":
+		var arts []Artifact
+		if err := json.Unmarshal(data, &arts); err != nil {
+			return nil, fmt.Errorf("dawningcloud: decode suite result: %w", err)
+		}
+		return arts, nil
+	default:
+		return nil, fmt.Errorf("dawningcloud: decode result: unknown run kind %q", kind)
+	}
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dawningbench [-experiment all|table1|fig9|fig10|fig11|table2|table3|table4|fig12|fig13|fig14|tco
-//	              |ext-scale|ext-backfill|ext-provision|extensions|kernel]
+//	              |ext-scale|ext-backfill|ext-provision|extensions|kernel|partition]
 //	             [-seed N] [-days N] [-out DIR] [-workers N] [-json FILE]
 //
 // Independent simulations (the four system runs and every sweep grid
@@ -22,6 +22,12 @@
 // tracks):
 //
 //	dawningbench -experiment kernel -json BENCH_kernel.json
+//
+// The partition experiment measures the multi-core lockstep driver: the
+// same workload on one engine vs one kernel partition per CPU (capped at
+// 8), reported as BENCH_partition.json:
+//
+//	dawningbench -experiment partition -json BENCH_partition.json
 package main
 
 import (
@@ -41,7 +47,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, fig9..fig14, table2..table4, tco, ext-scale, ext-backfill, ext-provision, extensions, kernel)")
+		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, fig9..fig14, table2..table4, tco, ext-scale, ext-backfill, ext-provision, extensions, kernel, partition)")
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		days       = flag.Int("days", 14, "trace window in days (the paper uses 14)")
 		outDir     = flag.String("out", "", "directory for .txt/.svg artifacts (optional)")
@@ -54,9 +60,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *experiment == "kernel" {
-		// The kernel microbenchmark has a fixed seeded workload; reject
-		// explicitly-set flags it would otherwise silently ignore.
+	if *experiment == "kernel" || *experiment == "partition" {
+		// The microbenchmarks have fixed seeded workloads; reject
+		// explicitly-set flags they would otherwise silently ignore.
 		var inapplicable []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -65,27 +71,43 @@ func main() {
 			}
 		})
 		if len(inapplicable) > 0 {
-			fmt.Fprintf(os.Stderr, "dawningbench: %s do(es) not apply to -experiment kernel\n",
-				strings.Join(inapplicable, ", "))
+			fmt.Fprintf(os.Stderr, "dawningbench: %s do(es) not apply to -experiment %s\n",
+				strings.Join(inapplicable, ", "), *experiment)
 			os.Exit(2)
 		}
-		report, err := kernelbench.RunContext(ctx, kernelbench.DefaultEvents)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dawningbench: kernel benchmark aborted: %v\n", err)
-			os.Exit(1)
+		var (
+			text string
+			save func(path string) error
+		)
+		if *experiment == "kernel" {
+			report, err := kernelbench.RunContext(ctx, kernelbench.DefaultEvents)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dawningbench: kernel benchmark aborted: %v\n", err)
+				os.Exit(1)
+			}
+			text = "== Kernel throughput: fast vs reference ==\n" + report.Text()
+			save = report.WriteJSON
+		} else {
+			report, err := kernelbench.RunPartition(ctx, kernelbench.DefaultEvents, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dawningbench: partition benchmark aborted: %v\n", err)
+				os.Exit(1)
+			}
+			text = "== Partitioned kernel throughput: 1 core vs all cores ==\n" + report.Text()
+			save = report.WriteJSON
 		}
-		fmt.Printf("== Kernel throughput: fast vs reference ==\n%s\n", report.Text())
+		fmt.Println(text)
 		if *jsonOut != "" {
-			if err := report.WriteJSON(*jsonOut); err != nil {
+			if err := save(*jsonOut); err != nil {
 				fmt.Fprintf(os.Stderr, "dawningbench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("kernel report written to %s\n", *jsonOut)
+			fmt.Printf("%s report written to %s\n", *experiment, *jsonOut)
 		}
 		return
 	}
 	if *jsonOut != "" {
-		fmt.Fprintf(os.Stderr, "dawningbench: -json applies only to -experiment kernel\n")
+		fmt.Fprintf(os.Stderr, "dawningbench: -json applies only to -experiment kernel or partition\n")
 		os.Exit(2)
 	}
 

@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		ref      = fs.String("scenario", "", "scenario to run: a built-in name or a JSON spec file path")
 		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
+		parts    = fs.Int("partitions", 0, "per-core kernel partitions within each cell (0 = as the spec says, -1 = one per CPU); results are byte-identical to serial")
 		out      = fs.String("out", "", "also write the report to this file")
 		jsonOut  = fs.String("json", "", "also write the structured report as JSON to this file")
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
@@ -102,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "dcscen: %v\n", err)
 		return 1
+	}
+	if *parts != 0 {
+		spec.Partitions = *parts
 	}
 
 	// The study runs through the asynchronous lifecycle: Submit returns a

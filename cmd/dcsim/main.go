@@ -63,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 42, "generation seed (also drives stochastic systems like ssp-spot)")
 		days     = fs.Int("days", 14, "trace window in days")
 		capacity = fs.Int("capacity", 0, "cloud pool capacity (0 = unconstrained)")
+		parts    = fs.Int("partitions", 0, "per-core kernel partitions within one run (0/1 = serial, -1 = one per CPU); results are byte-identical to serial")
 		timeout  = fs.Duration("timeout", 0, "wall-clock simulation budget (0 = none); an exceeded budget cancels the runs")
 		progress = fs.Bool("progress", false, "stream run progress events to stderr")
 		swfPath  = fs.String("swf", "", "replay an SWF trace file instead of a builtin workload")
@@ -115,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	runOpts := []dawningcloud.RunOption{
-		dawningcloud.WithOptions(dawningcloud.Options{Horizon: horizon, PoolCapacity: *capacity}),
+		dawningcloud.WithOptions(dawningcloud.Options{Horizon: horizon, PoolCapacity: *capacity, Partitions: *parts}),
 		dawningcloud.WithSeed(*seed),
 		dawningcloud.WithWorkers(*workers),
 	}

@@ -220,6 +220,23 @@ func (e *Engine) Handles() []*RunHandle {
 	return out
 }
 
+// HandlesBefore lists the stored runs older than the run with ID
+// cursor, newest first — the resume point of a paged listing. ok is
+// false when cursor names no stored run (evicted mid-pagination, or
+// plain wrong). Cursor resolution goes through the service's ID index,
+// so a full paged listing costs O(n), not O(n^2).
+func (e *Engine) HandlesBefore(cursor string) (handles []*RunHandle, ok bool) {
+	runs, ok := e.runService().RunsBefore(cursor)
+	if !ok {
+		return nil, false
+	}
+	out := make([]*RunHandle, len(runs))
+	for i, r := range runs {
+		out[i] = &RunHandle{run: r, resolve: resolveResult}
+	}
+	return out, true
+}
+
 // ServiceStats snapshots the run service's counters (submissions,
 // executions, cache hits, dedup joins, queue occupancy).
 func (e *Engine) ServiceStats() ServiceStats { return e.runService().Stats() }
@@ -276,6 +293,16 @@ func WithWorkers(n int) RunOption {
 // deterministic and ignore it.
 func WithSeed(seed int64) RunOption {
 	return func(c *runConfig) { c.opts.Seed = seed }
+}
+
+// WithPartitions splits the run's providers onto n per-core kernel
+// partitions advancing in lockstep (0 or 1 = serial, negative = one per
+// CPU). A partitioned run's Result is byte-identical to the serial
+// run's; runners fall back to serial whenever partitioning cannot
+// preserve that (a capacity-bound shared pool, a single provider). A
+// later WithOptions overrides it, like every run option.
+func WithPartitions(n int) RunOption {
+	return func(c *runConfig) { c.opts.Partitions = n }
 }
 
 // WithEvents subscribes fn to the run's progress stream (run started /

@@ -53,6 +53,22 @@ func Run(ctx context.Context, workloads []systems.Workload, cfg Config) (systems
 	if err := systems.ValidateWorkloads(workloads); err != nil {
 		return systems.Result{}, err
 	}
+	// Partitioned path: with the default pool the cloud is never
+	// capacity-bound (defaultPoolCapacity's contract), so every dynamic
+	// grant succeeds regardless of what other providers hold —
+	// per-partition pools of the same capacity reproduce the serial run
+	// exactly. A caller-bounded pool couples providers through Free()
+	// and must stay serial.
+	if p := cfg.PartitionCount(len(workloads)); p > 1 && cfg.PoolCapacity == 0 {
+		return systems.RunPartitioned(ctx, workloads, cfg.Options, systems.PartitionSpec{
+			System: "DawningCloud",
+			Open: func(chunk []systems.Workload, first int, o systems.Options) (systems.PartitionInstance, error) {
+				c := cfg
+				c.Options = o
+				return Open(defaultPoolCapacity, c)
+			},
+		})
+	}
 	horizon := cfg.HorizonFor(workloads)
 	capacity := cfg.PoolCapacity
 	if capacity == 0 {
@@ -138,6 +154,10 @@ func (x *Instance) Engine() *sim.Engine { return x.engine }
 func (x *Instance) PoolLoad() (inUse, capacity int) {
 	return x.pool.InUse(), x.pool.Capacity()
 }
+
+// Accounting exposes the instance's accountant for partitioned-run
+// merging (see systems.PartitionInstance).
+func (x *Instance) Accounting() *metrics.Accountant { return x.acct }
 
 // Attach admits one provider workload: its thin runtime environment is
 // created through the CSF lifecycle and its job arrivals are scheduled

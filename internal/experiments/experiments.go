@@ -70,6 +70,11 @@ type Suite struct {
 	// forces the serial reference behaviour. Set it before the first
 	// run.
 	Workers int
+	// Partitions splits each simulation's providers onto per-core
+	// kernel partitions (see systems.Options.Partitions): 0 or 1 runs
+	// serially, negative means one partition per CPU. Results are
+	// byte-identical at any setting.
+	Partitions int
 	// Events receives the suite's progress stream (run started/completed
 	// and table rendered). The sink is called from worker goroutines and
 	// must be safe for concurrent use; nil discards events. Set it
@@ -136,7 +141,7 @@ func (s *Suite) Horizon() sim.Time { return sim.Time(s.Days) * sim.Day }
 
 // Options returns the shared run options.
 func (s *Suite) Options() systems.Options {
-	return systems.Options{Horizon: s.Horizon(), Provision: policy.GrantOrReject}
+	return systems.Options{Horizon: s.Horizon(), Provision: policy.GrantOrReject, Partitions: s.Partitions}
 }
 
 // Workloads builds (once) the three service providers' workloads: two HTC

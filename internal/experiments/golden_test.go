@@ -45,6 +45,42 @@ func TestPaperTablesGoldenBytes(t *testing.T) {
 	}
 }
 
+// TestPaperTablesGoldenBytesPartitioned re-renders Tables 2-4 with each
+// simulation's providers split onto per-core kernel partitions and
+// requires byte-identical output against the same serial-kernel golden
+// files: intra-run partitioning must be invisible in every published
+// number. P=4 exceeds the paper evaluation's three providers, so this
+// also pins the clamp-to-workload-count path.
+func TestPaperTablesGoldenBytesPartitioned(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		suite := NewSuite(42)
+		suite.Workers = 2
+		suite.Partitions = p
+		for _, tb := range []struct {
+			id string
+			fn func(context.Context) (Artifact, error)
+		}{
+			{"table2", suite.Table2},
+			{"table3", suite.Table3},
+			{"table4", suite.Table4},
+		} {
+			a, err := tb.fn(context.Background())
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, tb.id, err)
+			}
+			path := filepath.Join("testdata", tb.id+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%s: %v", tb.id, err)
+			}
+			if a.Text != string(want) {
+				t.Errorf("P=%d: %s drifted from the serial-kernel golden %s:\n got:\n%s\nwant:\n%s",
+					p, tb.id, path, a.Text, want)
+			}
+		}
+	}
+}
+
 // TestPaperTablesGoldenBytesAnyWorkerCount re-renders one table at three
 // worker counts and requires identical bytes: worker scheduling must not
 // leak into artifact content.

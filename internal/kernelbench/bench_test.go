@@ -71,6 +71,74 @@ func BenchmarkCluster(b *testing.B) {
 	b.Logf("cluster report written to %s\n%s", path, report.Text())
 }
 
+// BenchmarkPartition is the multi-core gate: the actor workload driven
+// once on a single engine and once split over one partition per CPU
+// (capped at 8) through the lockstep driver. It writes
+// BENCH_partition.json (to $BENCH_PARTITION_JSON when set, else the
+// package directory) and fails on the budget in
+// testdata/bench_budget.json — the allocation ceiling everywhere, the
+// 3x speedup floor on >= 8-CPU runners (the CI partition-bench job's
+// machine class; a laptop with fewer cores reports informationally).
+func BenchmarkPartition(b *testing.B) {
+	var report PartitionReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		report, err = RunPartition(context.Background(), DefaultEvents, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(report.Serial.EventsPerSec, "serial-events/sec")
+	b.ReportMetric(report.Partitioned.EventsPerSec, "partitioned-events/sec")
+	b.ReportMetric(report.Partitioned.AllocsPerEvent, "partitioned-allocs/event")
+	b.ReportMetric(report.Speedup, "partition-speedup-x")
+
+	path := os.Getenv("BENCH_PARTITION_JSON")
+	if path == "" {
+		path = "BENCH_partition.json"
+	}
+	if err := report.WriteJSON(path); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("partition report written to %s\n%s", path, report.Text())
+
+	budget, err := LoadBudget("testdata/bench_budget.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := budget.CheckPartition(report); err != nil {
+		b.Fatalf("budget regression: %v", err)
+	}
+}
+
+// TestRunPartitionSmokes keeps the multi-core harness covered by plain
+// `go test` at any CPU count: both legs must execute their full event
+// budget and report positive throughput, and the partitioned drive must
+// stay within the allocation ceiling.
+func TestRunPartitionSmokes(t *testing.T) {
+	r, err := RunPartition(context.Background(), 40_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partitions != 2 {
+		t.Fatalf("partitions = %d, want 2", r.Partitions)
+	}
+	if r.Serial.Events < 40_000 || r.Partitioned.Events < 40_000 {
+		t.Fatalf("events: serial %d, partitioned %d, want >= 40000 each", r.Serial.Events, r.Partitioned.Events)
+	}
+	if r.Serial.EventsPerSec <= 0 || r.Partitioned.EventsPerSec <= 0 || r.Speedup <= 0 {
+		t.Fatalf("non-positive throughput: %+v", r)
+	}
+	budget, err := LoadBudget("testdata/bench_budget.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partitioned.AllocsPerEvent > budget.MaxAllocsPerEvent {
+		t.Errorf("partitioned driver allocates %.4f/event, budget %.4f",
+			r.Partitioned.AllocsPerEvent, budget.MaxAllocsPerEvent)
+	}
+}
+
 // TestRunClusterSmokes keeps the cluster harness covered by plain
 // `go test`: a small federation must step events on every instance and
 // report positive throughput.
@@ -130,6 +198,22 @@ func TestBudgetFileParsesAndIsEnforceable(t *testing.T) {
 		if err := b.Check(slow); err == nil {
 			t.Error("budget accepted a report under the speedup floor")
 		}
+	}
+	if b.MinPartitionSpeedup <= 0 {
+		t.Fatal("budget carries no partition speedup floor")
+	}
+	slowPart := PartitionReport{CPUs: 8, Speedup: b.MinPartitionSpeedup / 2}
+	if err := b.CheckPartition(slowPart); err == nil {
+		t.Error("budget accepted a partition report under the speedup floor on an 8-CPU machine")
+	}
+	// Below the 8-CPU runner class the floor is informational.
+	slowPart.CPUs = 2
+	if err := b.CheckPartition(slowPart); err != nil {
+		t.Errorf("speedup floor enforced on a 2-CPU machine: %v", err)
+	}
+	hungry := PartitionReport{CPUs: 2, Partitioned: Kernel{AllocsPerEvent: b.MaxAllocsPerEvent + 1}}
+	if err := b.CheckPartition(hungry); err == nil {
+		t.Error("budget accepted a partitioned report over the allocation ceiling")
 	}
 }
 

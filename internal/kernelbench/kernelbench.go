@@ -64,6 +64,11 @@ type Budget struct {
 	// below this multiple of the reference kernel's. Kept conservative:
 	// CI machines are noisy, and the allocation budget is the hard gate.
 	MinSpeedup float64 `json:"min_speedup_events_per_sec"`
+	// MinPartitionSpeedup fails BenchmarkPartition when the P-partition
+	// lockstep drive's events/sec falls below this multiple of the
+	// single-engine drive's. Enforced only on >= 8-CPU machines (see
+	// Budget.CheckPartition).
+	MinPartitionSpeedup float64 `json:"min_partition_speedup"`
 }
 
 // LoadBudget reads a budget file.

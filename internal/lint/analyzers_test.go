@@ -15,6 +15,14 @@ func TestWalltimeFixtures(t *testing.T) {
 	runFixture(t, []*Analyzer{Walltime}, "internal/sim", "internal/emulation")
 }
 
+func TestPartitionFixtures(t *testing.T) {
+	// The lockstep driver package is both walltime-protected (explicitly
+	// listed, not just prefix-covered) and detrand-checked: partition
+	// goroutines must never pace on the host clock or draw from the
+	// process-global RNG.
+	runFixture(t, []*Analyzer{Walltime, Detrand}, "internal/sim/partition")
+}
+
 func TestClustersimFixtures(t *testing.T) {
 	// The federated subsystem is born under the determinism invariants:
 	// simulation-path for walltime, and detrand applies everywhere, so
@@ -54,7 +62,8 @@ func TestSuppressionDirective(t *testing.T) {
 
 func TestWalltimeAppliesScope(t *testing.T) {
 	protected := []string{
-		"internal/sim", "internal/sim/refheap", "internal/core",
+		"internal/sim", "internal/sim/refheap", "internal/sim/partition",
+		"internal/core",
 		"internal/systems", "internal/clustersim", "internal/sched",
 		"internal/policy", "internal/tre", "internal/spot",
 		"internal/synth", "internal/workflow", "internal/scenario",

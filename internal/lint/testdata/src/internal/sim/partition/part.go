@@ -1,0 +1,27 @@
+// Package partition stands in for the lockstep multi-core driver (its
+// fixture import path is internal/sim/partition): walltime protection
+// applies — per-partition goroutines must pace on the virtual clock,
+// never the host's — and detrand forbids the process-global RNG, whose
+// draws would depend on partition interleaving.
+package partition
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badClock() {
+	_ = time.Now()              // want `time\.Now reads the wall clock inside simulation-path package internal/sim/partition`
+	time.Sleep(time.Minute)     // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+}
+
+func badSeed() int {
+	return rand.Intn(8) // want `rand\.Intn draws from the process-global source`
+}
+
+// seedFor is the sanctioned construction: partition streams derive from
+// the run seed and the partition's serial position, nothing else.
+func seedFor(base int64, first int) *rand.Rand {
+	return rand.New(rand.NewSource(base + int64(first)*7919))
+}

@@ -25,6 +25,11 @@ var Walltime = &Analyzer{
 // subpackages) where simulated time is the only time.
 var walltimeProtected = []string{
 	"internal/sim",
+	// internal/sim/partition is prefix-covered by internal/sim, but the
+	// lockstep driver is the one place goroutines and simulated time
+	// meet, so it is named explicitly: removing the parent entry must
+	// not silently unprotect it.
+	"internal/sim/partition",
 	"internal/core",
 	"internal/systems",
 	"internal/clustersim",

@@ -75,6 +75,7 @@ func (s *Spec) options() systems.Options {
 		Provision:    prov,
 		SetupCost:    s.Pool.SetupCostSeconds,
 		Seed:         s.Seed,
+		Partitions:   s.Partitions,
 	}
 }
 

@@ -60,6 +60,8 @@ func TestValidationFieldErrors(t *testing.T) {
 			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}],
 			"sweep":{"scale":true}}`, "sweep.scale"},
 		{"unknown json field", `{"name":"x","providerz":[]}`, "providerz"},
+		{"partitions below -1", `{"name":"x","partitions":-2,
+			"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`, "partitions"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -118,6 +120,35 @@ func TestCompileExpandsCounts(t *testing.T) {
 	}
 	if c.Workloads[0].FixedNodes != 128 {
 		t.Errorf("derived fixed nodes = %d, want 128 (NASA machine size)", c.Workloads[0].FixedNodes)
+	}
+}
+
+// TestPartitionsFieldFlowsToOptions pins the spec -> options plumbing:
+// a spec's partitions count must reach the compiled run options
+// unchanged, including the -1 (one per CPU) sentinel, and default to 0
+// (serial) when absent.
+func TestPartitionsFieldFlowsToOptions(t *testing.T) {
+	for _, p := range []int{0, -1, 4} {
+		src := `{"name":"c","days":1,"providers":[
+			{"name":"org","source":{"kind":"synth","model":"nasa"}}]`
+		if p != 0 {
+			src += `,"partitions":` + map[int]string{-1: "-1", 4: "4"}[p]
+		}
+		src += `}`
+		s, err := ParseBytes([]byte(src))
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", p, err)
+		}
+		if s.Partitions != p {
+			t.Errorf("parsed partitions = %d, want %d", s.Partitions, p)
+		}
+		c, err := Compile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Options.Partitions != p {
+			t.Errorf("compiled options partitions = %d, want %d", c.Options.Partitions, p)
+		}
 	}
 }
 

@@ -69,6 +69,12 @@ type Spec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Days is the accounting window in days (the paper uses 14).
 	Days int `json:"days,omitempty"`
+	// Partitions splits each cell's providers onto that many per-core
+	// kernel partitions (0 or 1 = serial, -1 = one per CPU). Partitioned
+	// cells are byte-identical to serial ones; runners fall back to
+	// serial whenever partitioning cannot preserve that (see
+	// systems.Options.Partitions).
+	Partitions int `json:"partitions,omitempty"`
 	// Systems lists which systems to compare; empty means all four.
 	Systems []string `json:"systems,omitempty"`
 	// Pool configures the resource provider.
@@ -295,6 +301,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Days < 1 {
 		return fail("days", "accounting window %d days < 1", s.Days)
+	}
+	if s.Partitions < -1 {
+		return fail("partitions", "partition count %d < -1 (use -1 for one per CPU)", s.Partitions)
 	}
 	if len(s.Systems) == 0 {
 		return fail("systems", "must name at least one system")

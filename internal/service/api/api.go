@@ -389,22 +389,21 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	handles := s.eng.Handles()
+	var handles []*dawningcloud.RunHandle
 	if cursor := q.Get("cursor"); cursor != "" {
-		idx := -1
-		for i, h := range handles {
-			if h.ID() == cursor {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
+		// Resolved via the service's ID index — O(log n) per page — so a
+		// full paged listing over a large durable store stays linear
+		// instead of rescanning every handle per page.
+		var ok bool
+		handles, ok = s.eng.HandlesBefore(cursor)
+		if !ok {
 			// Evicted mid-pagination or plain wrong: fail loudly instead
 			// of silently restarting the client from page one.
 			writeError(w, http.StatusBadRequest, "unknown or expired cursor %q", cursor)
 			return
 		}
-		handles = handles[idx+1:]
+	} else {
+		handles = s.eng.Handles()
 	}
 	resp := listResponse{Runs: []runListEntry{}, Stats: s.eng.ServiceStats()}
 	for _, h := range handles {

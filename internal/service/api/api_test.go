@@ -551,6 +551,74 @@ func TestScenarioCatalogAndErrors(t *testing.T) {
 
 // TestListRunsIncludesStats: the listing carries snapshots and service
 // counters.
+// TestListRunsPaginationWalk pages a seven-run store with ?limit=3 and
+// requires the concatenated pages to reproduce the unpaged listing
+// exactly — same IDs, same newest-first order, no duplicates or gaps —
+// with the cursor resolving through the service's ID index. Unknown
+// cursors keep failing loudly with 400.
+func TestListRunsPaginationWalk(t *testing.T) {
+	srv, _ := newTestServer(t, dawningcloud.ServiceConfig{Workers: 2})
+	const n = 7
+	for i := 0; i < n; i++ {
+		_, data := postJSON(t, srv.URL+"/v1/runs",
+			fmt.Sprintf(`{"system":"dcs","workload":"montage","seed":%d}`, i+1))
+		var sub wireSubmit
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatalf("submit %d: %v\n%s", i, err, data)
+		}
+		pollDone(t, srv.URL, sub.ID, time.Minute)
+	}
+
+	type page struct {
+		Runs []struct {
+			ID string `json:"id"`
+		} `json:"runs"`
+		NextCursor string `json:"next_cursor"`
+	}
+	var full page
+	getJSON(t, srv.URL+"/v1/runs", &full)
+	if len(full.Runs) != n {
+		t.Fatalf("unpaged listing = %d runs, want %d", len(full.Runs), n)
+	}
+
+	var walked []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > n {
+			t.Fatal("pagination did not terminate")
+		}
+		url := srv.URL + "/v1/runs?limit=3"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var p page
+		getJSON(t, url, &p)
+		if len(p.Runs) > 3 {
+			t.Fatalf("page holds %d runs, want <= 3", len(p.Runs))
+		}
+		for _, r := range p.Runs {
+			walked = append(walked, r.ID)
+		}
+		if p.NextCursor == "" {
+			break
+		}
+		cursor = p.NextCursor
+	}
+	if len(walked) != n {
+		t.Fatalf("walked %d runs, want %d", len(walked), n)
+	}
+	for i, id := range walked {
+		if id != full.Runs[i].ID {
+			t.Errorf("page walk[%d] = %s, want %s", i, id, full.Runs[i].ID)
+		}
+	}
+
+	resp := getJSON(t, srv.URL+"/v1/runs?cursor=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown cursor: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestListRunsIncludesStats(t *testing.T) {
 	srv, _ := newTestServer(t, dawningcloud.ServiceConfig{Workers: 1})
 	_, data := postJSON(t, srv.URL+"/v1/runs", `{"system":"dcs","workload":"montage"}`)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -608,6 +609,30 @@ func (s *Service) Runs() []*Run {
 		out[len(out)-1-i] = r
 	}
 	return out
+}
+
+// RunsBefore lists the stored runs strictly older than the run with ID
+// cursor, newest first. ok is false when the cursor names no stored run
+// (evicted or never existed). The cursor resolves through the ID index
+// plus a binary search over the seq-sorted order — O(log n), not a scan
+// — so paging through a large store stays linear overall.
+func (s *Service) RunsBefore(cursor string) (runs []*Run, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	c, ok := s.runs[cursor]
+	if !ok {
+		return nil, false
+	}
+	// s.order is sorted by seq: runs append in issue order and recovery
+	// replays the store's seq-sorted states, so c's position is the
+	// unique index holding its seq.
+	idx := sort.Search(len(s.order), func(i int) bool { return s.order[i].seq >= c.seq })
+	out := make([]*Run, idx)
+	for i, r := range s.order[:idx] {
+		out[idx-1-i] = r
+	}
+	return out, true
 }
 
 // Stats snapshots the counters.

@@ -101,6 +101,48 @@ func TestConcurrentSubmitIdenticalKeyDedups(t *testing.T) {
 	}
 }
 
+// TestRunsBeforePagination pins the cursor index against the full
+// listing: for every stored run, RunsBefore(id) must equal the suffix
+// of Runs() that follows it — same runs, same newest-first order — and
+// an unknown cursor must report ok=false rather than restarting the
+// page walk silently.
+func TestRunsBeforePagination(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	const n = 7
+	for i := 0; i < n; i++ {
+		r, _, err := s.Submit(Request{Key: fmt.Sprintf("k%d", i), Task: constTask(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Result(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.Runs()
+	if len(all) != n {
+		t.Fatalf("stored runs = %d, want %d", len(all), n)
+	}
+	for i, r := range all {
+		got, ok := s.RunsBefore(r.ID())
+		if !ok {
+			t.Fatalf("RunsBefore(%q) reported unknown for a stored run", r.ID())
+		}
+		want := all[i+1:]
+		if len(got) != len(want) {
+			t.Fatalf("RunsBefore(run %d) = %d runs, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].ID() != want[j].ID() {
+				t.Errorf("RunsBefore(run %d)[%d] = %s, want %s", i, j, got[j].ID(), want[j].ID())
+			}
+		}
+	}
+	if _, ok := s.RunsBefore("no-such-run"); ok {
+		t.Error("RunsBefore accepted an unknown cursor")
+	}
+}
+
 // TestCacheHitAfterCompletion: an identical submission after the run
 // finished is served from cache without executing.
 func TestCacheHitAfterCompletion(t *testing.T) {

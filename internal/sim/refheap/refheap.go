@@ -243,13 +243,15 @@ func (e *Engine) RunAll() {
 }
 
 // Advance moves the clock forward by d without executing anything. It
-// panics if an event is pending before the target time; use Run for that.
+// panics if an event is pending strictly before the target time; use Run
+// for that. An event scheduled exactly at the target stays pending and
+// runnable, matching internal/sim's Advance semantics.
 func (e *Engine) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("refheap: negative advance %d", d))
 	}
 	target := e.now + d
-	if len(e.queue) > 0 && e.queue[0].time <= target {
+	if len(e.queue) > 0 && e.queue[0].time < target {
 		panic("refheap: Advance would skip pending events")
 	}
 	e.now = target

@@ -42,6 +42,28 @@
 // seeded schedule replays on this kernel with event order, timestamps and
 // side effects identical to the original container/heap kernel preserved
 // in internal/sim/refheap.
+//
+// # Partitioned runs
+//
+// A single Engine is single-goroutine by design; multi-core scaling comes
+// from running several engines side by side (internal/sim/partition).
+// The invariants that make a partitioned run byte-identical to a serial
+// one:
+//
+//   - Events never cross engines. A partitioned run only exists when the
+//     model guarantees no interaction between partitions until results
+//     merge (the paper's providers share nothing until accounting).
+//   - Each engine's event order is a pure function of its own Schedule
+//     calls, so a partition replays exactly as it would inside a serial
+//     run containing the same calls — the heap, seq numbers and clock
+//     are all engine-local.
+//   - The lockstep driver advances every engine to the same window
+//     boundary before any merge observes cross-partition state, using
+//     only HasPending/PeekNextTime/Step/Advance, the same primitives the
+//     differential suite proves trace-identical to Run/RunAll.
+//   - Randomness stays deterministic because every RNG stream is seeded
+//     from the run seed and the partition's position in the serial
+//     attach order, never from partition count or host scheduling.
 package sim
 
 import (
@@ -509,9 +531,13 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 	executed := 0
 	for !e.stopped {
 		next, ok := e.PeekNextTime()
-		if !ok {
+		if !ok || next > until {
 			break
 		}
+		e.Step()
+		// Count executed events, not peeks: the final out-of-window peek
+		// (and a peek that never executes) must not advance the poll
+		// cadence, or the "every cancelCheckEvery events" contract drifts.
 		if done != nil {
 			if executed++; executed%cancelCheckEvery == 0 {
 				select {
@@ -521,10 +547,6 @@ func (e *Engine) run(until Time, ctx context.Context, done <-chan struct{}) erro
 				}
 			}
 		}
-		if next > until {
-			break
-		}
-		e.Step()
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -541,13 +563,17 @@ func (e *Engine) RunAll() {
 }
 
 // Advance moves the clock forward by d without executing anything. It
-// panics if an event is pending before the target time; use Run for that.
+// panics if an event is pending strictly before the target time; use Run
+// for that. An event scheduled exactly at the target is not skipped — it
+// stays pending and runnable at the new clock — so a driver that has
+// stepped everything with time <= boundary may Advance to the boundary
+// even while later same-instant work remains queued elsewhere.
 func (e *Engine) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative advance %d", d))
 	}
 	target := e.now + d
-	if top, ok := e.peekLive(); ok && top.time <= target {
+	if top, ok := e.peekLive(); ok && top.time < target {
 		panic("sim: Advance would skip pending events")
 	}
 	e.now = target

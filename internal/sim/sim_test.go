@@ -195,6 +195,37 @@ func TestAdvancePanicsOverPendingEvent(t *testing.T) {
 	e.Advance(20)
 }
 
+func TestAdvanceAllowsEventExactlyAtTarget(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	e.Advance(10) // boundary: the event is at, not before, the target
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", e.Now())
+	}
+	if fired {
+		t.Fatal("Advance executed the boundary event")
+	}
+	// The event stays pending and runnable at the new clock.
+	if !e.Step() {
+		t.Fatal("boundary event lost by Advance")
+	}
+	if !fired || e.Now() != 10 {
+		t.Errorf("fired = %v, Now() = %d; want true, 10", fired, e.Now())
+	}
+}
+
+func TestAdvancePanicsOnEventStrictlyBeforeTarget(t *testing.T) {
+	e := New()
+	e.Schedule(9, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance over an event one tick before the target did not panic")
+		}
+	}()
+	e.Advance(10)
+}
+
 func TestScheduleNegativeDelayPanics(t *testing.T) {
 	e := New()
 	defer func() {
@@ -401,6 +432,52 @@ func TestRunContextCancelsMidRun(t *testing.T) {
 	}
 	if fired > 2*cancelCheckEvery {
 		t.Errorf("fired = %d events after cancellation, want <= %d", fired, 2*cancelCheckEvery)
+	}
+}
+
+// TestRunContextPollCadence pins the "polled every cancelCheckEvery
+// executed events" contract exactly: the counter must advance per
+// executed event, not per peek, so the first poll lands after event
+// number cancelCheckEvery — no earlier, no later.
+func TestRunContextPollCadence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// One more event than the poll interval, cancellation raised by the
+	// first event: exactly cancelCheckEvery events run before the poll
+	// aborts the rest.
+	e := New()
+	fired := 0
+	e.Schedule(0, func() { cancel() })
+	for i := 1; i <= cancelCheckEvery; i++ {
+		e.Schedule(Time(i), func() { fired++ })
+	}
+	if err := e.RunContext(ctx, Time(cancelCheckEvery)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired != cancelCheckEvery-1 {
+		t.Errorf("fired = %d events before the first poll, want %d", fired, cancelCheckEvery-1)
+	}
+	if e.Len() != 1 {
+		t.Errorf("pending = %d, want 1 (the event past the first poll)", e.Len())
+	}
+
+	// One event fewer and the poll never fires: the run completes and
+	// returns nil despite the cancelled context. If peeks leaked into the
+	// counter (the old off-by-one), the final out-of-window peek would
+	// trip a poll here and misreport cancellation.
+	e2 := New()
+	fired2 := 0
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	e2.Schedule(0, func() { cancel2() })
+	for i := 1; i < cancelCheckEvery-1; i++ {
+		e2.Schedule(Time(i), func() { fired2++ })
+	}
+	if err := e2.RunContext(ctx2, 1<<40); err != nil {
+		t.Fatalf("err = %v, want nil (cancellation seen only at poll boundaries)", err)
+	}
+	if fired2 != cancelCheckEvery-2 {
+		t.Errorf("fired = %d, want %d (whole queue)", fired2, cancelCheckEvery-2)
 	}
 }
 

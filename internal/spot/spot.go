@@ -96,6 +96,25 @@ func Run(ctx context.Context, workloads []systems.Workload, opts systems.Options
 	if err := systems.ValidateWorkloads(workloads); err != nil {
 		return systems.Result{}, err
 	}
+	// Partitioned path: each spot provider only ever leases its own
+	// cluster (<= its FixedNodes), so with the derived capacity (sum of
+	// FixedNodes) every acquire succeeds in serial and partitioned runs
+	// alike. The chunk's options seed is shifted so each workload's
+	// price walk keeps its serial seed (opts.Seed + i*7919 + 1 for the
+	// i-th workload of the whole run; see Instance).
+	if p := opts.PartitionCount(len(workloads)); p > 1 && opts.PoolCapacity == 0 {
+		return systems.RunPartitioned(ctx, workloads, opts, systems.PartitionSpec{
+			System: Name,
+			Open: func(chunk []systems.Workload, first int, o systems.Options) (systems.PartitionInstance, error) {
+				capacity := 0
+				for i := range chunk {
+					capacity += chunk[i].FixedNodes
+				}
+				o.Seed += int64(first) * 7919
+				return Open(capacity, o)
+			},
+		})
+	}
 	horizon := opts.HorizonFor(workloads)
 	capacity := opts.PoolCapacity
 	if capacity == 0 {
@@ -168,6 +187,10 @@ func (x *Instance) Engine() *sim.Engine { return x.engine }
 func (x *Instance) PoolLoad() (inUse, capacity int) {
 	return x.pool.InUse(), x.pool.Capacity()
 }
+
+// Accounting exposes the instance's accountant for partitioned-run
+// merging (see systems.PartitionInstance).
+func (x *Instance) Accounting() *metrics.Accountant { return x.acct }
 
 // Attach admits one provider workload: its spot cluster, market ticks
 // and job arrivals are scheduled on the instance clock.

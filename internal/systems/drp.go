@@ -27,6 +27,19 @@ func RunDRP(ctx context.Context, workloads []Workload, opts Options) (Result, er
 	if err := ValidateWorkloads(workloads); err != nil {
 		return Result{}, err
 	}
+	// Partitioned path: with the default pool the cloud is never
+	// capacity-bound (that is defaultDRPPoolCapacity's contract), so
+	// leases are independent per end user and per-partition pools of the
+	// same capacity reproduce the serial run exactly. A caller-bounded
+	// pool couples providers through Free() and must stay serial.
+	if p := opts.PartitionCount(len(workloads)); p > 1 && opts.PoolCapacity == 0 {
+		return RunPartitioned(ctx, workloads, opts, PartitionSpec{
+			System: "DRP",
+			Open: func(chunk []Workload, first int, o Options) (PartitionInstance, error) {
+				return OpenDRP(defaultDRPPoolCapacity, o)
+			},
+		})
+	}
 	horizon := opts.HorizonFor(workloads)
 	capacity := opts.PoolCapacity
 	if capacity == 0 {
@@ -88,6 +101,10 @@ func (x *DRPInstance) Engine() *sim.Engine { return x.engine }
 func (x *DRPInstance) PoolLoad() (inUse, capacity int) {
 	return x.pool.InUse(), x.pool.Capacity()
 }
+
+// Accounting exposes the instance's accountant for partitioned-run
+// merging (see PartitionInstance).
+func (x *DRPInstance) Accounting() *metrics.Accountant { return x.acct }
 
 // Attach admits one provider workload, scheduling its end users' leases
 // on the instance clock.

@@ -43,6 +43,24 @@ func runFixed(ctx context.Context, system string, owned bool, workloads []Worklo
 	if err := ValidateWorkloads(workloads); err != nil {
 		return Result{}, err
 	}
+	// Partitioned path: providers only couple through the shared pool,
+	// and with the derived capacity (sum of FixedNodes) plus every MTC
+	// job fitting its own RE, no provider ever observes another's free
+	// capacity — per-partition pools sized the same way behave
+	// identically, so the merged run is byte-identical to serial.
+	if p := opts.PartitionCount(len(workloads)); p > 1 && opts.PoolCapacity == 0 && mtcFitsFixed(workloads) {
+		return RunPartitioned(ctx, workloads, opts, PartitionSpec{
+			System: system,
+			Owned:  owned,
+			Open: func(chunk []Workload, first int, o Options) (PartitionInstance, error) {
+				capacity := 0
+				for i := range chunk {
+					capacity += chunk[i].FixedNodes
+				}
+				return OpenFixed(system, owned, capacity, o)
+			},
+		})
+	}
 	horizon := opts.HorizonFor(workloads)
 	capacity := opts.PoolCapacity
 	if capacity == 0 {
@@ -127,6 +145,10 @@ func (x *FixedInstance) Engine() *sim.Engine { return x.engine }
 func (x *FixedInstance) PoolLoad() (inUse, capacity int) {
 	return x.pool.InUse(), x.pool.Capacity()
 }
+
+// Accounting exposes the instance's accountant for partitioned-run
+// merging (see PartitionInstance).
+func (x *FixedInstance) Accounting() *metrics.Accountant { return x.acct }
 
 // Attach admits one provider workload: its runtime environment is
 // created and its job arrivals are scheduled on the instance clock. The

@@ -18,6 +18,7 @@ package systems
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -116,6 +117,29 @@ type Options struct {
 	// extensions (e.g. the ssp-spot price process) derive their random
 	// state from it so a run is reproducible given the same options.
 	Seed int64
+	// Partitions splits the run's providers onto that many per-core
+	// kernel instances advancing in lockstep (internal/sim/partition),
+	// merged into one Result byte-identical to the serial run. 0 or 1
+	// runs serially; negative uses one partition per CPU. Runners fall
+	// back to the serial path whenever partitioning cannot preserve
+	// bit-identity (a capacity-bound shared pool, a single workload, or
+	// a system-specific coupling; see RunPartitioned).
+	Partitions int
+}
+
+// PartitionCount resolves Partitions against the workload count: the
+// requested count, one per CPU when negative, clamped to the number of
+// workloads (a partition needs at least one provider). Anything that
+// resolves below 2 means a serial run.
+func (o Options) PartitionCount(workloads int) int {
+	p := o.Partitions
+	if p < 0 {
+		p = runtime.NumCPU()
+	}
+	if p > workloads {
+		p = workloads
+	}
+	return p
 }
 
 // HorizonFor resolves the accounting window for a workload set.

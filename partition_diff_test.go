@@ -1,0 +1,127 @@
+package dawningcloud
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestPartitionedKernelMatchesReferenceGolden is the partitioned half of
+// the kernel differential suite: every system in
+// testdata/kernel_golden.json re-runs the paper workloads with its
+// providers split onto P per-core kernel partitions, and the merged
+// Result must be byte-identical to the serial reference golden for P in
+// {2, 4, 8}. The paper evaluation has three providers, so P=4 and P=8
+// also pin the clamp-to-workload-count path.
+//
+// All three paper workloads pass the partition gates (unconstrained
+// pool, every MTC job fits its fixed RE), so this exercises the real
+// partitioned path for DCS, SSP, DRP, DawningCloud and ssp-spot — not a
+// serial fallback.
+func TestPartitionedKernelMatchesReferenceGolden(t *testing.T) {
+	data, err := os.ReadFile("testdata/kernel_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]Result
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("golden file holds no systems")
+	}
+
+	wls, err := PaperWorkloads(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	systems := make([]string, 0, len(want))
+	for system := range want {
+		systems = append(systems, system)
+	}
+	sort.Strings(systems)
+	for _, p := range []int{2, 4, 8} {
+		opts := Options{Horizon: TwoWeeks, Seed: 7, Partitions: p}
+		for _, system := range systems {
+			h, err := DefaultEngine().Submit(context.Background(),
+				SubmitRequest{System: system, Workloads: CloneWorkloads(wls)}, WithOptions(opts))
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, system, err)
+			}
+			res, err := h.Result(context.Background())
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, system, err)
+			}
+			got := res.Result
+			w := want[system]
+			if !reflect.DeepEqual(got, w) {
+				gotJSON, _ := json.MarshalIndent(got, "", "  ")
+				wantJSON, _ := json.MarshalIndent(w, "", "  ")
+				t.Errorf("P=%d: %s diverged from the serial reference golden:\n got %s\nwant %s",
+					p, system, gotJSON, wantJSON)
+			}
+		}
+	}
+}
+
+// TestPartitionedRunsMatchSerialOnRandomProviders is the property half:
+// a larger, irregular provider set — eight providers mixing the three
+// paper traces at distinct seeds, so chunks land mid-set rather than on
+// workload-kind boundaries — must produce byte-identical Results for
+// P = 1, 2, 4, 8 on every registered system. P=1 is the serial path by
+// construction, so each partitioned run is compared against a genuine
+// serial reference, not against another partitioning.
+func TestPartitionedRunsMatchSerialOnRandomProviders(t *testing.T) {
+	var wls []Workload
+	for i := 0; i < 8; i++ {
+		var (
+			wl  Workload
+			err error
+		)
+		seed := int64(100 + i*13)
+		switch i % 3 {
+		case 0:
+			wl, err = NASATrace(seed)
+		case 1:
+			wl, err = BlueTrace(seed)
+		default:
+			wl, err = MontageWorkload(seed, TwoWeeks/3)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl.Name = fmt.Sprintf("p%02d-%s", i, wl.Name)
+		wls = append(wls, wl)
+	}
+
+	for _, system := range DefaultEngine().Systems() {
+		var serial Result
+		for _, p := range []int{1, 2, 4, 8} {
+			opts := Options{Horizon: TwoWeeks, Seed: 9, Partitions: p}
+			h, err := DefaultEngine().Submit(context.Background(),
+				SubmitRequest{System: system, Workloads: CloneWorkloads(wls)}, WithOptions(opts))
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, system, err)
+			}
+			res, err := h.Result(context.Background())
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, system, err)
+			}
+			if p == 1 {
+				serial = res.Result
+				continue
+			}
+			if !reflect.DeepEqual(res.Result, serial) {
+				gotJSON, _ := json.MarshalIndent(res.Result, "", "  ")
+				wantJSON, _ := json.MarshalIndent(serial, "", "  ")
+				t.Errorf("%s: P=%d diverged from serial:\n got %s\nwant %s",
+					system, p, gotJSON, wantJSON)
+			}
+		}
+	}
+}

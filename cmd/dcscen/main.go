@@ -8,8 +8,17 @@
 //
 //	dcscen -scenario paper-baseline [-workers 0] [-out report.txt] [-json report.json] [-progress]
 //	dcscen -scenario my-study.json -workers 4
+//	dcscen -scenario my-study.json -emit-ndjson org-nasa > feed.ndjson
 //	dcscen -list
 //	dcscen -dump scale-10 > my-study.json
+//
+// -emit-ndjson compiles the scenario and prints the named provider's
+// tasks as an NDJSON live feed — one task record per line plus the
+// {"end":true} end-of-stream record — ready to POST to dcserve's
+// /v1/runs/{id}/tasks ingestion endpoint of a live-fed run. That makes
+// a materialized provider and its live twin byte-comparable: feed the
+// emitted tasks to a spec whose provider is {"kind":"live"} and the
+// served report matches this scenario's -json output.
 //
 // -json writes the structured report (the same object dcserve returns
 // from GET /v1/runs/{id}) as indented JSON, so a served run and a local
@@ -43,6 +52,8 @@ import (
 
 	dawningcloud "repro"
 	"repro/internal/events"
+	"repro/internal/scenario"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -61,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
 		dump     = fs.String("dump", "", "print a built-in scenario's JSON spec and exit")
 		progress = fs.Bool("progress", false, "stream cell/run progress events to stderr")
+		emit     = fs.String("emit-ndjson", "", "print the named provider's compiled tasks as an NDJSON live feed and exit (no run)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: dcscen -scenario name|file.json [-workers N] [-out report.txt] [-json report.json] [-progress]\n")
@@ -106,6 +118,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parts != 0 {
 		spec.Partitions = *parts
+	}
+
+	if *emit != "" {
+		// Lower the spec exactly like a run would (same generators, same
+		// seeds), then print one provider's jobs as an ingestible feed.
+		// Records carry no workload lane name: a single-lane live run
+		// needs no routing, and multi-lane producers filter per provider.
+		c, err := scenario.Compile(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "dcscen: %v\n", err)
+			return 1
+		}
+		for i := range c.Workloads {
+			if c.Workloads[i].Name != *emit {
+				continue
+			}
+			if c.Workloads[i].Class != dawningcloud.HTC {
+				fmt.Fprintf(stderr, "dcscen: provider %q is MTC; live feeds are HTC-only (task records carry no dependencies)\n", *emit)
+				return 1
+			}
+			if err := stream.WriteNDJSON(stdout, "", c.Workloads[i].Jobs); err != nil {
+				fmt.Fprintf(stderr, "dcscen: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		names := make([]string, len(c.Workloads))
+		for i := range c.Workloads {
+			names[i] = c.Workloads[i].Name
+		}
+		fmt.Fprintf(stderr, "dcscen: no provider %q in scenario %s (providers: %s)\n",
+			*emit, spec.Name, strings.Join(names, ", "))
+		return 1
 	}
 
 	// The study runs through the asynchronous lifecycle: Submit returns a

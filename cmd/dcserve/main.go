@@ -21,6 +21,7 @@
 //	                            (?status= filter, ?limit=/?cursor= pagination)
 //	GET    /v1/runs/{id}        status; result when done
 //	GET    /v1/runs/{id}/events NDJSON event stream (SSE with Accept: text/event-stream)
+//	POST   /v1/runs/{id}/tasks  NDJSON task ingestion into a live-fed run
 //	DELETE /v1/runs/{id}        cancel
 //	GET    /v1/scenarios        built-in scenario catalog
 //	GET    /healthz             liveness + dedup/queue/durability counters
@@ -30,6 +31,17 @@
 // queue answers 503 with Retry-After. SIGINT/SIGTERM shut down
 // gracefully: intake stops, in-flight runs are canceled, and the
 // process exits once the workers drain (bounded by -grace).
+//
+// A scenario with live providers ("source": {"kind":"live"}, with a
+// "stream" block) takes its tasks online: POST NDJSON task records to
+// /v1/runs/{id}/tasks (strictly validated per record, 503+Retry-After
+// when the bounded lane buffer is full) and finish with {"end":true};
+// the run emits incremental window_report/window_summary events as each
+// accounting window closes, and idle SSE streams carry ": ping"
+// keep-alives. Live runs never deduplicate (each owns its feed) and are
+// not crash-recoverable (the feed dies with the process). dcscen
+// -emit-ndjson generates a compatible feed from any materialized
+// provider.
 //
 // -data makes the service durable: every run's lifecycle is written
 // through a checksummed write-ahead log under DIR (compacted into a

@@ -116,7 +116,7 @@ func TestTwoWeeksConstant(t *testing.T) {
 
 func TestRunScenarioPublicAPI(t *testing.T) {
 	names := ScenarioNames()
-	if len(names) != 9 || names[0] != "paper-baseline" {
+	if len(names) != 10 || names[0] != "paper-baseline" {
 		t.Fatalf("ScenarioNames = %v", names)
 	}
 	spec, err := ParseScenario([]byte(`{"name":"api","days":1,"seed":3,

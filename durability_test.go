@@ -2,6 +2,7 @@ package dawningcloud
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -167,6 +168,53 @@ func TestEngineDurableCrashMidRunResumes(t *testing.T) {
 	}
 	if stats := eng2.ServiceStats(); stats.RecoveredRuns == 0 {
 		t.Errorf("stats = %+v, want recovered runs counted", stats)
+	}
+}
+
+// TestRehydrateStreamedScenario pins the persist round trip for the
+// streamed (non-live) execution path: the WAL's persistedSpec must
+// rebuild a runnable task whose report matches the direct path byte
+// for byte, stream block included. Live specs never reach this codec —
+// Submit persists them with a nil spec because their feeds die with
+// the process — so this is the only streamed shape recovery must
+// handle.
+func TestRehydrateStreamedScenario(t *testing.T) {
+	src := `{"name":"durable-streamed","days":1,"systems":["SSP","DawningCloud"],
+		"stream":{"enabled":true,"stride_seconds":3600,"window_seconds":43200},
+		"providers":[{"name":"p","source":{"kind":"synth","model":"nasa"}}]}`
+	spec, err := ParseScenario([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunScenario(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec2, _ := ParseScenario([]byte(src))
+	specJSON, err := json.Marshal(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted, err := specForScenario(specJSON, runConfig{workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := NewEngine().rehydrateTask("scenario", persisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := task(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := got.(*ScenarioReport)
+	if !ok {
+		t.Fatalf("rehydrated task returned %T, want *ScenarioReport", got)
+	}
+	if rep.Render() != want.Render() {
+		t.Errorf("rehydrated streamed report not byte-identical:\n--- rehydrated\n%s\n--- want\n%s",
+			rep.Render(), want.Render())
 	}
 }
 

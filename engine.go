@@ -12,6 +12,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/runstore"
 	"repro/internal/service"
+	"repro/internal/stream"
 	"repro/internal/systems"
 
 	// The shipped registry extension: registers the "ssp-spot" system.
@@ -59,6 +60,12 @@ type Engine struct {
 	store   RunStore
 	svcOnce sync.Once
 	svc     *service.Service
+
+	// feeds maps live-fed run IDs to their task feeds (the producer half
+	// of the runs' live sources); entries live from Submit until the run
+	// turns terminal.
+	feedMu sync.Mutex
+	feeds  map[string]*stream.Feed
 }
 
 var defaultEngine = &Engine{reg: registry.Default}
@@ -188,7 +195,7 @@ func (e *Engine) Submit(ctx context.Context, req SubmitRequest, opts ...RunOptio
 		return nil, err
 	}
 	cfg := newRunConfig(opts)
-	sreq, err := e.buildRequest(req, cfg)
+	sreq, feed, err := e.buildRequest(req, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +203,47 @@ func (e *Engine) Submit(ctx context.Context, req SubmitRequest, opts ...RunOptio
 	if err != nil {
 		return nil, fmt.Errorf("dawningcloud: submit: %w", err)
 	}
+	if feed != nil && !reused {
+		e.registerFeed(run, feed)
+	}
 	return &RunHandle{run: run, reused: reused, resolve: resolveResult}, nil
+}
+
+// LiveFeed is the producer half of a live-fed run: one bounded
+// LiveSource per live provider lane, shared between the run's compiled
+// workloads (consumer side) and whatever pushes tasks in — dcserve's
+// POST /v1/runs/{id}/tasks endpoint, or an in-process producer. Push
+// tasks with Get(lane).TryPush/Push, end a lane with Close (buffered
+// tasks still drain), end everything with CloseAll.
+type LiveFeed = stream.Feed
+
+// registerFeed indexes a live run's task feed by run ID for Feed, and
+// retires it when the run turns terminal: remaining producers get
+// errors instead of feeding a dead run.
+func (e *Engine) registerFeed(run *service.Run, feed *stream.Feed) {
+	id := run.ID()
+	e.feedMu.Lock()
+	if e.feeds == nil {
+		e.feeds = make(map[string]*stream.Feed)
+	}
+	e.feeds[id] = feed
+	e.feedMu.Unlock()
+	go func() {
+		<-run.Done()
+		feed.FailAll(fmt.Errorf("dawningcloud: run %s is terminal", id))
+		e.feedMu.Lock()
+		delete(e.feeds, id)
+		e.feedMu.Unlock()
+	}()
+}
+
+// Feed returns the live task feed of a run with live providers. ok is
+// false for runs without one — no live providers, terminal, or evicted.
+func (e *Engine) Feed(id string) (*LiveFeed, bool) {
+	e.feedMu.Lock()
+	defer e.feedMu.Unlock()
+	f, ok := e.feeds[id]
+	return f, ok
 }
 
 // Handle returns the handle of a stored run by ID (previously submitted

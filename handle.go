@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/service"
+	"repro/internal/stream"
 	"repro/internal/systems"
 )
 
@@ -257,8 +258,11 @@ type (
 // buildRequest validates the union, derives the content hash and
 // constructs the service request. cfg.workers feeds the inner
 // concurrency of scenario and suite runs; cfg.opts/seed feed system
-// runs; cfg.sink receives the task's events synchronously.
-func (e *Engine) buildRequest(req SubmitRequest, cfg runConfig) (service.Request, error) {
+// runs; cfg.sink receives the task's events synchronously. A scenario
+// with live providers additionally returns the run's task feed — the
+// producer half of its live sources — for Submit to register under the
+// run ID.
+func (e *Engine) buildRequest(req SubmitRequest, cfg runConfig) (service.Request, *stream.Feed, error) {
 	forms := 0
 	if req.System != "" {
 		forms++
@@ -270,16 +274,18 @@ func (e *Engine) buildRequest(req SubmitRequest, cfg runConfig) (service.Request
 		forms++
 	}
 	if forms != 1 {
-		return service.Request{}, fmt.Errorf(
+		return service.Request{}, nil, fmt.Errorf(
 			"dawningcloud: submit: exactly one of System, Scenario or Experiments must be set (got %d)", forms)
 	}
 	switch {
 	case req.System != "":
-		return e.buildSystemRequest(req, cfg)
+		sreq, err := e.buildSystemRequest(req, cfg)
+		return sreq, nil, err
 	case req.Scenario != nil:
 		return e.buildScenarioRequest(req, cfg)
 	default:
-		return e.buildSuiteRequest(req, cfg)
+		sreq, err := e.buildSuiteRequest(req, cfg)
+		return sreq, nil, err
 	}
 }
 
@@ -340,16 +346,16 @@ func systemTask(runner Runner, canonical string, workloads []Workload, opts Opti
 	}
 }
 
-func (e *Engine) buildScenarioRequest(req SubmitRequest, cfg runConfig) (service.Request, error) {
+func (e *Engine) buildScenarioRequest(req SubmitRequest, cfg runConfig) (service.Request, *stream.Feed, error) {
 	spec := req.Scenario
 	if err := spec.Validate(); err != nil {
-		return service.Request{}, err
+		return service.Request{}, nil, err
 	}
 	// Scenario runs take every simulation knob from the spec; silently
 	// dropping WithOptions/WithSeed here would hand a caller another
 	// configuration's cached result.
 	if cfg.opts != (Options{}) {
-		return service.Request{}, fmt.Errorf(
+		return service.Request{}, nil, fmt.Errorf(
 			"dawningcloud: submit scenario %s: WithOptions/WithSeed apply only to System requests (set seed, days and pool in the spec)", spec.Name)
 	}
 	// The spec is already canonical (defaults applied, validated), so its
@@ -358,25 +364,63 @@ func (e *Engine) buildScenarioRequest(req SubmitRequest, cfg runConfig) (service
 	// one run regardless of how callers tuned their pools.
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
-		return service.Request{}, fmt.Errorf("dawningcloud: submit scenario %s: %w", spec.Name, err)
+		return service.Request{}, nil, fmt.Errorf("dawningcloud: submit scenario %s: %w", spec.Name, err)
 	}
 	workers := cfg.workers
+	key := service.NewHasher("scenario").Str(string(specJSON)).Sum()
 	var persisted []byte
 	if e.persistSpecs() {
 		if persisted, err = specForScenario(specJSON, cfg); err != nil {
-			return service.Request{}, fmt.Errorf("dawningcloud: submit scenario %s: persist spec: %w", spec.Name, err)
+			return service.Request{}, nil, fmt.Errorf("dawningcloud: submit scenario %s: persist spec: %w", spec.Name, err)
+		}
+	}
+	task := func(ctx context.Context, sink events.Sink) (any, error) {
+		return scenario.RunContext(ctx, spec, workers, sink)
+	}
+	live := spec.LiveProviders()
+	var feed *stream.Feed
+	if len(live) > 0 {
+		// A live run owns its task feed, so two identical live specs are
+		// different work: no dedup, no result cache. It is not
+		// crash-recoverable either — the feed's buffered tasks die with
+		// the process — so no spec is persisted and a durable service
+		// fails a recovered live run as lost.
+		key, persisted = "", nil
+		feed = stream.NewFeed()
+		for _, name := range live {
+			if _, err := feed.Add(name, spec.Stream.BufferTasks); err != nil {
+				return service.Request{}, nil, fmt.Errorf("dawningcloud: submit scenario %s: %w", spec.Name, err)
+			}
+		}
+		f := feed
+		task = func(ctx context.Context, sink events.Sink) (any, error) {
+			c, err := scenario.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			c.Sources = make(map[string]stream.Source, len(live))
+			for _, name := range live {
+				src, err := f.Get(name)
+				if err != nil {
+					return nil, err
+				}
+				c.Sources[name] = src
+			}
+			// A feeder blocked in a live source's Next cannot observe ctx;
+			// cancellation must reach it through the feed.
+			stop := context.AfterFunc(ctx, func() { f.FailAll(context.Cause(ctx)) })
+			defer stop()
+			return c.RunContext(ctx, workers, sink)
 		}
 	}
 	return service.Request{
-		Key:   service.NewHasher("scenario").Str(string(specJSON)).Sum(),
+		Key:   key,
 		Kind:  "scenario",
 		Label: fmt.Sprintf("scenario %s", spec.Name),
 		Spec:  persisted,
 		Sink:  cfg.sink,
-		Task: func(ctx context.Context, sink events.Sink) (any, error) {
-			return scenario.RunContext(ctx, spec, workers, sink)
-		},
-	}, nil
+		Task:  task,
+	}, feed, nil
 }
 
 func (e *Engine) buildSuiteRequest(req SubmitRequest, cfg runConfig) (service.Request, error) {

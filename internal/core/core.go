@@ -21,6 +21,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/systems"
 	"repro/internal/tre"
 )
@@ -222,20 +223,41 @@ func (x *Instance) Finalize(horizon sim.Time) (systems.Result, error) {
 	return systems.BuildResult("DawningCloud", horizon, x.acct, x.setup, x.prov.RejectedRequests(), aggs), nil
 }
 
-// createAndFeedHTC walks the TRE through the CSF lifecycle at the
-// workload's first submission and schedules job arrivals.
-func createAndFeedHTC(engine *sim.Engine, fw *csf.Framework, srv *tre.Server, wl *systems.Workload) error {
-	start := wl.FirstSubmit()
-	engine.At(start, func() {
-		_, err := fw.CreateTRE(wl.Name, "HTC", func() {
-			if err := srv.Start(); err != nil {
-				panic(fmt.Sprintf("core: start TRE %s: %v", wl.Name, err))
+// Window snapshots every attached provider at virtual time t, for
+// per-window streamed reports; see systems.FixedInstance.Window.
+func (x *Instance) Window(t sim.Time) []systems.ProviderWindow {
+	aggs := make([]systems.ProviderAgg, 0, len(x.slots))
+	for _, s := range x.slots {
+		aggs = append(aggs, systems.ProviderAgg{
+			Name:      s.wl.Name,
+			Class:     s.wl.Class,
+			Owners:    []string{s.wl.Name},
+			Completed: s.server.CompletedBy(t),
+			Adjusted:  -1,
+		})
+	}
+	return systems.BuildWindow(x.acct, t, aggs)
+}
+
+// createTREAt issues the CSF create-and-start lifecycle for wl's thin
+// runtime environment at time t.
+func createTREAt(engine *sim.Engine, fw *csf.Framework, name, kind string, t sim.Time, start func() error) {
+	engine.At(t, func() {
+		_, err := fw.CreateTRE(name, kind, func() {
+			if err := start(); err != nil {
+				panic(fmt.Sprintf("core: start TRE %s: %v", name, err))
 			}
 		})
 		if err != nil {
-			panic(fmt.Sprintf("core: create TRE %s: %v", wl.Name, err))
+			panic(fmt.Sprintf("core: create TRE %s: %v", name, err))
 		}
 	})
+}
+
+// createAndFeedHTC walks the TRE through the CSF lifecycle at the
+// workload's first submission and schedules job arrivals.
+func createAndFeedHTC(engine *sim.Engine, fw *csf.Framework, srv *tre.Server, wl *systems.Workload) error {
+	createTREAt(engine, fw, wl.Name, "HTC", wl.FirstSubmit(), srv.Start)
 	engine.ScheduleBatch(len(wl.Jobs), func(i int) (sim.Time, func()) {
 		j := &wl.Jobs[i]
 		return j.Submit, func() { srv.Submit(j) }
@@ -246,39 +268,63 @@ func createAndFeedHTC(engine *sim.Engine, fw *csf.Framework, srv *tre.Server, wl
 // createAndFeedMTC does the same for an MTC provider, submitting whole
 // workflows at their first task's submission time.
 func createAndFeedMTC(engine *sim.Engine, fw *csf.Framework, srv *tre.MTCServer, wl *systems.Workload) error {
-	byWorkflow := make(map[string][]*job.Job)
-	var order []string
-	first := wl.FirstSubmit()
-	for i := range wl.Jobs {
-		j := &wl.Jobs[i]
-		if _, seen := byWorkflow[j.Workflow]; !seen {
-			order = append(order, j.Workflow)
-		}
-		byWorkflow[j.Workflow] = append(byWorkflow[j.Workflow], j)
+	createTREAt(engine, fw, wl.Name, "MTC", wl.FirstSubmit(), srv.Start)
+	for _, a := range systems.MTCWorkflowActions(srv.SubmitWorkflow, wl.Name, wl.Jobs, "core") {
+		engine.At(a.At, a.Run)
 	}
-	engine.At(first, func() {
-		_, err := fw.CreateTRE(wl.Name, "MTC", func() {
-			if err := srv.Start(); err != nil {
-				panic(fmt.Sprintf("core: start TRE %s: %v", wl.Name, err))
-			}
+	return nil
+}
+
+// AttachStream admits one provider workload fed through f instead of a
+// materialized schedule; see systems.FixedInstance.AttachStream for the
+// streaming contract (HTC jobs from src, MTC workloads as materialized
+// workflow actions, one shared feeder per instance).
+func (x *Instance) AttachStream(wl *systems.Workload, src stream.Source, f *stream.Feeder) error {
+	if x.seen[wl.Name] {
+		return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
+	}
+	switch wl.Class {
+	case job.HTC:
+		srv, err := tre.NewHTCServer(x.engine, x.prov, tre.Config{
+			Name:         wl.Name,
+			Params:       wl.Params,
+			EasyBackfill: x.cfg.EasyBackfill,
 		})
 		if err != nil {
-			panic(fmt.Sprintf("core: create TRE %s: %v", wl.Name, err))
+			return err
 		}
-	})
-	for _, key := range order {
-		tasks := byWorkflow[key]
-		at := tasks[0].Submit
-		for _, t := range tasks {
-			if t.Submit < at {
-				at = t.Submit
-			}
+		if src == nil {
+			src = stream.FromJobs(wl.Jobs)
 		}
-		engine.At(at, func() {
-			if err := srv.SubmitWorkflow(tasks); err != nil {
-				panic(fmt.Sprintf("core: submit workflow %s/%s: %v", wl.Name, key, err))
-			}
+		err = f.AddJobs(wl.Name, src,
+			func(first sim.Time) { createTREAt(x.engine, x.framework, wl.Name, "HTC", first, srv.Start) },
+			func(j *job.Job) { srv.Submit(j) })
+		if err != nil {
+			return err
+		}
+		x.slots = append(x.slots, coreSlot{wl: wl, server: srv})
+	case job.MTC:
+		if src != nil {
+			return fmt.Errorf("core: workload %s: MTC workloads stream as materialized workflows (source must be nil)", wl.Name)
+		}
+		srv, err := tre.NewMTCServer(x.engine, x.prov, tre.Config{
+			Name:                wl.Name,
+			Params:              wl.Params,
+			DestroyOnCompletion: true,
 		})
+		if err != nil {
+			return err
+		}
+		actions := systems.MTCWorkflowActions(srv.SubmitWorkflow, wl.Name, wl.Jobs, "core")
+		err = f.AddActions(wl.Name, actions,
+			func(first sim.Time) { createTREAt(x.engine, x.framework, wl.Name, "MTC", first, srv.Start) })
+		if err != nil {
+			return err
+		}
+		x.slots = append(x.slots, coreSlot{wl: wl, server: srv})
+	default:
+		return fmt.Errorf("core: workload %s: unknown class %v", wl.Name, wl.Class)
 	}
+	x.seen[wl.Name] = true
 	return nil
 }

@@ -262,6 +262,77 @@ func (e ClusterWindow) String() string {
 		e.Index, e.Start, e.End, e.System, e.Policy, total, len(e.Dispatched))
 }
 
+// WindowReport reports one accounting window of a streamed run: what
+// every service provider of one system has completed and consumed by the
+// window boundary. Consumption bills still-open leases as if they closed
+// at End (metrics.BilledNodeHoursThrough), so successive windows are
+// monotone and the final window converges on the run's Result. The
+// report is read-only over the instance clock: emitting it never
+// perturbs the simulation, which stays byte-identical to the
+// unobserved run.
+type WindowReport struct {
+	// System is the system the streamed run compares; Cell identifies
+	// the run within a larger study (empty for a standalone run).
+	System string
+	Cell   string
+	// Index is the 0-based window number; Start and End bound the
+	// window in virtual seconds. End is exclusive — events at exactly
+	// End belong to the next window — except for the final window,
+	// which closes at the horizon.
+	Index int
+	Start int64
+	End   int64
+	// Providers, Completed, NodeHours and Adjusted are parallel arrays
+	// in attach order: each provider's tasks completed by End, its
+	// node*hours billed through End, and its node-adjustment count.
+	Providers []string
+	Completed []int
+	NodeHours []float64
+	Adjusted  []int
+	// TotalNodeHours is the resource provider's running total;
+	// OverheadSeconds the running management overhead it implies.
+	TotalNodeHours  float64
+	OverheadSeconds float64
+}
+
+func (e WindowReport) event() {}
+
+func (e WindowReport) String() string {
+	done := 0
+	for _, c := range e.Completed {
+		done += c
+	}
+	return fmt.Sprintf("window %d [%d,%d): %s, %d tasks done, %.0f node*hours",
+		e.Index, e.Start, e.End, e.System, done, e.TotalNodeHours)
+}
+
+// WindowSummary is the running economies-of-scale line of a streamed
+// study: emitted once every compared system has reported the same
+// window, with the paper's headline savings computed over consumption
+// billed through the same boundary. Summaries arrive in window order.
+type WindowSummary struct {
+	// Index, Start and End identify the window (see WindowReport).
+	Index int
+	Start int64
+	End   int64
+	// Systems and TotalNodeHours are parallel arrays in comparison
+	// order.
+	Systems        []string
+	TotalNodeHours []float64
+	// DSPSavedVsDCS / DSPSavedVsDRP are DawningCloud's running savings
+	// against dedicated clusters and per-job leases (0 when either
+	// system is absent from the comparison).
+	DSPSavedVsDCS float64
+	DSPSavedVsDRP float64
+}
+
+func (e WindowSummary) event() {}
+
+func (e WindowSummary) String() string {
+	return fmt.Sprintf("window %d [%d,%d): %d systems reported, DSP saves %.1f%% vs DCS",
+		e.Index, e.Start, e.End, len(e.Systems), e.DSPSavedVsDCS*100)
+}
+
 // TableRendered announces a finished artifact: a table or figure rendered
 // from completed simulations.
 type TableRendered struct {

@@ -7,8 +7,8 @@ package events
 type Wire struct {
 	// Type is the snake_case event name: "run_queued", "run_started",
 	// "run_completed", "cell_completed", "cluster_window",
-	// "table_rendered", "run_requeued", "run_dead_lettered",
-	// "run_finished".
+	// "window_report", "window_summary", "table_rendered",
+	// "run_requeued", "run_dead_lettered", "run_finished".
 	Type string `json:"type"`
 	// Text is the event's String() rendering.
 	Text string `json:"text"`
@@ -42,6 +42,19 @@ type Wire struct {
 	End        int64  `json:"end,omitempty"`
 	Dispatched []int  `json:"dispatched,omitempty"`
 	NodesInUse []int  `json:"nodes_in_use,omitempty"`
+
+	// WindowReport / WindowSummary fields (Index doubles as the window
+	// number; Start/End bound the window; System/Cell/TotalNodeHours are
+	// reused). Names, Completed, NodeHours and Adjusted are parallel
+	// arrays — per provider for a report, per system (Names/NodeHours
+	// only) for a summary.
+	Names           []string  `json:"names,omitempty"`
+	Completed       []int     `json:"completed,omitempty"`
+	NodeHours       []float64 `json:"node_hours,omitempty"`
+	Adjusted        []int     `json:"adjusted,omitempty"`
+	OverheadSeconds float64   `json:"overhead_seconds,omitempty"`
+	SavedVsDCS      float64   `json:"saved_vs_dcs,omitempty"`
+	SavedVsDRP      float64   `json:"saved_vs_drp,omitempty"`
 
 	// RunRequeued / RunDeadLettered fields (RunID identifies the run).
 	Retries int    `json:"retries,omitempty"`
@@ -87,6 +100,28 @@ func Encode(ev Event) Wire {
 		w.End = e.End
 		w.Dispatched = e.Dispatched
 		w.NodesInUse = e.NodesInUse
+	case WindowReport:
+		w.Type = "window_report"
+		w.System = e.System
+		w.Cell = e.Cell
+		w.Index = e.Index
+		w.Start = e.Start
+		w.End = e.End
+		w.Names = e.Providers
+		w.Completed = e.Completed
+		w.NodeHours = e.NodeHours
+		w.Adjusted = e.Adjusted
+		w.TotalNodeHours = e.TotalNodeHours
+		w.OverheadSeconds = e.OverheadSeconds
+	case WindowSummary:
+		w.Type = "window_summary"
+		w.Index = e.Index
+		w.Start = e.Start
+		w.End = e.End
+		w.Names = e.Systems
+		w.NodeHours = e.TotalNodeHours
+		w.SavedVsDCS = e.DSPSavedVsDCS
+		w.SavedVsDRP = e.DSPSavedVsDRP
 	case TableRendered:
 		w.Type = "table_rendered"
 		w.ArtifactID = e.ID

@@ -30,6 +30,14 @@ func TestClustersimFixtures(t *testing.T) {
 	runFixture(t, []*Analyzer{Walltime, Detrand}, "internal/clustersim")
 }
 
+func TestStreamFixtures(t *testing.T) {
+	// The streamed execution path is simulation-path (ingested records
+	// are scheduled on the virtual clock) and detrand-checked: a wall
+	// clock read or a global RNG draw would desynchronize a streamed run
+	// from its materialized twin.
+	runFixture(t, []*Analyzer{Walltime, Detrand}, "internal/stream")
+}
+
 func TestRunstoreFixtures(t *testing.T) {
 	// The durable run store is a real-time persistence layer: WAL
 	// timestamps and lease expiry genuinely read the host clock, so
@@ -67,6 +75,7 @@ func TestWalltimeAppliesScope(t *testing.T) {
 		"internal/systems", "internal/clustersim", "internal/sched",
 		"internal/policy", "internal/tre", "internal/spot",
 		"internal/synth", "internal/workflow", "internal/scenario",
+		"internal/stream",
 	}
 	for _, p := range protected {
 		if !walltimeApplies(p) {
@@ -143,6 +152,8 @@ func TestFixturesAreDirty(t *testing.T) {
 		{Walltime, "internal/clustersim", 2},
 		{Detrand, "internal/clustersim", 2},
 		{Detrand, "internal/runstore", 2},
+		{Walltime, "internal/stream", 4},
+		{Detrand, "internal/stream", 2},
 		{Mapiter, "mapiter/a", 4},
 		{CtxFirst, "ctxfirst/a", 5},
 		{Deprecated, "deprecated/a", 4},

@@ -40,6 +40,11 @@ var walltimeProtected = []string{
 	"internal/synth",
 	"internal/workflow",
 	"internal/scenario",
+	// The streamed execution path schedules ingested records on the
+	// virtual clock; a wall-clock read there (a "timeout" on a lane
+	// pull, a host-time window stamp) would silently break the
+	// streamed==materialized byte-identity invariant.
+	"internal/stream",
 }
 
 // walltimeForbidden are the time package functions that observe or

@@ -158,6 +158,41 @@ func (a *Accountant) BilledNodeHours(owner string) float64 {
 	return float64(total) / float64(HourSeconds)
 }
 
+// BilledNodeHoursThrough reports owner's consumption in node*hours as
+// it stands at time t: closed segments bill normally and still-open
+// leases bill as if they closed at t. It is the mid-run snapshot behind
+// per-window reports; because open leases round up to the running hour,
+// successive snapshots are monotone and converge on the final
+// BilledNodeHours once CloseAll settles at the same instant.
+func (a *Accountant) BilledNodeHoursThrough(owner string, t int64) float64 {
+	oa, ok := a.owners[owner]
+	if !ok {
+		return 0
+	}
+	var total int64
+	for _, seg := range oa.closed {
+		total += billed(seg)
+	}
+	for _, seg := range oa.open {
+		if seg.count == 0 {
+			continue
+		}
+		total += billed(leaseSeg{start: seg.start, end: t, count: seg.count})
+	}
+	return float64(total) / float64(HourSeconds)
+}
+
+// TotalBilledNodeHoursThrough sums BilledNodeHoursThrough over all
+// owners: the running total behind the converging economies-of-scale
+// summary.
+func (a *Accountant) TotalBilledNodeHoursThrough(t int64) float64 {
+	var total float64
+	for _, name := range a.order {
+		total += a.BilledNodeHoursThrough(name, t)
+	}
+	return total
+}
+
 // ExactNodeHours reports owner's consumption without hourly rounding.
 func (a *Accountant) ExactNodeHours(owner string) float64 {
 	oa, ok := a.owners[owner]

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/job"
 	"repro/internal/policy"
+	"repro/internal/stream"
 	"repro/internal/swf"
 	"repro/internal/synth"
 	"repro/internal/systems"
@@ -28,6 +29,13 @@ type Compiled struct {
 	Spec      *Spec
 	Workloads []systems.Workload
 	Options   systems.Options
+	// Live lists the expanded names of providers with live task feeds,
+	// in compile order; their workloads carry no jobs. Sources maps
+	// those names to the streaming sources the caller attaches (the run
+	// service's ingestion endpoint fills it) before RunContext — a
+	// streamed run fails on a live provider with no source.
+	Live    []string
+	Sources map[string]stream.Source
 }
 
 // Compile lowers the spec: it expands provider counts, derives seeds,
@@ -55,13 +63,47 @@ func Compile(s *Spec) (*Compiled, error) {
 				return nil, fmt.Errorf("scenario %s: providers[%d] (%s): %w", s.Name, i, name, err)
 			}
 			c.Workloads = append(c.Workloads, wl)
+			if p.Source.Kind == "live" {
+				c.Live = append(c.Live, name)
+			}
 			position++
 		}
 	}
-	if err := systems.ValidateWorkloads(c.Workloads); err != nil {
+	if err := c.validateWorkloads(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	return c, nil
+}
+
+// validateWorkloads is ValidateWorkloads with a carve-out for live
+// providers: their workloads have no jobs until the run ingests them, so
+// only the spec-level checks (name, fixed nodes, params) apply.
+func (c *Compiled) validateWorkloads() error {
+	live := make(map[string]bool, len(c.Live))
+	for _, name := range c.Live {
+		live[name] = true
+	}
+	if len(c.Workloads) == 0 {
+		return fmt.Errorf("systems: no workloads")
+	}
+	seen := make(map[string]bool, len(c.Workloads))
+	for i := range c.Workloads {
+		wl := &c.Workloads[i]
+		if seen[wl.Name] {
+			return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
+		}
+		seen[wl.Name] = true
+		if live[wl.Name] {
+			if err := wl.Params.Validate(); err != nil {
+				return fmt.Errorf("systems: workload %s: %w", wl.Name, err)
+			}
+			continue
+		}
+		if err := wl.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *Spec) options() systems.Options {
@@ -87,6 +129,13 @@ func buildWorkload(s *Spec, p *ProviderSpec, name string, seed int64) (systems.W
 		return buildSWF(p, name)
 	case "workflow":
 		return buildWorkflow(p, name, seed)
+	case "live":
+		return systems.Workload{
+			Name:       name,
+			Class:      job.HTC,
+			FixedNodes: p.FixedNodes,
+			Params:     htcParams(p.Policy),
+		}, nil
 	default:
 		return systems.Workload{}, fmt.Errorf("unknown source kind %q", p.Source.Kind)
 	}

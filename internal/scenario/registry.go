@@ -28,6 +28,25 @@ var builtins = map[string]string{
   ]
 }`,
 
+	// streaming-baseline is paper-baseline on the streamed execution
+	// path: identical final numbers (the streamed kernel is
+	// byte-identical to the materialized one, enforced by a differential
+	// test), produced incrementally with a WindowReport per system per
+	// day and a cross-system WindowSummary as each day closes.
+	"streaming-baseline": `{
+  "name": "streaming-baseline",
+  "description": "the paper's evaluation fed through the bounded-memory streamed path, with daily incremental window reports",
+  "seed": 42,
+  "days": 14,
+  "providers": [
+    {"name": "org-nasa-htc", "source": {"kind": "synth", "model": "nasa"}},
+    {"name": "org-blue-htc", "source": {"kind": "synth", "model": "blue"}, "policy": {"b": 80, "r": 1.5}},
+    {"name": "org-montage-mtc", "fixed_nodes": 166,
+     "source": {"kind": "workflow", "generator": "paper-montage", "submit_at": 644400}}
+  ],
+  "stream": {"enabled": true, "window_seconds": 86400}
+}`,
+
 	// scale-10 is the generalized case the paper's conclusion asks for:
 	// ten NASA-like organizations consolidating one by one.
 	"scale-10": `{
@@ -154,7 +173,7 @@ var builtins = map[string]string{
 
 // Names lists the built-in scenarios in presentation order.
 func Names() []string {
-	return []string{"paper-baseline", "scale-10", "scale-100", "million-task", "blue-heavy", "mtc-burst", "mixed-federation", "federation-baseline", "consolidation-vs-federation"}
+	return []string{"paper-baseline", "streaming-baseline", "scale-10", "scale-100", "million-task", "blue-heavy", "mtc-burst", "mixed-federation", "federation-baseline", "consolidation-vs-federation"}
 }
 
 // Builtin returns the named built-in scenario, parsed and validated.

@@ -70,6 +70,9 @@ func (c cell) key() string {
 type engine struct {
 	c    *Compiled
 	sink events.Sink
+	// windows coordinates the streamed path's incremental per-window
+	// reports; nil on the materialized path.
+	windows *windowEmitter
 
 	flight service.Group
 
@@ -89,6 +92,9 @@ func (c *Compiled) RunContext(ctx context.Context, workers int, sink events.Sink
 		workers = runtime.NumCPU()
 	}
 	eng := &engine{c: c, sink: sink}
+	if c.Spec.Streamed() {
+		eng.windows = newWindowEmitter(c.Spec, c.Options, sink)
+	}
 	cells := c.cells()
 	results := make([]systems.Result, len(cells))
 	err := par.ForEach(workers, len(cells), func(i int) error {
@@ -224,25 +230,19 @@ func (e *engine) run(ctx context.Context, c cell) (systems.Result, error) {
 }
 
 // simulate builds the cell's isolated workload set and runs it through
-// the registered system runner.
+// the registered system runner, or through the streamed path when the
+// spec asks for it.
 func (e *engine) simulate(ctx context.Context, c cell) (systems.Result, error) {
+	if e.c.Spec.Streamed() {
+		return e.simulateStreamed(ctx, c)
+	}
 	runner, canonical, err := registry.Default.Resolve(c.system)
 	if err != nil {
 		return systems.Result{}, fmt.Errorf("scenario %s: %w", e.c.Spec.Name, err)
 	}
-	var wls []systems.Workload
-	if c.grid != nil {
-		base, ok := e.c.workloadByName(c.grid.provider)
-		if !ok {
-			return systems.Result{}, fmt.Errorf("scenario %s: sweep provider %q missing after compile",
-				e.c.Spec.Name, c.grid.provider)
-		}
-		wl := base.Clone()
-		wl.Params.InitialNodes = c.grid.b
-		wl.Params.ThresholdRatio = c.grid.r
-		wls = []systems.Workload{wl}
-	} else {
-		wls = systems.CloneWorkloads(e.c.Workloads[:c.providers])
+	wls, err := e.cellWorkloads(c)
+	if err != nil {
+		return systems.Result{}, err
 	}
 	e.simulations.Add(1)
 	e.sink.Emit(events.RunStarted{System: canonical, Providers: len(wls), Cell: c.key()})
@@ -252,6 +252,24 @@ func (e *engine) simulate(ctx context.Context, c cell) (systems.Result, error) {
 		return systems.Result{}, fmt.Errorf("scenario %s: run %s: %w", e.c.Spec.Name, c.key(), err)
 	}
 	return res, nil
+}
+
+// cellWorkloads builds the cell's isolated workload set: a clone of the
+// provider prefix, or the grid cell's single provider with overridden
+// policy knobs.
+func (e *engine) cellWorkloads(c cell) ([]systems.Workload, error) {
+	if c.grid != nil {
+		base, ok := e.c.workloadByName(c.grid.provider)
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: sweep provider %q missing after compile",
+				e.c.Spec.Name, c.grid.provider)
+		}
+		wl := base.Clone()
+		wl.Params.InitialNodes = c.grid.b
+		wl.Params.ThresholdRatio = c.grid.r
+		return []systems.Workload{wl}, nil
+	}
+	return systems.CloneWorkloads(e.c.Workloads[:c.providers]), nil
 }
 
 func (c *Compiled) workloadByName(name string) (*systems.Workload, bool) {

@@ -8,10 +8,12 @@
 // structured Report with rendered tables and an economies-of-scale
 // summary.
 //
-// A service provider's workload comes from one of three sources: a
+// A service provider's workload comes from one of four sources: a
 // calibrated synthetic HTC model (internal/synth), an external SWF trace
-// file (internal/swf), or an MTC workflow — a Pegasus-style generator or
-// a DAG JSON file (internal/workflow). Providers replicate with `count`,
+// file (internal/swf), an MTC workflow — a Pegasus-style generator or
+// a DAG JSON file (internal/workflow) — or, in streamed specs, a live
+// task feed ingested while the simulation runs (kind "live", fed over
+// the run service's NDJSON endpoint). Providers replicate with `count`,
 // so a 10-organization consolidation study is one data file, not new Go.
 package scenario
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/streamrun"
 
 	// Shipped registry extensions must be linked in so scenario specs can
 	// name them (ssp-spot) through any entry point, not only the CLIs.
@@ -43,7 +46,7 @@ var (
 	// links in.
 	DefaultSystems = append([]string(nil), experiments.SystemNames...)
 	// KnownSourceKinds lists the workload source kinds.
-	KnownSourceKinds = []string{"synth", "swf", "workflow"}
+	KnownSourceKinds = []string{"synth", "swf", "workflow", "live"}
 	// KnownSynthModels lists the synthetic HTC models: the two
 	// paper-calibrated traces plus the million-task kernel stress model.
 	KnownSynthModels = []string{"nasa", "blue", "million"}
@@ -88,6 +91,34 @@ type Spec struct {
 	// (internal/clustersim), run alongside the consolidated base cells
 	// and reported per instance and merged.
 	Federation *FederationSpec `json:"federation,omitempty"`
+	// Stream optionally routes every cell through the streamed
+	// execution path (internal/streamrun): workloads feed the kernel in
+	// bounded batches, base cells emit incremental per-window reports,
+	// and providers may declare kind-"live" sources fed over the run
+	// service's task-ingestion endpoint. Results are byte-identical to
+	// the materialized path for the same jobs.
+	Stream *StreamSpec `json:"stream,omitempty"`
+}
+
+// StreamSpec tunes the streamed execution path.
+type StreamSpec struct {
+	// Enabled switches every cell to the streamed path. Required true
+	// when any provider uses a live source.
+	Enabled bool `json:"enabled"`
+	// StrideSeconds and LookaheadSeconds tune the feeder's refill
+	// rounds (0 takes stream's defaults). Results are invariant to
+	// both; they trade resident-task memory against refill frequency.
+	StrideSeconds    int64 `json:"stride_seconds,omitempty"`
+	LookaheadSeconds int64 `json:"lookahead_seconds,omitempty"`
+	// WindowSeconds is the incremental reporting period in virtual
+	// seconds; 0 means one day. Base cells emit one WindowReport per
+	// window, plus a cross-system WindowSummary once every compared
+	// system has reported it.
+	WindowSeconds int64 `json:"window_seconds,omitempty"`
+	// BufferTasks bounds each live source's ingestion buffer in tasks
+	// (the backpressure point of the NDJSON endpoint); 0 takes
+	// stream.DefaultLiveBuffer.
+	BufferTasks int `json:"buffer_tasks,omitempty"`
 }
 
 // FederationSpec declares the optional federated run: the system the
@@ -164,7 +195,10 @@ type PolicySpec struct {
 // SourceSpec declares a provider's workload source. Kind selects which of
 // the remaining fields apply.
 type SourceSpec struct {
-	// Kind is "synth", "swf" or "workflow".
+	// Kind is "synth", "swf", "workflow" or "live". A live source has no
+	// pre-built jobs: tasks arrive online (NDJSON over the run service)
+	// while the simulation runs. Live sources are HTC-only, require
+	// stream.enabled, an explicit fixed_nodes, and exactly one system.
 	Kind string `json:"kind"`
 	// Model is the synth model: "nasa" or "blue".
 	Model string `json:"model,omitempty"`
@@ -353,6 +387,73 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if s.Stream != nil {
+		if err := s.validateStream(fail); err != nil {
+			return err
+		}
+	}
+	if live := s.LiveProviders(); len(live) > 0 {
+		if !s.Streamed() {
+			return fail("stream", "live workload sources need stream.enabled")
+		}
+		if len(s.Systems) != 1 {
+			return fail("systems", "a live task feed streams once and cannot feed %d systems (name exactly one)", len(s.Systems))
+		}
+		if s.Sweep != nil {
+			return fail("sweep", "live workload sources cannot be swept")
+		}
+		if s.Federation != nil {
+			return fail("federation", "live workload sources cannot be federated")
+		}
+	}
+	return nil
+}
+
+// Streamed reports whether the spec runs on the streamed path.
+func (s *Spec) Streamed() bool { return s.Stream != nil && s.Stream.Enabled }
+
+// LiveProviders lists the expanded names of providers with live task
+// feeds, in compile order.
+func (s *Spec) LiveProviders() []string {
+	var out []string
+	for i := range s.Providers {
+		p := &s.Providers[i]
+		if p.Source.Kind != "live" {
+			continue
+		}
+		if p.Count <= 1 {
+			out = append(out, p.Name)
+			continue
+		}
+		for k := 1; k <= p.Count; k++ {
+			out = append(out, fmt.Sprintf("%s-%02d", p.Name, k))
+		}
+	}
+	return out
+}
+
+func (s *Spec) validateStream(fail func(string, string, ...any) error) error {
+	st := s.Stream
+	if st.StrideSeconds < 0 {
+		return fail("stream.stride_seconds", "stride %d < 0", st.StrideSeconds)
+	}
+	if st.LookaheadSeconds < 0 {
+		return fail("stream.lookahead_seconds", "lookahead %d < 0", st.LookaheadSeconds)
+	}
+	if st.WindowSeconds < 0 {
+		return fail("stream.window_seconds", "window %d < 0", st.WindowSeconds)
+	}
+	if st.BufferTasks < 0 {
+		return fail("stream.buffer_tasks", "buffer %d < 0", st.BufferTasks)
+	}
+	if st.Enabled {
+		for i, name := range s.Systems {
+			if !streamrun.Supported(name) {
+				return fail(fmt.Sprintf("systems[%d]", i), "system %q has no streamed attach surface (supported: %s)",
+					name, strings.Join(streamrun.Systems(), ", "))
+			}
+		}
+	}
 	return nil
 }
 
@@ -443,6 +544,17 @@ func (p *ProviderSpec) validate(field string, fail func(string, string, ...any) 
 		}
 		if src.SubmitAt < 0 {
 			return fail(field+".source.submit_at", "submit time %d < 0", src.SubmitAt)
+		}
+	case "live":
+		if p.FixedNodes < 1 {
+			return fail(field+".fixed_nodes", "live source needs an explicit fixed_nodes (no jobs to derive it from)")
+		}
+		if p.Count != 1 {
+			return fail(field+".count", "live providers cannot replicate (each needs its own task feed)")
+		}
+		if src.Model != "" || src.Path != "" || src.Generator != "" ||
+			src.Util != 0 || src.Tasks != 0 || src.SubmitAt != 0 {
+			return fail(field+".source", "live source takes only kind")
 		}
 	default:
 		return fail(field+".source.kind", "unknown source kind %q (known: %s)",

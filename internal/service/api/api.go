@@ -9,6 +9,7 @@
 //	                            (?status= filter, ?limit=/?cursor= pagination)
 //	GET    /v1/runs/{id}        one run's status, and its result when done
 //	GET    /v1/runs/{id}/events typed event stream (NDJSON; SSE via Accept)
+//	POST   /v1/runs/{id}/tasks  NDJSON task ingestion into a live-fed run
 //	DELETE /v1/runs/{id}        cancel the run
 //	GET    /v1/scenarios        list built-in scenarios
 //	GET    /healthz             liveness + service stats
@@ -33,6 +34,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/job"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/synth"
 )
 
@@ -42,6 +44,7 @@ type Server struct {
 	eng     *dawningcloud.Engine
 	mux     *http.ServeMux
 	started time.Time
+	ping    time.Duration
 
 	logMu sync.Mutex
 	log   io.Writer
@@ -56,12 +59,20 @@ func WithLog(w io.Writer) Option {
 	return func(s *Server) { s.log = w }
 }
 
+// WithPingInterval sets how often an idle SSE event stream emits a
+// ": ping" keep-alive comment so proxies and idle timeouts do not drop
+// long-stalled live streams (default 15s; <= 0 disables pings). NDJSON
+// streams are never pinged — a comment line would corrupt them.
+func WithPingInterval(d time.Duration) Option {
+	return func(s *Server) { s.ping = d }
+}
+
 // New builds the API handler over eng. The engine owns the run
 // lifecycle: configure queue depth, workers and TTL via
 // dawningcloud.WithServiceConfig when constructing it, and call
 // eng.Shutdown for graceful termination.
 func New(eng *dawningcloud.Engine, opts ...Option) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{eng: eng, mux: http.NewServeMux(), started: time.Now(), ping: 15 * time.Second}
 	for _, o := range opts {
 		o(s)
 	}
@@ -69,6 +80,7 @@ func New(eng *dawningcloud.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/runs/{id}/tasks", s.handleTasks)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -503,26 +515,143 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	// Idle SSE followers get periodic ": ping" comment lines so proxies
+	// and idle timeouts keep long-stalled live streams open (a live-fed
+	// run can legitimately sit eventless while it waits for tasks). SSE
+	// clients ignore comment lines by spec; NDJSON streams are never
+	// pinged because every line must be an event object.
+	var ping <-chan time.Time
+	if sse && follow && s.ping > 0 {
+		t := time.NewTicker(s.ping)
+		defer t.Stop()
+		ping = t.C
+	}
+	ch := h.Events(r.Context())
 	n := 0
-	for ev := range h.Events(r.Context()) {
-		wire := events.Encode(ev)
-		if sse {
-			fmt.Fprintf(w, "event: %s\ndata: ", wire.Type)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			wire := events.Encode(ev)
+			if sse {
+				fmt.Fprintf(w, "event: %s\ndata: ", wire.Type)
+			}
+			if err := enc.Encode(wire); err != nil {
+				return // client went away
+			}
+			if sse {
+				io.WriteString(w, "\n")
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			n++
+			if limit >= 0 && n >= limit {
+				return
+			}
+		case <-ping:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
-		if err := enc.Encode(wire); err != nil {
-			return // client went away
+	}
+}
+
+// taskResponse is the POST /v1/runs/{id}/tasks result body: how many
+// records were accepted (also on errors — the client's resume point),
+// and whether every live lane has received its end-of-stream record.
+type taskResponse struct {
+	Accepted int    `json:"accepted"`
+	Closed   bool   `json:"closed"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleTasks ingests NDJSON task records (stream.TaskRecord lines)
+// into a live-fed run's task feed. Validation is strict and per record
+// — unknown fields, structural problems and submit-order violations
+// reject with 400 at the offending line — and backpressure is explicit:
+// a full lane buffer answers 503 with Retry-After, and the accepted
+// count in the body tells the client where to resume. The explicit
+// end-of-stream record {"end":true} closes the lane(s); without it the
+// run keeps waiting, since the virtual clock cannot prove no earlier
+// task is still coming.
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.eng.Handle(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	feed, ok := s.eng.Feed(id)
+	if !ok {
+		writeError(w, http.StatusConflict,
+			"run %s takes no tasks (only non-terminal runs of scenarios with live providers do)", id)
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	accepted := 0
+	fail := func(code int, format string, args ...any) {
+		writeJSON(w, code, taskResponse{
+			Accepted: accepted,
+			Closed:   feed.Closed(),
+			Error:    fmt.Sprintf(format, args...),
+		})
+	}
+	for line := 1; ; line++ {
+		var rec stream.TaskRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			fail(http.StatusBadRequest, "record %d: %v", line, err)
+			return
 		}
-		if sse {
-			io.WriteString(w, "\n")
+		if rec.End {
+			if err := closeLanes(feed, rec.Workload); err != nil {
+				fail(http.StatusBadRequest, "record %d: %v", line, err)
+				return
+			}
+			continue
 		}
-		if flusher != nil {
-			flusher.Flush()
+		src, err := feed.Get(rec.Workload)
+		if err != nil {
+			fail(http.StatusBadRequest, "record %d: %v", line, err)
+			return
 		}
-		n++
-		if limit >= 0 && n >= limit {
+		switch err := src.TryPush(rec.Job()); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, stream.ErrFull):
+			// The run's virtual clock is gating on a slower consumer;
+			// shed the rest of the request and have the client retry from
+			// the accepted count.
+			w.Header().Set("Retry-After", "1")
+			fail(http.StatusServiceUnavailable, "record %d: %v", line, err)
+			return
+		default:
+			fail(http.StatusBadRequest, "record %d: %v", line, err)
 			return
 		}
 	}
+	writeJSON(w, http.StatusOK, taskResponse{Accepted: accepted, Closed: feed.Closed()})
+}
+
+// closeLanes ends the named lane, or every lane when the end record
+// names none.
+func closeLanes(feed *dawningcloud.LiveFeed, workload string) error {
+	if workload == "" && len(feed.Names()) > 1 {
+		feed.CloseAll()
+		return nil
+	}
+	src, err := feed.Get(workload)
+	if err != nil {
+		return err
+	}
+	return src.Close()
 }
 
 // scenarioEntry is one built-in scenario in GET /v1/scenarios.

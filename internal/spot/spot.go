@@ -28,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/systems"
 )
 
@@ -214,6 +215,58 @@ func (x *Instance) Attach(wl *systems.Workload) error {
 	return nil
 }
 
+// AttachStream admits one provider workload fed through f instead of a
+// materialized schedule; see systems.FixedInstance.AttachStream for the
+// streaming contract. The provider's price walk keeps its attach-order
+// seed, so streamed and materialized runs see identical markets.
+func (x *Instance) AttachStream(wl *systems.Workload, src stream.Source, f *stream.Feeder) error {
+	if x.seen[wl.Name] {
+		return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
+	}
+	p := &spotProvider{
+		engine:  x.engine,
+		prov:    x.prov,
+		wl:      wl,
+		size:    wl.FixedNodes,
+		walk:    NewPriceWalk(x.opts.Seed + int64(len(x.providers))*7919 + 1),
+		running: make(map[int]runningTask),
+	}
+	acquire := func(first sim.Time) {
+		p.firstSubmit = first
+		x.engine.At(first, func() {
+			p.tryAcquire()
+			p.stopTick = x.engine.Every(sim.Hour, p.tick)
+		})
+	}
+	switch wl.Class {
+	case job.HTC:
+		if src == nil {
+			src = stream.FromJobs(wl.Jobs)
+		}
+		err := f.AddJobs(wl.Name, src, acquire, func(j *job.Job) {
+			p.submitted++
+			p.enqueue(j)
+		})
+		if err != nil {
+			return err
+		}
+	case job.MTC:
+		if src != nil {
+			return fmt.Errorf("spot: workload %s: MTC workloads stream as materialized workflows (source must be nil)", wl.Name)
+		}
+		p.submitted = len(wl.Jobs)
+		p.initMTC()
+		if err := f.AddActions(wl.Name, p.workflowActions(), acquire); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("spot: workload %s: unknown class %v", wl.Name, wl.Class)
+	}
+	x.providers = append(x.providers, p)
+	x.seen[wl.Name] = true
+	return nil
+}
+
 // Finalize settles open leases at horizon and assembles the Result over
 // every attached workload, in attach order.
 func (x *Instance) Finalize(horizon sim.Time) (systems.Result, error) {
@@ -236,6 +289,24 @@ func (x *Instance) Finalize(horizon sim.Time) (systems.Result, error) {
 		aggs = append(aggs, a)
 	}
 	return systems.BuildResult(Name, horizon, x.acct, x.setup, x.prov.RejectedRequests(), aggs), nil
+}
+
+// Window snapshots every attached provider at virtual time t, for
+// per-window streamed reports; see systems.FixedInstance.Window. The
+// provider counters are live, so "completed" means completed by t when
+// the call comes from an event at t.
+func (x *Instance) Window(t sim.Time) []systems.ProviderWindow {
+	aggs := make([]systems.ProviderAgg, 0, len(x.providers))
+	for _, p := range x.providers {
+		aggs = append(aggs, systems.ProviderAgg{
+			Name:      p.wl.Name,
+			Class:     p.wl.Class,
+			Owners:    []string{p.wl.Name},
+			Completed: p.completed,
+			Adjusted:  -1,
+		})
+	}
+	return systems.BuildWindow(x.acct, t, aggs)
 }
 
 // runningTask tracks one dispatched job so an interruption can cancel its
@@ -292,46 +363,49 @@ func (p *spotProvider) schedule() error {
 		})
 	case job.MTC:
 		p.submitted = len(wl.Jobs)
-		p.unmet = make(map[int]int)
-		p.dependents = make(map[int][]*job.Job)
-		byWorkflow := make(map[string][]*job.Job)
-		var order []string
-		for i := range wl.Jobs {
-			j := &wl.Jobs[i]
-			if _, seen := byWorkflow[j.Workflow]; !seen {
-				order = append(order, j.Workflow)
-			}
-			byWorkflow[j.Workflow] = append(byWorkflow[j.Workflow], j)
-		}
-		for _, key := range order {
-			tasks := byWorkflow[key]
-			at := tasks[0].Submit
-			for _, t := range tasks {
-				if t.Submit < at {
-					at = t.Submit
-				}
-			}
-			p.engine.At(at, func() {
-				for _, t := range tasks {
-					if len(t.Deps) == 0 {
-						continue
-					}
-					p.unmet[t.ID] = len(t.Deps)
-					for _, d := range t.Deps {
-						p.dependents[d] = append(p.dependents[d], t)
-					}
-				}
-				for _, t := range tasks {
-					if len(t.Deps) == 0 {
-						p.enqueue(t)
-					}
-				}
-			})
+		p.initMTC()
+		for _, a := range p.workflowActions() {
+			p.engine.At(a.At, a.Run)
 		}
 	default:
 		return fmt.Errorf("unknown class %v", wl.Class)
 	}
 	return nil
+}
+
+// initMTC prepares the provider's dependency-tracking state.
+func (p *spotProvider) initMTC() {
+	p.unmet = make(map[int]int)
+	p.dependents = make(map[int][]*job.Job)
+}
+
+// workflowActions builds one submission action per workflow of the
+// provider's workload, in first-seen order, wiring dependency tracking
+// and enqueueing root tasks — shared by the materialized attach loop and
+// the streamed action lane.
+func (p *spotProvider) workflowActions() []stream.Action {
+	groups := systems.WorkflowGroups(p.wl.Jobs)
+	actions := make([]stream.Action, 0, len(groups))
+	for _, g := range groups {
+		tasks := g.Tasks
+		actions = append(actions, stream.Action{At: g.At, Delta: g.Delta, Run: func() {
+			for _, t := range tasks {
+				if len(t.Deps) == 0 {
+					continue
+				}
+				p.unmet[t.ID] = len(t.Deps)
+				for _, d := range t.Deps {
+					p.dependents[d] = append(p.dependents[d], t)
+				}
+			}
+			for _, t := range tasks {
+				if len(t.Deps) == 0 {
+					p.enqueue(t)
+				}
+			}
+		}})
+	}
+	return actions
 }
 
 // tick advances the hourly price walk and flips the lease state across

@@ -1,0 +1,66 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/job"
+)
+
+// TaskRecord is the NDJSON wire form of one live-ingested task: the
+// line format of dcserve's POST /v1/runs/{id}/tasks body and of dcscen
+// -emit-ndjson output. A stream is task records in nondecreasing submit
+// order followed by an explicit end-of-stream record ({"end":true});
+// producers that stop without the end record leave the run waiting
+// (its virtual clock cannot prove no earlier task is coming).
+//
+// Workload routes the record to one live provider lane; it may be empty
+// when the run has exactly one. An end record with an empty workload
+// ends every lane.
+type TaskRecord struct {
+	End      bool   `json:"end,omitempty"`
+	ID       int    `json:"id,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Submit   int64  `json:"submit,omitempty"`
+	Runtime  int64  `json:"runtime,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+	Workload string `json:"workload,omitempty"`
+}
+
+// Job lowers the record to the simulator's job form. Live lanes are
+// HTC by construction (scenario validation rejects live MTC sources),
+// so the class is fixed here.
+func (r *TaskRecord) Job() job.Job {
+	return job.Job{
+		ID:      r.ID,
+		Name:    r.Name,
+		Class:   job.HTC,
+		Submit:  r.Submit,
+		Runtime: r.Runtime,
+		Nodes:   r.Nodes,
+	}
+}
+
+// WriteNDJSON encodes jobs as task records — one JSON object per line,
+// each tagged with the given workload lane — followed by the
+// end-of-stream record. The output is exactly what POST
+// /v1/runs/{id}/tasks ingests.
+func WriteNDJSON(w io.Writer, workload string, jobs []job.Job) error {
+	enc := json.NewEncoder(w)
+	for i := range jobs {
+		j := &jobs[i]
+		rec := TaskRecord{
+			ID: j.ID, Name: j.Name,
+			Submit: j.Submit, Runtime: j.Runtime, Nodes: j.Nodes,
+			Workload: workload,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("stream: encode task %d: %w", j.ID, err)
+		}
+	}
+	if err := enc.Encode(TaskRecord{End: true, Workload: workload}); err != nil {
+		return fmt.Errorf("stream: encode end record: %w", err)
+	}
+	return nil
+}

@@ -97,6 +97,12 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte("1 4294967296 0 0 1073741824 1e308 0 0 0 0 0 0 0 0 0 0 0 0\n"))
 	f.Add([]byte(";\n\n  \n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The streaming Reader and the materializing Parse are two
+		// implementations of one grammar: they must agree on every
+		// input, accepted or rejected (see reader_test.go).
+		if diff := diffReaderParse(data); diff != "" {
+			t.Fatalf("Reader/Parse diverge on %q: %s", data, diff)
+		}
 		trace, err := Parse(bytes.NewReader(data))
 		if err != nil {
 			return // rejected input is fine; panics are not

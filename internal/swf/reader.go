@@ -1,0 +1,83 @@
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// Reader streams an SWF file record at a time, so trace-backed workload
+// sources never hold a whole archive file in memory. Header comment
+// lines are accumulated as they are encountered; records are parsed with
+// the same validation as Parse (which is now built on this type).
+type Reader struct {
+	scanner *bufio.Scanner
+	header  Header
+	lineNo  int
+	err     error
+}
+
+// NewReader creates a streaming reader over r.
+func NewReader(r io.Reader) *Reader {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Reader{scanner: scanner}
+}
+
+// Header returns the comment lines seen so far; after io.EOF it is the
+// complete header.
+func (r *Reader) Header() *Header { return &r.header }
+
+// Next returns the next job record, skipping blank and comment lines.
+// It returns io.EOF at the end of the stream and a line-numbered error
+// for malformed input; after an error every further call returns the
+// same error.
+func (r *Reader) Next() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	for r.scanner.Scan() {
+		r.lineNo++
+		line := strings.TrimSpace(r.scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			r.header.Comments = append(r.header.Comments, strings.TrimPrefix(line, ";"))
+			continue
+		}
+		rec, err := parseRecord(line)
+		if err != nil {
+			r.err = fmt.Errorf("swf: line %d: %w", r.lineNo, err)
+			return Record{}, r.err
+		}
+		return rec, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		r.err = fmt.Errorf("swf: read: %w", err)
+	} else {
+		r.err = io.EOF
+	}
+	return Record{}, r.err
+}
+
+// JobFromRecord converts one SWF record to a simulation job, reporting
+// false for records with unknown runtime or processor counts (the same
+// records Trace.Jobs drops).
+func JobFromRecord(r *Record) (job.Job, bool) {
+	p := r.procs()
+	if p <= 0 || r.Run < 0 || r.Submit < 0 {
+		return job.Job{}, false
+	}
+	return job.Job{
+		ID:      r.JobNumber,
+		Name:    fmt.Sprintf("swf-%d", r.JobNumber),
+		Class:   job.HTC,
+		Submit:  r.Submit,
+		Runtime: r.Run,
+		Nodes:   p,
+	}, true
+}

@@ -1,0 +1,118 @@
+package swf
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// readAll drains a streaming Reader into the slice-of-records shape
+// Parse returns, so the two implementations are directly comparable.
+func readAll(data []byte) ([]Record, *Header, error) {
+	r := NewReader(bytes.NewReader(data))
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, r.Header(), nil
+		}
+		if err != nil {
+			return recs, r.Header(), err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// recordsEqual compares two records treating NaN AvgCPU values as equal
+// (archive traces carry NaN literals, and NaN != NaN would flag every
+// such record as a divergence).
+func recordsEqual(a, b Record) bool {
+	if !(a.AvgCPU == b.AvgCPU || (math.IsNaN(a.AvgCPU) && math.IsNaN(b.AvgCPU))) {
+		return false
+	}
+	a.AvgCPU, b.AvgCPU = 0, 0
+	return a == b
+}
+
+// diffReaderParse is the differential oracle shared by the seed-corpus
+// test and FuzzParse: the streaming Reader and the materializing Parse
+// must accept exactly the same inputs and produce identical records and
+// headers. It reports "" when they agree.
+func diffReaderParse(data []byte) string {
+	trace, perr := Parse(bytes.NewReader(data))
+	recs, header, rerr := readAll(data)
+	if (perr == nil) != (rerr == nil) {
+		return "acceptance differs: Parse err=" + errString(perr) + ", Reader err=" + errString(rerr)
+	}
+	if perr != nil {
+		if perr.Error() != rerr.Error() {
+			return "error text differs: Parse " + errString(perr) + ", Reader " + errString(rerr)
+		}
+		return ""
+	}
+	if len(recs) != len(trace.Records) {
+		return "record count differs"
+	}
+	for i := range recs {
+		if !recordsEqual(recs[i], trace.Records[i]) {
+			return fmt.Sprintf("record %d differs: Parse %+v, Reader %+v", i, trace.Records[i], recs[i])
+		}
+	}
+	if !reflect.DeepEqual(header.Comments, trace.Header.Comments) {
+		return "header comments differ"
+	}
+	return ""
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// TestReaderMatchesParse runs the Parse/Reader differential over the
+// fuzz seed corpus plus the malformed-input table, deterministically —
+// the same oracle FuzzParse applies to mutated inputs.
+func TestReaderMatchesParse(t *testing.T) {
+	inputs := []string{
+		"; Computer: iPSC/860\n; MaxNodes: 128\n" + validLine,
+		validLine + validLine,
+		"1 0 10 600 4 NaN -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+		"-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n",
+		"1 4294967296 0 0 1073741824 1e308 0 0 0 0 0 0 0 0 0 0 0 0\n",
+		";\n\n  \n",
+		"",
+		// Malformed shapes: both implementations must reject with the
+		// same line-numbered message.
+		"1 0 10 600 4\n",
+		validLine + "bad line here\n",
+		"; header only then garbage\nx x x\n",
+		"1 99999999999999 10 600 4 2.5 1024 4 600 2048 1 3 2 7 1 0 -1 -1\n",
+		// Comment between records: line numbering must stay in sync.
+		validLine + "; interleaved\n" + validLine,
+	}
+	for i, in := range inputs {
+		if diff := diffReaderParse([]byte(in)); diff != "" {
+			t.Errorf("input %d (%q): %s", i, in, diff)
+		}
+	}
+}
+
+// TestReaderStickyError pins the documented contract: after a parse
+// error every further Next call returns the same error.
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(strings.NewReader("bad\n" + validLine))
+	_, err1 := r.Next()
+	if err1 == nil {
+		t.Fatal("malformed first line accepted")
+	}
+	_, err2 := r.Next()
+	if err2 != err1 {
+		t.Fatalf("error not sticky: %v then %v", err1, err2)
+	}
+}

@@ -66,32 +66,23 @@ type Trace struct {
 	Records []Record
 }
 
-// Parse reads an SWF stream. Malformed lines produce an error naming the
-// line number; blank lines are skipped.
+// Parse reads a whole SWF stream through the record-at-a-time Reader.
+// Malformed lines produce an error naming the line number; blank lines
+// are skipped.
 func Parse(r io.Reader) (*Trace, error) {
+	sr := NewReader(r)
 	t := &Trace{}
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	lineNo := 0
-	for scanner.Scan() {
-		lineNo++
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
-			continue
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
 		}
-		if strings.HasPrefix(line, ";") {
-			t.Header.Comments = append(t.Header.Comments, strings.TrimPrefix(line, ";"))
-			continue
-		}
-		rec, err := parseRecord(line)
 		if err != nil {
-			return nil, fmt.Errorf("swf: line %d: %w", lineNo, err)
+			return nil, err
 		}
 		t.Records = append(t.Records, rec)
 	}
-	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("swf: read: %w", err)
-	}
+	t.Header = *sr.Header()
 	return t, nil
 }
 
@@ -208,19 +199,9 @@ func (r *Record) procs() int {
 func (t *Trace) Jobs() []job.Job {
 	jobs := make([]job.Job, 0, len(t.Records))
 	for i := range t.Records {
-		r := &t.Records[i]
-		p := r.procs()
-		if p <= 0 || r.Run < 0 || r.Submit < 0 {
-			continue
+		if j, ok := JobFromRecord(&t.Records[i]); ok {
+			jobs = append(jobs, j)
 		}
-		jobs = append(jobs, job.Job{
-			ID:      r.JobNumber,
-			Name:    fmt.Sprintf("swf-%d", r.JobNumber),
-			Class:   job.HTC,
-			Submit:  r.Submit,
-			Runtime: r.Run,
-			Nodes:   p,
-		})
 	}
 	return jobs
 }

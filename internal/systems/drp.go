@@ -9,6 +9,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/stream"
 )
 
 // defaultDRPPoolCapacity stands in for the paper's "large cloud platform"
@@ -133,6 +134,18 @@ func (x *DRPInstance) Finalize(horizon sim.Time) (Result, error) {
 		aggs = append(aggs, collect())
 	}
 	return BuildResult("DRP", horizon, x.acct, x.setup, x.prov.RejectedRequests(), aggs), nil
+}
+
+// Window snapshots every attached provider at virtual time t, for
+// per-window streamed reports; see FixedInstance.Window. The collectors
+// read live counters, so "completed" means completed by t when the call
+// comes from an event at t.
+func (x *DRPInstance) Window(t sim.Time) []ProviderWindow {
+	aggs := make([]ProviderAgg, 0, len(x.runners))
+	for _, collect := range x.runners {
+		aggs = append(aggs, collect())
+	}
+	return BuildWindow(x.acct, t, aggs)
 }
 
 // drpLease is one end user's whole-job lease: submit acquires, the same
@@ -302,25 +315,23 @@ func (r *drpWorkflowRun) complete(t *job.Job) {
 
 // runDRPMTC schedules a provider's workflows, one lease scope per provider.
 func runDRPMTC(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload) func() ProviderAgg {
-	owner := wl.Name + "/mtc"
-	byWorkflow := make(map[string][]*job.Job)
-	var order []string
-	for i := range wl.Jobs {
-		j := &wl.Jobs[i]
-		if _, seen := byWorkflow[j.Workflow]; !seen {
-			order = append(order, j.Workflow)
-		}
-		byWorkflow[j.Workflow] = append(byWorkflow[j.Workflow], j)
+	actions, collect := drpWorkflowActions(engine, prov, wl)
+	for _, a := range actions {
+		engine.At(a.At, a.Run)
 	}
-	runs := make([]*drpWorkflowRun, 0, len(order))
-	for _, key := range order {
-		tasks := byWorkflow[key]
-		at := tasks[0].Submit
-		for _, t := range tasks {
-			if t.Submit < at {
-				at = t.Submit
-			}
-		}
+	return collect
+}
+
+// drpWorkflowActions builds one release action per workflow of wl — in
+// first-seen order, for the materialized attach loop or a streamed
+// action lane — plus the provider-aggregate collector over them.
+func drpWorkflowActions(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload) ([]stream.Action, func() ProviderAgg) {
+	owner := wl.Name + "/mtc"
+	groups := WorkflowGroups(wl.Jobs)
+	runs := make([]*drpWorkflowRun, 0, len(groups))
+	actions := make([]stream.Action, 0, len(groups))
+	for _, g := range groups {
+		tasks := g.Tasks
 		run := &drpWorkflowRun{
 			engine:    engine,
 			prov:      prov,
@@ -328,10 +339,10 @@ func runDRPMTC(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload) fun
 			remaining: len(tasks),
 			unmet:     make(map[int]int),
 			deps:      make(map[int][]*job.Job),
-			first:     at,
+			first:     g.At,
 		}
 		runs = append(runs, run)
-		engine.At(at, func() {
+		actions = append(actions, stream.Action{At: g.At, Delta: g.Delta, Run: func() {
 			for _, t := range tasks {
 				if len(t.Deps) == 0 {
 					continue
@@ -346,9 +357,9 @@ func runDRPMTC(engine *sim.Engine, prov *csf.ProvisionService, wl *Workload) fun
 					run.start(t)
 				}
 			}
-		})
+		}})
 	}
-	return func() ProviderAgg {
+	return actions, func() ProviderAgg {
 		agg := ProviderAgg{
 			Name:     wl.Name,
 			Class:    job.MTC,

@@ -8,7 +8,6 @@ import (
 	"repro/internal/csf"
 	"repro/internal/job"
 	"repro/internal/metrics"
-	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/tre"
 )
@@ -157,18 +156,7 @@ func (x *FixedInstance) Attach(wl *Workload) error {
 	if x.seen[wl.Name] {
 		return fmt.Errorf("systems: duplicate workload name %q", wl.Name)
 	}
-	params := policy.Params{
-		InitialNodes:      wl.FixedNodes,
-		ThresholdRatio:    neverRatio,
-		ScanInterval:      wl.Params.ScanInterval,
-		IdleCheckInterval: wl.Params.IdleCheckInterval,
-	}
-	if params.ScanInterval <= 0 {
-		params.ScanInterval = 60
-	}
-	if params.IdleCheckInterval <= 0 {
-		params.IdleCheckInterval = 3600
-	}
+	params := fixedParams(wl)
 	switch wl.Class {
 	case job.HTC:
 		srv, err := tre.NewHTCServer(x.engine, x.prov, tre.Config{Name: wl.Name, Params: params})
@@ -230,6 +218,27 @@ func (x *FixedInstance) Finalize(horizon sim.Time) (Result, error) {
 	return res, nil
 }
 
+// Window snapshots every attached provider at virtual time t, for
+// per-window streamed reports. Call it from an event on the instance
+// clock at t; leases stay open (see BuildWindow).
+func (x *FixedInstance) Window(t sim.Time) []ProviderWindow {
+	aggs := make([]ProviderAgg, 0, len(x.slots))
+	for _, s := range x.slots {
+		a := ProviderAgg{
+			Name:      s.wl.Name,
+			Class:     s.wl.Class,
+			Owners:    []string{s.wl.Name},
+			Completed: s.server.CompletedBy(t),
+			Adjusted:  -1,
+		}
+		if x.owned {
+			a.Adjusted = 0 // DCS providers own their machines
+		}
+		aggs = append(aggs, a)
+	}
+	return BuildWindow(x.acct, t, aggs)
+}
+
 // completedCounter is the server surface the result assembly needs.
 type completedCounter interface {
 	Submitted() int
@@ -255,33 +264,11 @@ func startAndFeedHTC(engine *sim.Engine, srv *tre.Server, wl *Workload) error {
 // their first task's submission time (the service provider submits the
 // workflow description; the trigger monitor stages the tasks).
 func startAndFeedMTC(engine *sim.Engine, srv *tre.MTCServer, wl *Workload) error {
-	first := wl.FirstSubmit()
-	if err := startAt(engine, first, srv.Start); err != nil {
+	if err := startAt(engine, wl.FirstSubmit(), srv.Start); err != nil {
 		return err
 	}
-	byWorkflow := make(map[string][]*job.Job)
-	var order []string
-	for i := range wl.Jobs {
-		j := &wl.Jobs[i]
-		key := j.Workflow
-		if _, seen := byWorkflow[key]; !seen {
-			order = append(order, key)
-		}
-		byWorkflow[key] = append(byWorkflow[key], j)
-	}
-	for _, key := range order {
-		tasks := byWorkflow[key]
-		at := tasks[0].Submit
-		for _, t := range tasks {
-			if t.Submit < at {
-				at = t.Submit
-			}
-		}
-		engine.At(at, func() {
-			if err := srv.SubmitWorkflow(tasks); err != nil {
-				panic(fmt.Sprintf("systems: submit workflow %s/%s: %v", wl.Name, key, err))
-			}
-		})
+	for _, a := range MTCWorkflowActions(srv.SubmitWorkflow, wl.Name, wl.Jobs, "systems") {
+		engine.At(a.At, a.Run)
 	}
 	return nil
 }

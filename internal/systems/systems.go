@@ -245,6 +245,42 @@ func BuildResult(system string, horizon sim.Time, acct *metrics.Accountant, setu
 	return res
 }
 
+// ProviderWindow is one service provider's mid-run snapshot at a window
+// boundary: tasks completed so far and consumption billed through the
+// boundary (open leases priced as if they closed there, so successive
+// snapshots are monotone and converge on the final ProviderResult).
+type ProviderWindow struct {
+	Name      string
+	Class     job.Class
+	Completed int
+	NodeHours float64
+	Adjusted  int
+}
+
+// BuildWindow assembles mid-run provider snapshots from the same
+// aggregates Finalize feeds BuildResult, without settling any lease.
+// Call it from an event on the instance clock at virtual time t — the
+// aggregates' completion counters then mean "completed by t". An agg's
+// Adjusted has BuildResult's semantics (-1 derives counts from the
+// accountant; DCS pins 0).
+func BuildWindow(acct *metrics.Accountant, t sim.Time, aggs []ProviderAgg) []ProviderWindow {
+	out := make([]ProviderWindow, 0, len(aggs))
+	for _, a := range aggs {
+		pw := ProviderWindow{Name: a.Name, Class: a.Class, Completed: a.Completed}
+		for _, owner := range a.Owners {
+			pw.NodeHours += acct.BilledNodeHoursThrough(owner, int64(t))
+			if a.Adjusted < 0 {
+				pw.Adjusted += acct.NodesAdjusted(owner)
+			}
+		}
+		if a.Adjusted >= 0 {
+			pw.Adjusted = a.Adjusted
+		}
+		out = append(out, pw)
+	}
+	return out
+}
+
 func setupCostOr(o Options, def float64) float64 {
 	if o.SetupCost > 0 {
 		return o.SetupCost

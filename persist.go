@@ -85,7 +85,9 @@ func (e *Engine) rehydrateTask(kind string, spec []byte) (service.Task, error) {
 		}
 		req.Scenario = sc
 	}
-	sreq, err := e.buildRequest(req, runConfig{opts: ps.Options, workers: ps.Workers})
+	// Live scenarios never persist a spec (their feeds die with the
+	// process), so the discarded feed here is always nil.
+	sreq, _, err := e.buildRequest(req, runConfig{opts: ps.Options, workers: ps.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("dawningcloud: rehydrate %s: %w", kind, err)
 	}
